@@ -1,0 +1,126 @@
+// Extension: the paper claims the evaluation method is optimizer-agnostic
+// ("can be used for other AC DSE"). This bench drives a simulated-
+// annealing DSE — whose scattered evaluation pattern is much harder on
+// the neighbourhood policy than the greedy min+1 walk — with and without
+// kriging, and compares against min+1.
+#include <iostream>
+
+#include "core/benchmarks.hpp"
+#include "core/engine.hpp"
+#include "dse/annealing.hpp"
+#include "dse/cost.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Row {
+  std::string label;
+  std::size_t simulated = 0;
+  std::size_t interpolated = 0;
+  double cost = 0.0;
+  double lambda = 0.0;
+  bool feasible = false;
+};
+
+Row run_annealing(const ace::core::ApplicationBenchmark& bench,
+                  bool with_kriging) {
+  const ace::dse::Lattice lattice(bench.nv, bench.min_plus_one.w_min,
+                                  bench.min_plus_one.w_max);
+  ace::dse::AnnealingOptions options;
+  options.lambda_min = bench.min_plus_one.lambda_min;
+  options.iterations = 3000;
+  options.seed = 2024;
+
+  Row row;
+  if (with_kriging) {
+    ace::dse::PolicyOptions policy;
+    policy.distance = 2;
+    ace::core::ErrorEvaluationEngine engine(bench.simulate, policy,
+                                            bench.metric);
+    const auto r =
+        ace::dse::simulated_annealing(engine.as_evaluator(), lattice, options);
+
+    // Kriging error near the constraint boundary can leave the returned
+    // solution marginally infeasible under exact simulation; standard
+    // practice is an exact verify-and-repair climb (counted below).
+    ace::dse::Config solution = r.best;
+    std::size_t repair_sims = 1;
+    double exact_lambda = bench.simulate(solution);
+    while (exact_lambda < options.lambda_min) {
+      std::size_t grow = solution.size();
+      for (std::size_t i = 0; i < solution.size(); ++i)
+        if (solution[i] < lattice.upper) {
+          grow = i;
+          break;
+        }
+      if (grow == solution.size()) break;
+      ++solution[grow];
+      exact_lambda = bench.simulate(solution);
+      ++repair_sims;
+    }
+
+    row.label = bench.name + " SA+kriging";
+    row.simulated = engine.stats().simulated + repair_sims;
+    row.interpolated = engine.stats().interpolated;
+    row.cost = options.cost(solution);
+    row.lambda = exact_lambda;
+    row.feasible = exact_lambda >= options.lambda_min;
+  } else {
+    std::size_t sims = 0;
+    auto counted = [&](const ace::dse::Config& c) {
+      ++sims;
+      return bench.simulate(c);
+    };
+    const auto r = ace::dse::simulated_annealing(counted, lattice, options);
+    row.label = bench.name + " SA exact";
+    row.simulated = sims;
+    row.cost = r.best_cost;
+    row.lambda = r.best_lambda;
+    row.feasible = r.feasible;
+  }
+  return row;
+}
+
+Row run_min_plus_one(const ace::core::ApplicationBenchmark& bench) {
+  std::size_t sims = 0;
+  auto counted = [&](const ace::dse::Config& c) {
+    ++sims;
+    return bench.simulate(c);
+  };
+  const auto r = ace::dse::min_plus_one(counted, bench.min_plus_one);
+  Row row;
+  row.label = bench.name + " min+1 exact";
+  row.simulated = sims;
+  row.cost = ace::dse::linear_cost(r.w_res);
+  row.lambda = r.final_lambda;
+  row.feasible = r.constraint_met;
+  return row;
+}
+
+void emit(const Row& row, ace::util::TablePrinter& table) {
+  table.add_row({row.label, std::to_string(row.simulated),
+                 std::to_string(row.interpolated),
+                 ace::util::fmt(row.cost, 0), ace::util::fmt(row.lambda, 1),
+                 row.feasible ? "yes" : "no"});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Extension: simulated-annealing DSE with kriging ===\n";
+  ace::util::TablePrinter table({"run", "simulated", "kriged",
+                                 "cost (sum w)", "lambda", "feasible"});
+  ace::core::SignalBenchOptions signal_opt;
+  signal_opt.w_max = 20;
+  for (const auto& bench : {ace::core::make_iir_benchmark(signal_opt),
+                            ace::core::make_fft_benchmark()}) {
+    emit(run_min_plus_one(bench), table);
+    emit(run_annealing(bench, false), table);
+    emit(run_annealing(bench, true), table);
+  }
+  table.print(std::cout);
+  std::cout << "\nSA explores far more configurations than min+1; kriging\n"
+               "absorbs most of them. 'lambda' for SA+kriging is re-checked\n"
+               "with an exact simulation of the returned solution\n";
+  return 0;
+}

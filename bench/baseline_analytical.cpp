@@ -1,0 +1,124 @@
+// Baseline comparison (paper Sec. I-II): analytical noise modeling vs
+// kriging-interpolated simulation on the FIR benchmark. The classical
+// white-noise model predicts the output noise power in closed form —
+// instantly, with zero simulations — but its assumptions (independent,
+// white, non-saturating sources) drift from bit-true behaviour; kriging
+// interpolates the *measured* surface instead.
+#include <cmath>
+#include <iostream>
+
+#include "core/benchmarks.hpp"
+#include "core/table1.hpp"
+#include "fixedpoint/noise_model.hpp"
+#include "metrics/noise_power.hpp"
+#include "signal/generator.hpp"
+#include "signal/iir.hpp"
+#include "signal/noise_analysis.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Analytical-vs-kriging comparison on the IIR cascade: the closed-form
+/// model needs impulse-response energy gains (signal/noise_analysis);
+/// measured over the same exact trajectory the kriging replay uses.
+void iir_section(ace::util::TablePrinter& table) {
+  using namespace ace;
+  core::SignalBenchOptions opt;
+  opt.w_max = 20;
+  const auto bench = core::make_iir_benchmark(opt);
+  const auto result = core::run_table1(bench, {3});
+
+  // Rebuild the same filter/calibration the benchmark factory uses so the
+  // analytical model sees identical integer-bit assignments.
+  util::Rng rng(opt.seed);
+  const auto input = signal::noisy_multitone(rng, opt.samples);
+  const signal::IirCascade iir(signal::design_butterworth_lowpass(8, 0.12));
+  const signal::QuantizedIirCascade quantized(iir, input);
+
+  util::RunningStats analytical_eps;
+  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
+    const auto& wcfg = result.trajectory.configs[i];
+    const std::vector<int> w(wcfg.begin(), wcfg.end());
+    const double simulated = metrics::from_db(-result.trajectory.values[i]);
+    const double predicted = signal::predict_iir_noise(
+        iir.sections(), w, quantized.accumulator_integer_bits(),
+        quantized.data_integer_bits());
+    analytical_eps.add(std::abs(std::log2(predicted / simulated)));
+  }
+
+  util::RunningStats kriging_eps;
+  dse::PolicyOptions options;
+  options.distance = 3;
+  const auto replay =
+      dse::replay_with_kriging(result.trajectory, options, bench.metric);
+  for (const auto& r : replay.records)
+    if (r.interpolated) kriging_eps.add(r.epsilon);
+
+  table.add_row({"IIR analytical",
+                 std::to_string(analytical_eps.count()) + " (all)",
+                 util::fmt(analytical_eps.mean(), 2),
+                 util::fmt(analytical_eps.max(), 2), "0"});
+  table.add_row(
+      {"IIR kriging (d=3)", std::to_string(kriging_eps.count()),
+       util::fmt(kriging_eps.mean(), 2), util::fmt(kriging_eps.max(), 2),
+       std::to_string(result.trajectory.size() - kriging_eps.count())});
+}
+
+}  // namespace
+
+int main() {
+  using namespace ace;
+
+  std::cout << "=== Baseline: analytical noise model vs kriging ===\n";
+
+  core::SignalBenchOptions opt;
+  opt.w_max = 20;
+  const auto bench = core::make_fir_benchmark(opt);
+  const auto result = core::run_table1(bench, {3});
+
+  // Analytical prediction error over the same trajectory (both in
+  // equivalent bits, Eq. 11). The FIR sites are <w0, iwl 0> products and
+  // <w1, iwl 1> accumulator entries over 64 taps (see benchmarks.cpp).
+  util::RunningStats analytical_eps;
+  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
+    const auto& w = result.trajectory.configs[i];
+    const double simulated =
+        metrics::from_db(-result.trajectory.values[i]);
+    const double predicted =
+        fixedpoint::predict_fir_noise(w[0], 0, w[1], 1, 64);
+    analytical_eps.add(std::abs(std::log2(predicted / simulated)));
+  }
+
+  util::RunningStats kriging_eps;
+  {
+    dse::PolicyOptions options;
+    options.distance = 3;
+    const auto replay = dse::replay_with_kriging(result.trajectory, options,
+                                                 bench.metric);
+    for (const auto& r : replay.records)
+      if (r.interpolated) kriging_eps.add(r.epsilon);
+  }
+
+  util::TablePrinter table(
+      {"estimator", "configs served", "mu eps (bits)", "max eps (bits)",
+       "simulations needed"});
+  table.add_row({"FIR analytical",
+                 std::to_string(analytical_eps.count()) + " (all)",
+                 util::fmt(analytical_eps.mean(), 2),
+                 util::fmt(analytical_eps.max(), 2), "0"});
+  table.add_row(
+      {"FIR kriging (d=3)", std::to_string(kriging_eps.count()),
+       util::fmt(kriging_eps.mean(), 2), util::fmt(kriging_eps.max(), 2),
+       std::to_string(result.trajectory.size() - kriging_eps.count())});
+  iir_section(table);
+  table.print(std::cout);
+
+  std::cout << "\nthe analytical model needs no simulation at all but its\n"
+               "error is a systematic model bias; kriging's error is\n"
+               "local interpolation noise around measured truth — and it\n"
+               "generalizes to metrics with no analytical model (the\n"
+               "paper's motivation)\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension: evaluation-order scheduling for batch DSE. The policy's
+// interpolated fraction depends on the order a known batch is evaluated
+// in; a maximin (farthest-point-first) spine lets the dense remainder
+// interpolate. Measured on dense lattice clouds around each benchmark's
+// solution region.
+#include <iostream>
+
+#include "core/benchmarks.hpp"
+#include "dse/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// GA-generation-like batch: each candidate mutates a couple of the
+/// centre's coordinates by ±1..±2 (population members cluster tightly, as
+/// real evolutionary DSE populations do — uniform clouds in many
+/// dimensions would place every pair beyond any practical L1 radius).
+std::vector<ace::dse::Config> cloud_around(const ace::dse::Config& center,
+                                           std::size_t count, int lo, int hi,
+                                           ace::util::Rng& rng) {
+  std::vector<ace::dse::Config> batch;
+  while (batch.size() < count) {
+    ace::dse::Config c = center;
+    const int mutations = rng.uniform_int(1, 2);
+    for (int m = 0; m < mutations; ++m) {
+      auto& v = c[rng.index(c.size())];
+      v = std::clamp(v + (rng.bernoulli(0.5) ? 1 : -1) *
+                             rng.uniform_int(1, 2),
+                     lo, hi);
+    }
+    batch.push_back(std::move(c));
+  }
+  return batch;
+}
+
+void compare(const ace::core::ApplicationBenchmark& bench,
+             ace::util::TablePrinter& table) {
+  ace::util::Rng rng(4242);
+  const auto& opt = bench.min_plus_one;
+  const ace::dse::Config center(bench.nv, (opt.w_min + opt.w_max) / 2);
+  const auto batch = cloud_around(center, 120, opt.w_min, opt.w_max, rng);
+
+  ace::dse::PolicyOptions options;
+  options.distance = 3;
+
+  ace::dse::KrigingPolicy as_given(options);
+  const std::size_t given =
+      ace::dse::evaluate_batch(as_given, bench.simulate, batch);
+
+  ace::dse::KrigingPolicy scheduled(options);
+  const std::size_t maximin = ace::dse::evaluate_batch(
+      scheduled, bench.simulate, ace::dse::maximin_order(batch));
+
+  table.add_row({bench.name, std::to_string(batch.size()),
+                 std::to_string(given),
+                 ace::util::fmt_pct(static_cast<double>(given) /
+                                        static_cast<double>(batch.size()),
+                                    1),
+                 std::to_string(maximin),
+                 ace::util::fmt_pct(static_cast<double>(maximin) /
+                                        static_cast<double>(batch.size()),
+                                    1)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Extension: batch evaluation ordering (d = 3) ===\n";
+  ace::util::TablePrinter table({"benchmark", "batch", "interp (given)",
+                                 "p given (%)", "interp (maximin)",
+                                 "p maximin (%)"});
+  ace::core::SignalBenchOptions signal_opt;
+  signal_opt.samples = 256;
+  compare(ace::core::make_fir_benchmark(signal_opt), table);
+  compare(ace::core::make_iir_benchmark(signal_opt), table);
+  compare(ace::core::make_fft_benchmark(signal_opt), table);
+  compare(ace::core::make_dct_benchmark(), table);
+  table.print(std::cout);
+  std::cout << "\na farthest-point-first spine simulates the spread-out\n"
+               "configurations early so the dense remainder interpolates —\n"
+               "useful whenever a DSE proposes candidates in batches\n";
+  return 0;
+}

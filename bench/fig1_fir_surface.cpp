@@ -1,0 +1,56 @@
+// Reproduces Fig. 1: the noise-power surface (dB) of the 64-tap FIR filter
+// as a function of the adder and multiplier output word-lengths.
+//
+// Prints the surface as a grid (rows: adder WL, columns: multiplier WL) and
+// writes fig1_surface.csv next to the binary for external plotting.
+#include <iostream>
+
+#include "metrics/noise_power.hpp"
+#include "signal/fir.hpp"
+#include "signal/generator.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ace;
+
+  constexpr int kWMin = 2;
+  constexpr int kWMax = 16;
+  util::Rng rng(42);
+  const auto input = signal::noisy_multitone(rng, 512);
+  const signal::FirFilter fir(signal::design_lowpass_fir(64, 0.18));
+  const signal::QuantizedFirFilter quantized(fir);
+  const auto reference = fir.filter(input);
+
+  std::cout << "=== Fig. 1: FIR noise power (dB) vs word lengths ===\n";
+  std::cout << "rows: adder WL w1 = " << kWMin << ".." << kWMax
+            << "; columns: multiplier WL w0 = " << kWMin << ".." << kWMax
+            << "\n\n";
+
+  std::vector<std::string> headers = {"w_add\\w_mpy"};
+  for (int w0 = kWMin; w0 <= kWMax; ++w0)
+    headers.push_back(std::to_string(w0));
+  util::TablePrinter table(headers);
+
+  util::CsvWriter csv("fig1_surface.csv");
+  csv.write_row(std::vector<std::string>{"w_add", "w_mpy", "noise_power_db"});
+
+  for (int w1 = kWMin; w1 <= kWMax; ++w1) {
+    std::vector<std::string> row = {std::to_string(w1)};
+    for (int w0 = kWMin; w0 <= kWMax; ++w0) {
+      const auto approx = quantized.filter(input, {w0, w1});
+      const double p_db =
+          metrics::to_db(metrics::noise_power(approx, reference));
+      row.push_back(util::fmt(p_db, 1));
+      csv.write_row(std::vector<double>{static_cast<double>(w1),
+                                        static_cast<double>(w0), p_db});
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nsurface written to fig1_surface.csv\n";
+  std::cout << "expected shape: monotone decrease along both axes with an\n"
+               "L-shaped plateau where one word length dominates the error\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark): the per-call costs behind the
+// paper's 10⁻⁶-second interpolation claim — the kriging solve as a
+// function of support size, neighbour search, variogram fitting, and the
+// bit-accurate simulation primitives it replaces.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <complex>
+#include <vector>
+
+#include "dse/sim_store.hpp"
+#include "kriging/empirical_variogram.hpp"
+#include "kriging/fit.hpp"
+#include "kriging/ordinary_kriging.hpp"
+#include "signal/fft.hpp"
+#include "signal/fir.hpp"
+#include "signal/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<std::vector<double>> lattice_points(ace::util::Rng& rng,
+                                                std::size_t n,
+                                                std::size_t dim) {
+  std::vector<std::vector<double>> pts;
+  pts.reserve(n);
+  while (pts.size() < n) {
+    std::vector<double> p(dim);
+    for (auto& x : p) x = rng.uniform_int(0, 16);
+    if (std::find(pts.begin(), pts.end(), p) == pts.end())
+      pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+void BM_KrigingSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ace::util::Rng rng(1);
+  const auto pts = lattice_points(rng, n, 10);
+  const auto vals = rng.uniform_vector(n, -60.0, -20.0);
+  const ace::kriging::SphericalVariogram model(0.0, 10.0, 12.0);
+  const std::vector<double> query(10, 8.0);
+  for (auto _ : state) {
+    auto r = ace::kriging::krige(pts, vals, query, model);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_KrigingSolve)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_NeighborSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ace::util::Rng rng(2);
+  ace::dse::SimulationStore store;
+  for (std::size_t i = 0; i < n; ++i) {
+    ace::dse::Config c(10);
+    for (auto& x : c) x = rng.uniform_int(2, 16);
+    store.add(std::move(c), rng.uniform());
+  }
+  const ace::dse::Config query(10, 9);
+  for (auto _ : state) {
+    auto hits = store.neighbors_within(query, 3);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_NeighborSearch)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_VariogramFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ace::util::Rng rng(3);
+  const auto pts = lattice_points(rng, n, 5);
+  std::vector<double> vals;
+  for (const auto& p : pts) {
+    double s = 0.0;
+    for (double x : p) s += x;
+    vals.push_back(-3.0 * s + rng.normal(0.0, 0.5));
+  }
+  const ace::kriging::EmpiricalVariogram ev(pts, vals);
+  for (auto _ : state) {
+    auto fit = ace::kriging::fit_best(ev);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+BENCHMARK(BM_VariogramFit)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_FirSimulation(benchmark::State& state) {
+  ace::util::Rng rng(4);
+  const auto input = ace::signal::noisy_multitone(rng, 512);
+  const ace::signal::FirFilter fir(ace::signal::design_lowpass_fir(64, 0.18));
+  const ace::signal::QuantizedFirFilter q(fir);
+  const std::vector<int> w = {10, 12};
+  for (auto _ : state) {
+    auto out = q.filter(input, w);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FirSimulation);
+
+void BM_QuantizedFft64(benchmark::State& state) {
+  ace::util::Rng rng(5);
+  std::vector<std::complex<double>> frame(64);
+  for (auto& v : frame)
+    v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  const ace::signal::QuantizedFft q(64, {frame});
+  const std::vector<int> w(10, 12);
+  for (auto _ : state) {
+    auto out = q.transform(frame, w);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_QuantizedFft64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Reproduces the timing analysis of Sec. IV: per-evaluation simulation vs
+// interpolation cost and the end-to-end optimization speed-up at each
+// benchmark's interpolated fraction (the paper quotes ÷2 for FIR/IIR, ÷5
+// for FFT, ÷10 for HEVC and SqueezeNet).
+#include <iostream>
+
+#include "core/benchmarks.hpp"
+#include "core/table1.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void report(const ace::core::ApplicationBenchmark& bench, int distance,
+            ace::util::TablePrinter& table) {
+  const auto result = ace::core::run_table1(bench, {distance});
+  const auto timing = ace::core::measure_speedup(bench, result, distance);
+  table.add_row({bench.name, std::to_string(distance),
+                 ace::util::fmt(timing.sim_seconds * 1e3, 3),
+                 ace::util::fmt(timing.krig_seconds * 1e6, 2),
+                 ace::util::fmt(timing.p * 100.0, 2),
+                 ace::util::fmt(timing.speedup, 2)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Sec. IV timing: simulation vs kriging interpolation ===\n";
+  ace::util::TablePrinter table({"benchmark", "d", "t_sim (ms)",
+                                 "t_krig (us)", "p (%)", "speedup"});
+
+  report(ace::core::make_fir_benchmark(), 3, table);
+  report(ace::core::make_iir_benchmark(), 2, table);
+  report(ace::core::make_fft_benchmark(), 2, table);
+
+  {
+    ace::core::HevcBenchOptions o;
+    o.jobs = 12;  // Keep the timing bench snappy.
+    report(ace::core::make_hevc_benchmark(o), 2, table);
+  }
+  {
+    ace::core::CnnBenchOptions o;
+    o.images = 80;
+    report(ace::core::make_squeezenet_benchmark(o), 3, table);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nspeedup = 1 / ((1 - p) + p * t_krig / t_sim): the paper's\n"
+               "time-division claims (/2 .. /10) follow from p alone since\n"
+               "t_krig << t_sim\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Extension benchmark: approximate-operator FIR (Nv = 4). The paper's
+// introduction lists inexact adders/multipliers as an approximation
+// source; here the DSE variables are the precision levels of truncated
+// multipliers and lower-OR adders rather than word lengths — the same
+// kriging policy serves this lattice unchanged.
+#include "table1_common.hpp"
+
+#include "core/benchmarks.hpp"
+
+int main() {
+  return ace::benchdriver::run_table1_bench(
+      ace::core::make_approx_fir_benchmark());
+}

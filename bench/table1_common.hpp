@@ -1,0 +1,28 @@
+// Shared driver for the Table I benches: runs the exact optimizer once,
+// replays at d = 2..5, prints the paper-layout rows plus context.
+#pragma once
+
+#include <iostream>
+
+#include "core/table1.hpp"
+#include "dse/config.hpp"
+#include "util/stopwatch.hpp"
+
+namespace ace::benchdriver {
+
+inline int run_table1_bench(const core::ApplicationBenchmark& bench,
+                            const dse::PolicyOptions& base = {}) {
+  std::cout << "=== Table I (" << bench.name << ", Nv = " << bench.nv
+            << ") ===\n";
+  util::Stopwatch watch;
+  const auto result = core::run_table1(bench, {2, 3, 4, 5}, base);
+  std::cout << "exact optimizer: " << result.trajectory.size()
+            << " distinct configurations simulated, solution "
+            << dse::to_string(result.exact_solution)
+            << ", lambda = " << result.exact_lambda << "\n\n";
+  core::print_table1(std::cout, result);
+  std::cout << "\ntotal wall time: " << watch.seconds() << " s\n";
+  return 0;
+}
+
+}  // namespace ace::benchdriver

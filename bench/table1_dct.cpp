@@ -1,0 +1,10 @@
+// Extension benchmark (beyond the paper's Table I): 8×8 2-D DCT word-length
+// refinement, Nv = 6 — a medium-dimensional workload between the paper's
+// IIR (Nv = 5) and FFT (Nv = 10) rows.
+#include "table1_common.hpp"
+
+#include "core/benchmarks.hpp"
+
+int main() {
+  return ace::benchdriver::run_table1_bench(ace::core::make_dct_benchmark());
+}

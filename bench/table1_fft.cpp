@@ -1,0 +1,8 @@
+// Reproduces Table I, FFT row group (64-point FFT, Nv = 10, noise power).
+#include "table1_common.hpp"
+
+#include "core/benchmarks.hpp"
+
+int main() {
+  return ace::benchdriver::run_table1_bench(ace::core::make_fft_benchmark());
+}

@@ -1,0 +1,13 @@
+// Reproduces Table I, FIR row group (64-tap FIR, Nv = 2, noise power).
+#include "table1_common.hpp"
+
+#include "core/benchmarks.hpp"
+
+int main() {
+  // Nmax = 20 reproduces the paper's trajectory density best (the paper
+  // does not state its Nmax; see EXPERIMENTS.md).
+  ace::core::SignalBenchOptions opt;
+  opt.w_max = 20;
+  return ace::benchdriver::run_table1_bench(
+      ace::core::make_fir_benchmark(opt));
+}

@@ -1,0 +1,9 @@
+// Reproduces Table I, HEVC row group (motion compensation, Nv = 23,
+// noise power, λm = −50 dB as in the paper).
+#include "table1_common.hpp"
+
+#include "core/benchmarks.hpp"
+
+int main() {
+  return ace::benchdriver::run_table1_bench(ace::core::make_hevc_benchmark());
+}

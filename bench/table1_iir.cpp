@@ -1,0 +1,13 @@
+// Reproduces Table I, IIR row group (8th-order IIR, Nv = 5, noise power).
+#include "table1_common.hpp"
+
+#include "core/benchmarks.hpp"
+
+int main() {
+  // Nmax = 20 reproduces the paper's trajectory density best (see
+  // EXPERIMENTS.md).
+  ace::core::SignalBenchOptions opt;
+  opt.w_max = 20;
+  return ace::benchdriver::run_table1_bench(
+      ace::core::make_iir_benchmark(opt));
+}

@@ -1,0 +1,12 @@
+// Extension benchmark: error-sensitivity analysis on the IIR cascade
+// (Nv = 5) — the paper's second optimization-problem type (demonstrated
+// there on SqueezeNet) applied to a classical signal kernel, with the
+// noise-power metric instead of a classification rate.
+#include "table1_common.hpp"
+
+#include "core/benchmarks.hpp"
+
+int main() {
+  return ace::benchdriver::run_table1_bench(
+      ace::core::make_iir_sensitivity_benchmark());
+}

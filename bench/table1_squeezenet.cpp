@@ -1,0 +1,10 @@
+// Reproduces Table I, SqueezeNet row group (error-sensitivity analysis,
+// Nv = 10, classification-agreement metric, relative ε).
+#include "table1_common.hpp"
+
+#include "core/benchmarks.hpp"
+
+int main() {
+  return ace::benchdriver::run_table1_bench(
+      ace::core::make_squeezenet_benchmark());
+}

@@ -1,0 +1,55 @@
+// Fixed-point refinement of the HEVC motion-compensation dataflow
+// (23 word-length variables) with kriging in the optimization loop —
+// the paper's largest word-length benchmark, where interpolation saves
+// ~90% of the simulations.
+#include <iostream>
+
+#include "core/benchmarks.hpp"
+#include "core/engine.hpp"
+#include "dse/config.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ace;
+
+  core::HevcBenchOptions opt;
+  opt.jobs = 12;  // 8×8 blocks; scaled down for a brisk demo.
+  opt.lambda_min_db = 50.0;
+  const auto bench = core::make_hevc_benchmark(opt);
+
+  std::cout << "HEVC MC word-length refinement (Nv = " << bench.nv
+            << ", constraint: noise <= -" << opt.lambda_min_db << " dB)\n\n";
+
+  dse::PolicyOptions policy;
+  policy.distance = 2;
+
+  util::Stopwatch watch;
+  core::ErrorEvaluationEngine engine(bench.simulate, policy, bench.metric);
+  const auto result = engine.optimize_word_lengths(bench.min_plus_one);
+  const double elapsed = watch.seconds();
+
+  std::cout << "optimized word lengths: " << dse::to_string(result.w_res)
+            << "\n"
+            << "noise at solution: " << util::fmt(-result.final_lambda, 1)
+            << " dB (constraint met: "
+            << (result.constraint_met ? "yes" : "no") << ")\n\n";
+
+  const auto& stats = engine.stats();
+  util::TablePrinter table({"counter", "value"});
+  table.add_row({"metric evaluations", std::to_string(stats.total)});
+  table.add_row({"simulated", std::to_string(stats.simulated)});
+  table.add_row({"kriging-interpolated", std::to_string(stats.interpolated)});
+  table.add_row(
+      {"interpolated share (%)",
+       util::fmt(stats.interpolated_fraction() * 100.0, 2)});
+  table.add_row({"mean support size j",
+                 util::fmt(stats.neighbors_per_interpolation.mean(), 2)});
+  table.add_row({"wall time (s)", util::fmt(elapsed, 2)});
+  table.print(std::cout);
+
+  std::cout << "\nwith 23 variables the L1 ball at d = 2 quickly fills with\n"
+               "already-simulated neighbours, which is why the paper reports\n"
+               "~87-96% of HEVC evaluations replaced by kriging\n";
+  return 0;
+}

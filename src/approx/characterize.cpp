@@ -1,0 +1,78 @@
+#include "approx/characterize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ace::approx {
+
+namespace {
+
+struct Accumulator {
+  std::uint64_t pairs = 0;
+  std::uint64_t errors = 0;
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  double max_abs = 0.0;
+
+  void add(std::int64_t approx_v, std::int64_t exact_v) {
+    ++pairs;
+    const double diff =
+        static_cast<double>(approx_v) - static_cast<double>(exact_v);
+    if (diff != 0.0) ++errors;
+    const double mag = std::abs(diff);
+    sum_abs += mag;
+    sum_sq += diff * diff;
+    max_abs = std::max(max_abs, mag);
+  }
+
+  ErrorProfile profile() const {
+    ErrorProfile p;
+    p.pairs = pairs;
+    if (pairs == 0) return p;
+    const double n = static_cast<double>(pairs);
+    p.error_rate = static_cast<double>(errors) / n;
+    p.mean_error_distance = sum_abs / n;
+    p.mean_squared_error = sum_sq / n;
+    p.max_error_distance = max_abs;
+    return p;
+  }
+};
+
+}  // namespace
+
+ErrorProfile characterize_exhaustive(const BinaryOp& approx,
+                                     const BinaryOp& exact, int width) {
+  if (!approx || !exact)
+    throw std::invalid_argument("characterize: null operator");
+  if (width < 2 || width > 12)
+    throw std::invalid_argument("characterize_exhaustive: width in [2, 12]");
+  const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+  Accumulator acc;
+  for (std::int64_t a = lo; a <= hi; ++a)
+    for (std::int64_t b = lo; b <= hi; ++b)
+      acc.add(approx(a, b), exact(a, b));
+  return acc.profile();
+}
+
+ErrorProfile characterize_sampled(const BinaryOp& approx,
+                                  const BinaryOp& exact, int width,
+                                  std::size_t samples, util::Rng& rng) {
+  if (!approx || !exact)
+    throw std::invalid_argument("characterize: null operator");
+  if (width < 2 || width > 30)
+    throw std::invalid_argument("characterize_sampled: width in [2, 30]");
+  if (samples == 0)
+    throw std::invalid_argument("characterize_sampled: need samples");
+  const int lo = -(1 << (width - 1));
+  const int hi = (1 << (width - 1)) - 1;
+  Accumulator acc;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::int64_t a = rng.uniform_int(lo, hi);
+    const std::int64_t b = rng.uniform_int(lo, hi);
+    acc.add(approx(a, b), exact(a, b));
+  }
+  return acc.profile();
+}
+
+}  // namespace ace::approx

@@ -1,0 +1,38 @@
+// Error characterization of approximate operators: the standard metrics
+// of the approximate-arithmetic literature (error rate, mean error
+// distance, mean squared error), measured exhaustively for narrow widths
+// or by deterministic sampling for wide ones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.hpp"
+
+namespace ace::approx {
+
+/// Binary integer operator under test (and its exact reference).
+using BinaryOp = std::function<std::int64_t(std::int64_t, std::int64_t)>;
+
+/// Aggregate error metrics of `approx` vs `exact` over an operand set.
+struct ErrorProfile {
+  double error_rate = 0.0;        ///< Fraction of operand pairs with error.
+  double mean_error_distance = 0.0;   ///< E[|approx − exact|].
+  double mean_squared_error = 0.0;    ///< E[(approx − exact)²].
+  double max_error_distance = 0.0;    ///< max |approx − exact|.
+  std::uint64_t pairs = 0;            ///< Operand pairs evaluated.
+};
+
+/// Exhaustive characterization over all signed `width`-bit operand pairs.
+/// width must be in [2, 12] (4^12 pairs is the practical ceiling); throws.
+ErrorProfile characterize_exhaustive(const BinaryOp& approx,
+                                     const BinaryOp& exact, int width);
+
+/// Sampled characterization over `samples` uniform signed operand pairs of
+/// the given width (deterministic given the generator). Throws on zero
+/// samples or width outside [2, 30].
+ErrorProfile characterize_sampled(const BinaryOp& approx,
+                                  const BinaryOp& exact, int width,
+                                  std::size_t samples, util::Rng& rng);
+
+}  // namespace ace::approx

@@ -1,0 +1,53 @@
+// Approximate integer multipliers (paper intro refs [5]: Mrazek et al.
+// scalable approximate multipliers; plus the classical truncated and
+// logarithmic designs). Parameterized by an approximation degree like the
+// adders, so multiplier precision is one more axis on the DSE lattice.
+#pragma once
+
+#include <cstdint>
+
+namespace ace::approx {
+
+/// Truncated (fixed-width style) multiplier: the `degree` least
+/// significant columns of the partial-product matrix are discarded, i.e.
+/// the low bits of each operand's contribution below column `degree` never
+/// enter the array. Implemented as sign × magnitude with the magnitude
+/// product's low columns dropped.
+class TruncatedMultiplier {
+ public:
+  /// Operand width in [2, 30] bits, degree in [0, 2·width]. Throws.
+  TruncatedMultiplier(int width, int degree);
+
+  std::int64_t multiply(std::int64_t a, std::int64_t b) const;
+
+  int width() const { return width_; }
+  int degree() const { return degree_; }
+
+ private:
+  int width_;
+  int degree_;
+};
+
+/// Mitchell's logarithmic multiplier: |a·b| ≈ 2^(log2|a| + log2|b|) with
+/// piecewise-linear log/antilog. `interp_bits` controls the fraction
+/// precision kept from each operand's mantissa (more bits = closer to
+/// exact); 0 keeps none (pure power-of-two products).
+class MitchellMultiplier {
+ public:
+  /// width in [2, 30], interp_bits in [0, 30]. Throws.
+  MitchellMultiplier(int width, int interp_bits);
+
+  std::int64_t multiply(std::int64_t a, std::int64_t b) const;
+
+  int width() const { return width_; }
+  int interp_bits() const { return interp_bits_; }
+
+ private:
+  int width_;
+  int interp_bits_;
+};
+
+/// Exact reference product (the golden model).
+std::int64_t exact_multiply(std::int64_t a, std::int64_t b);
+
+}  // namespace ace::approx

@@ -1,0 +1,41 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+
+namespace ace::core {
+
+ErrorEvaluationEngine::ErrorEvaluationEngine(dse::SimulatorFn simulator,
+                                             dse::PolicyOptions options,
+                                             dse::MetricKind metric_kind)
+    : simulator_(std::move(simulator)),
+      policy_(std::move(options)),
+      metric_kind_(metric_kind) {
+  if (!simulator_)
+    throw std::invalid_argument("ErrorEvaluationEngine: null simulator");
+}
+
+dse::EvalOutcome ErrorEvaluationEngine::evaluate(const dse::Config& config) {
+  if (const auto it = cache_.find(config); it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  const auto outcome = policy_.evaluate(config, simulator_);
+  cache_.emplace(config, outcome);
+  return outcome;
+}
+
+dse::EvaluateFn ErrorEvaluationEngine::as_evaluator() {
+  return [this](const dse::Config& c) { return evaluate(c).value; };
+}
+
+dse::MinPlusOneResult ErrorEvaluationEngine::optimize_word_lengths(
+    const dse::MinPlusOneOptions& options) {
+  return dse::min_plus_one(as_evaluator(), options);
+}
+
+dse::SensitivityResult ErrorEvaluationEngine::analyze_sensitivity(
+    const dse::SensitivityOptions& options) {
+  return dse::steepest_descent_budgeting(as_evaluator(), options);
+}
+
+}  // namespace ace::core

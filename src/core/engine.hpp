@@ -1,0 +1,62 @@
+// ErrorEvaluationEngine — the library's main entry point.
+//
+// Wraps an application simulator with the paper's kriging-based
+// simulate-or-interpolate policy and exposes the two optimization flows it
+// evaluates: min+1-bit word-length refinement and steepest-descent error
+// budgeting. Downstream users supply only a deterministic simulator
+// (configuration -> metric value) and an accuracy constraint.
+//
+//   ace::core::ErrorEvaluationEngine engine(
+//       my_simulator, {.distance = 3}, ace::dse::MetricKind::kAccuracyDb);
+//   auto result = engine.optimize_word_lengths({.lambda_min = 50,
+//                                               .nv = 10, .w_max = 16});
+//   engine.stats();   // how many simulations kriging saved
+#pragma once
+
+#include <unordered_map>
+
+#include "dse/kriging_policy.hpp"
+#include "dse/min_plus_one.hpp"
+#include "dse/steepest_descent.hpp"
+#include "dse/trajectory.hpp"
+
+namespace ace::core {
+
+/// High-level facade over the kriging evaluation policy.
+class ErrorEvaluationEngine {
+ public:
+  /// Throws std::invalid_argument on a null simulator.
+  ErrorEvaluationEngine(dse::SimulatorFn simulator, dse::PolicyOptions options,
+                        dse::MetricKind metric_kind);
+
+  /// Evaluate λ for one configuration: interpolated when the neighbourhood
+  /// allows, simulated otherwise; memoized so repeated configurations are
+  /// free. Returns the full outcome.
+  dse::EvalOutcome evaluate(const dse::Config& config);
+
+  /// Evaluation callable (value only) bound to this engine — plug it into
+  /// any optimizer.
+  dse::EvaluateFn as_evaluator();
+
+  /// Run the full min+1-bit algorithm through this engine.
+  dse::MinPlusOneResult optimize_word_lengths(
+      const dse::MinPlusOneOptions& options);
+
+  /// Run steepest-descent error budgeting through this engine.
+  dse::SensitivityResult analyze_sensitivity(
+      const dse::SensitivityOptions& options);
+
+  const dse::PolicyStats& stats() const { return policy_.stats(); }
+  const dse::KrigingPolicy& policy() const { return policy_; }
+  dse::MetricKind metric_kind() const { return metric_kind_; }
+  std::size_t cache_hits() const { return cache_hits_; }
+
+ private:
+  dse::SimulatorFn simulator_;
+  dse::KrigingPolicy policy_;
+  dse::MetricKind metric_kind_;
+  std::unordered_map<dse::Config, dse::EvalOutcome, dse::ConfigHash> cache_;
+  std::size_t cache_hits_ = 0;
+};
+
+}  // namespace ace::core

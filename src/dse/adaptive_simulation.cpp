@@ -1,0 +1,49 @@
+#include "dse/adaptive_simulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace ace::dse {
+
+AdaptiveSimResult adaptive_mean(
+    const std::function<double(std::size_t)>& observe, std::size_t total,
+    const AdaptiveSimOptions& options) {
+  if (!observe)
+    throw std::invalid_argument("adaptive_mean: null observer");
+  if (total == 0)
+    throw std::invalid_argument("adaptive_mean: total must be positive");
+  if (options.batch == 0)
+    throw std::invalid_argument("adaptive_mean: batch must be positive");
+  if (options.relative_half_width <= 0.0)
+    throw std::invalid_argument("adaptive_mean: tolerance must be positive");
+
+  util::RunningStats stats;
+  AdaptiveSimResult result;
+  std::size_t consumed = 0;
+  std::size_t batches = 0;
+
+  while (consumed < total) {
+    const std::size_t take = std::min(options.batch, total - consumed);
+    for (std::size_t i = 0; i < take; ++i) stats.add(observe(consumed + i));
+    consumed += take;
+    ++batches;
+
+    if (batches < options.min_batches) continue;
+    const double mean = stats.mean();
+    const double half_width =
+        options.z * stats.stddev() /
+        std::sqrt(static_cast<double>(stats.count()));
+    if (std::abs(mean) > 0.0 &&
+        half_width <= options.relative_half_width * std::abs(mean)) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.mean = stats.mean();
+  result.observations = consumed;
+  return result;
+}
+
+}  // namespace ace::dse

@@ -1,0 +1,36 @@
+// Adaptive observation count via inferential statistics — the paper's
+// ref [14] (Bonnot et al., ICASSP 2019) and the complementary lever to
+// kriging in Eq. 2: kriging cuts Nλ (the number of metric evaluations),
+// this cuts No (the observations per evaluation). A noise-power
+// evaluation draws input samples in batches and stops once the
+// confidence interval on the mean squared error is tight enough.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ace::dse {
+
+struct AdaptiveSimOptions {
+  std::size_t batch = 64;        ///< Observations added per round.
+  std::size_t min_batches = 2;   ///< Rounds before the test may stop.
+  double relative_half_width = 0.1;  ///< Stop: CI half-width <= this · mean.
+  double z = 1.96;               ///< Normal quantile (1.96 = 95% CI).
+};
+
+struct AdaptiveSimResult {
+  double mean = 0.0;            ///< Estimated metric (e.g. noise power).
+  std::size_t observations = 0; ///< Samples actually consumed.
+  bool converged = false;       ///< CI criterion met before exhaustion.
+};
+
+/// Estimate the mean of `observe(i)` for i in [0, total) adaptively:
+/// consume batches until the z-CI half-width falls below
+/// relative_half_width · |mean|, or all observations are used.
+/// Throws std::invalid_argument on a null observer, zero total, zero
+/// batch, or a non-positive tolerance.
+AdaptiveSimResult adaptive_mean(
+    const std::function<double(std::size_t)>& observe, std::size_t total,
+    const AdaptiveSimOptions& options = {});
+
+}  // namespace ace::dse

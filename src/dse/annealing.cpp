@@ -1,0 +1,90 @@
+#include "dse/annealing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ace::dse {
+
+AnnealingResult simulated_annealing(const EvaluateFn& evaluate,
+                                    const Lattice& lattice,
+                                    const AnnealingOptions& options) {
+  if (!options.cost)
+    throw std::invalid_argument("simulated_annealing: null cost function");
+  if (options.iterations == 0)
+    throw std::invalid_argument("simulated_annealing: zero iterations");
+  if (options.initial_temperature <= 0.0)
+    throw std::invalid_argument("simulated_annealing: temperature must be > 0");
+  if (options.cooling <= 0.0 || options.cooling > 1.0)
+    throw std::invalid_argument("simulated_annealing: cooling in (0, 1]");
+
+  util::Rng rng(options.seed);
+  AnnealingResult result;
+
+  auto energy_of = [&](double lambda, double cost) {
+    const double shortfall = std::max(0.0, options.lambda_min - lambda);
+    return cost + options.penalty * shortfall;
+  };
+
+  Config current = lattice.uniform(lattice.upper);
+  double current_lambda = evaluate(current);
+  ++result.evaluations;
+  double current_cost = options.cost(current);
+  double current_energy = energy_of(current_lambda, current_cost);
+
+  result.best = current;
+  result.best_lambda = current_lambda;
+  result.best_cost = current_cost;
+  result.feasible = current_lambda >= options.lambda_min;
+  double best_energy = current_energy;
+
+  double temperature = options.initial_temperature;
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    // Single-coordinate ±1 proposal, clamped to the lattice.
+    Config candidate = current;
+    const std::size_t var = rng.index(candidate.size());
+    const int step = rng.bernoulli(0.5) ? 1 : -1;
+    candidate[var] += step;
+    if (candidate[var] < lattice.lower || candidate[var] > lattice.upper) {
+      temperature *= options.cooling;
+      continue;
+    }
+
+    const double candidate_lambda = evaluate(candidate);
+    ++result.evaluations;
+    const double candidate_cost = options.cost(candidate);
+    const double candidate_energy =
+        energy_of(candidate_lambda, candidate_cost);
+
+    const double delta = candidate_energy - current_energy;
+    const bool accept =
+        delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature);
+    if (accept) {
+      current = std::move(candidate);
+      current_lambda = candidate_lambda;
+      current_cost = candidate_cost;
+      current_energy = candidate_energy;
+      ++result.accepted;
+
+      const bool candidate_feasible =
+          current_lambda >= options.lambda_min;
+      // Track the best: feasibility first, then energy.
+      const bool better =
+          (candidate_feasible && !result.feasible) ||
+          (candidate_feasible == result.feasible &&
+           current_energy < best_energy);
+      if (better) {
+        result.best = current;
+        result.best_lambda = current_lambda;
+        result.best_cost = current_cost;
+        result.feasible = candidate_feasible;
+        best_energy = current_energy;
+      }
+    }
+    temperature *= options.cooling;
+  }
+  return result;
+}
+
+}  // namespace ace::dse

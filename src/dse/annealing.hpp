@@ -1,0 +1,49 @@
+// Simulated-annealing DSE (extension): the paper notes its evaluation
+// method "can be used for other AC DSE as long as the interpolated
+// surface is continuous and a distance between configurations can be
+// defined". Annealing is the natural stress test — unlike the greedy
+// min+1 walk it jumps around the lattice, producing much more scattered
+// evaluation patterns for the kriging policy to serve.
+//
+// The optimizer minimizes E(w) = C(w) + penalty·max(0, λm − λ(w)) with
+// single-coordinate ±1 moves, geometric cooling and a deterministic
+// seeded generator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "dse/config.hpp"
+#include "dse/cost.hpp"
+#include "dse/min_plus_one.hpp"  // EvaluateFn
+
+namespace ace::dse {
+
+struct AnnealingOptions {
+  double lambda_min = 0.0;       ///< Quality constraint λm.
+  CostFn cost = linear_cost;     ///< Implementation-cost objective.
+  std::uint64_t seed = 1;        ///< Move/acceptance stream seed.
+  std::size_t iterations = 4000; ///< Proposed moves.
+  double initial_temperature = 8.0;  ///< In cost units.
+  double cooling = 0.9985;       ///< Geometric factor per iteration.
+  double penalty = 50.0;         ///< Cost units per unit of λ shortfall.
+};
+
+struct AnnealingResult {
+  Config best;                   ///< Best feasible (or best-energy) config.
+  double best_lambda = 0.0;
+  double best_cost = 0.0;
+  bool feasible = false;         ///< λ(best) >= λm found.
+  std::size_t evaluations = 0;   ///< Metric evaluations requested.
+  std::size_t accepted = 0;      ///< Accepted moves.
+};
+
+/// Run annealing over the lattice. The walk starts at the lattice's upper
+/// corner (maximally accurate, maximally expensive). Throws
+/// std::invalid_argument on a null cost, non-positive temperature /
+/// cooling outside (0, 1], or zero iterations.
+AnnealingResult simulated_annealing(const EvaluateFn& evaluate,
+                                    const Lattice& lattice,
+                                    const AnnealingOptions& options);
+
+}  // namespace ace::dse

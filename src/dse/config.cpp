@@ -1,0 +1,76 @@
+#include "dse/config.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace ace::dse {
+
+int l1_distance(const Config& a, const Config& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("l1_distance: size mismatch");
+  int acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+double l2_distance(const Config& a, const Config& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("l2_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::vector<double> to_real(const Config& c) {
+  std::vector<double> out(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) out[i] = c[i];
+  return out;
+}
+
+std::string to_string(const Config& c) {
+  std::ostringstream ss;
+  ss << "(";
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i > 0) ss << ", ";
+    ss << c[i];
+  }
+  ss << ")";
+  return ss.str();
+}
+
+std::size_t ConfigHash::operator()(const Config& c) const {
+  std::size_t h = 1469598103934665603ULL;  // FNV-1a offset basis.
+  for (int v : c) {
+    h ^= static_cast<std::size_t>(static_cast<unsigned int>(v));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Lattice::Lattice(std::size_t dims, int lo, int hi)
+    : dimensions(dims), lower(lo), upper(hi) {
+  if (dimensions == 0)
+    throw std::invalid_argument("Lattice: dimensions must be positive");
+  if (lower > upper)
+    throw std::invalid_argument("Lattice: lower must be <= upper");
+}
+
+bool Lattice::contains(const Config& c) const {
+  if (c.size() != dimensions) return false;
+  for (int v : c)
+    if (v < lower || v > upper) return false;
+  return true;
+}
+
+Config Lattice::uniform(int value) const {
+  if (value < lower || value > upper)
+    throw std::invalid_argument("Lattice::uniform: value out of range");
+  return Config(dimensions, value);
+}
+
+}  // namespace ace::dse

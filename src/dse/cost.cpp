@@ -1,0 +1,42 @@
+#include "dse/cost.hpp"
+
+#include <stdexcept>
+
+namespace ace::dse {
+
+double linear_cost(const Config& w) {
+  double acc = 0.0;
+  for (int wi : w) acc += wi;
+  return acc;
+}
+
+double quadratic_cost(const Config& w) {
+  double acc = 0.0;
+  for (int wi : w) acc += static_cast<double>(wi) * static_cast<double>(wi);
+  return acc;
+}
+
+WeightedCostModel::WeightedCostModel(std::vector<double> linear_weights,
+                                     std::vector<double> quadratic_weights)
+    : linear_(std::move(linear_weights)),
+      quadratic_(std::move(quadratic_weights)) {}
+
+double WeightedCostModel::operator()(const Config& w) const {
+  if (!linear_.empty() && linear_.size() != w.size())
+    throw std::invalid_argument("WeightedCostModel: linear weight size");
+  if (!quadratic_.empty() && quadratic_.size() != w.size())
+    throw std::invalid_argument("WeightedCostModel: quadratic weight size");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double wi = w[i];
+    acc += (linear_.empty() ? 1.0 : linear_[i]) * wi;
+    acc += (quadratic_.empty() ? 1.0 : quadratic_[i]) * wi * wi;
+  }
+  return acc;
+}
+
+CostFn WeightedCostModel::as_function() const {
+  return [model = *this](const Config& w) { return model(w); };
+}
+
+}  // namespace ace::dse

@@ -1,0 +1,55 @@
+// Implementation-cost models for the DSE objective (paper Eq. 1:
+// min C(e) subject to λ(e) > λm).
+//
+// The min+1 algorithm minimizes cost implicitly — each greedy step adds
+// the single cheapest bit — so the paper never spells out C. For
+// reporting, Pareto sweeps and the annealing optimizer we provide the
+// standard word-length cost models used in the fixed-point literature:
+// linear (registers / adders grow ~w) and quadratic (array multipliers
+// grow ~w²), plus a weighted combination.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "dse/config.hpp"
+
+namespace ace::dse {
+
+/// Cost function over configurations (higher = more expensive).
+using CostFn = std::function<double(const Config&)>;
+
+/// Σ w_i — register/adder area proxy.
+double linear_cost(const Config& w);
+
+/// Σ w_i² — multiplier area proxy.
+double quadratic_cost(const Config& w);
+
+/// Weighted mix: Σ (a_i·w_i + m_i·w_i²). Weight vectors may be empty
+/// (treated as all-ones) or must match the configuration size (throws).
+class WeightedCostModel {
+ public:
+  WeightedCostModel(std::vector<double> linear_weights,
+                    std::vector<double> quadratic_weights);
+
+  double operator()(const Config& w) const;
+
+  /// Bind into a CostFn.
+  CostFn as_function() const;
+
+ private:
+  std::vector<double> linear_;
+  std::vector<double> quadratic_;
+};
+
+/// One point of a quality-vs-cost sweep.
+struct ParetoPoint {
+  double lambda_min = 0.0;   ///< Constraint used.
+  Config solution;           ///< Optimizer result.
+  double lambda = 0.0;       ///< Achieved quality.
+  double cost = 0.0;         ///< C(solution).
+  std::size_t evaluations = 0;  ///< Metric evaluations spent.
+};
+
+}  // namespace ace::dse

@@ -1,0 +1,88 @@
+#include "dse/doe.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ace::dse {
+
+namespace {
+
+void validate(const Lattice& lattice, std::size_t count) {
+  if (count == 0)
+    throw std::invalid_argument("doe: count must be positive");
+  const std::size_t span =
+      static_cast<std::size_t>(lattice.upper - lattice.lower) + 1;
+  // Only guard per-dimension feasibility for the LHS stratification.
+  if (span == 0)
+    throw std::invalid_argument("doe: empty lattice range");
+}
+
+}  // namespace
+
+std::vector<Config> latin_hypercube_sample(const Lattice& lattice,
+                                           std::size_t count,
+                                           util::Rng& rng) {
+  validate(lattice, count);
+  const double span = static_cast<double>(lattice.upper - lattice.lower + 1);
+
+  // One shuffled stratum order per dimension; stratum k maps to the lattice
+  // value at relative position (k + 0.5) / count.
+  std::vector<std::vector<std::size_t>> strata(lattice.dimensions);
+  for (auto& order : strata) {
+    order.resize(count);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (std::size_t i = count; i > 1; --i)
+      std::swap(order[i - 1], order[rng.index(i)]);
+  }
+
+  std::unordered_set<Config, ConfigHash> seen;
+  std::vector<Config> design;
+  design.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    Config c(lattice.dimensions);
+    for (std::size_t dim = 0; dim < lattice.dimensions; ++dim) {
+      const double position =
+          (static_cast<double>(strata[dim][s]) + 0.5) /
+          static_cast<double>(count);
+      c[dim] = lattice.lower + static_cast<int>(position * span);
+      c[dim] = std::clamp(c[dim], lattice.lower, lattice.upper);
+    }
+    if (seen.insert(c).second) design.push_back(std::move(c));
+  }
+  return design;  // May be < count if strata collide on a narrow lattice.
+}
+
+std::vector<Config> corner_plus_random_sample(const Lattice& lattice,
+                                              std::size_t count,
+                                              util::Rng& rng) {
+  validate(lattice, count);
+  std::unordered_set<Config, ConfigHash> seen;
+  std::vector<Config> design;
+  design.reserve(count);
+  auto push = [&](Config c) {
+    if (seen.insert(c).second) design.push_back(std::move(c));
+  };
+  push(lattice.uniform(lattice.lower));
+  if (lattice.upper != lattice.lower) push(lattice.uniform(lattice.upper));
+
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 64 + 64;
+  while (design.size() < count && attempts < max_attempts) {
+    Config c(lattice.dimensions);
+    for (auto& v : c) v = rng.uniform_int(lattice.lower, lattice.upper);
+    push(std::move(c));
+    ++attempts;
+  }
+  return design;
+}
+
+std::size_t warm_start(KrigingPolicy& policy, const SimulatorFn& simulate,
+                       const std::vector<Config>& design) {
+  const std::size_t before = policy.store().size();
+  for (const auto& c : design) (void)policy.evaluate(c, simulate);
+  return policy.store().size() - before;
+}
+
+}  // namespace ace::dse

@@ -1,0 +1,42 @@
+// Design-of-experiments warm start (extension beyond the paper).
+//
+// In the paper's flow the simulated-configuration store starts empty, so
+// the first configurations of every optimization are always simulated. A
+// small space-filling sample — simulated up front — lets kriging engage
+// earlier and also stabilizes the semi-variogram identification. The
+// bench/ablation_warmstart experiment quantifies the trade-off: the warm
+// start costs its own simulations but raises the interpolated fraction of
+// the optimizer's trajectory.
+#pragma once
+
+#include <vector>
+
+#include "dse/config.hpp"
+#include "dse/kriging_policy.hpp"
+#include "util/rng.hpp"
+
+namespace ace::dse {
+
+/// Latin-hypercube-style sample on the integer lattice: `count` distinct
+/// configurations with each dimension's values spread evenly across
+/// [lower, upper]. Deterministic given the generator state.
+/// Throws std::invalid_argument when count exceeds the lattice size or
+/// inputs are degenerate.
+std::vector<Config> latin_hypercube_sample(const Lattice& lattice,
+                                           std::size_t count,
+                                           util::Rng& rng);
+
+/// Uniform-corner sample: the two extreme corners plus `count - 2` random
+/// distinct lattice points (cheap baseline sampler).
+std::vector<Config> corner_plus_random_sample(const Lattice& lattice,
+                                              std::size_t count,
+                                              util::Rng& rng);
+
+/// Simulate every design point through the policy so the store (and the
+/// variogram) are warm before the optimizer starts. Returns the number of
+/// configurations actually simulated (duplicates are evaluated but only
+/// enter the store once... the policy may interpolate late design points).
+std::size_t warm_start(KrigingPolicy& policy, const SimulatorFn& simulate,
+                       const std::vector<Config>& design);
+
+}  // namespace ace::dse

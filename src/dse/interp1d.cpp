@@ -1,0 +1,113 @@
+#include "dse/interp1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ace::dse {
+
+namespace {
+
+/// Axis-aligned candidate: a stored configuration differing from the
+/// query only along `axis`.
+struct AxisPoint {
+  int coordinate = 0;
+  double value = 0.0;
+};
+
+/// Linear estimate from the two axis points closest to the query
+/// coordinate (interpolation when they bracket it, extrapolation
+/// otherwise — as per-variable word-length methods do during the min
+/// phase).
+double linear_estimate(AxisPoint a, AxisPoint b, int query) {
+  if (a.coordinate == b.coordinate) return (a.value + b.value) / 2.0;
+  const double t = static_cast<double>(query - a.coordinate) /
+                   static_cast<double>(b.coordinate - a.coordinate);
+  return a.value + t * (b.value - a.value);
+}
+
+std::optional<double> try_interp1d(const SimulationStore& store,
+                                   const Config& query, int max_span) {
+  const std::size_t dims = query.size();
+  for (std::size_t axis = 0; axis < dims; ++axis) {
+    std::vector<AxisPoint> points;
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      const Config& c = store.config(i);
+      bool axis_aligned = true;
+      for (std::size_t k = 0; k < dims; ++k) {
+        if (k == axis) continue;
+        if (c[k] != query[k]) {
+          axis_aligned = false;
+          break;
+        }
+      }
+      if (!axis_aligned) continue;
+      const int delta = std::abs(c[axis] - query[axis]);
+      if (delta == 0 || delta > max_span) continue;
+      points.push_back({c[axis], store.value(i)});
+    }
+    // Closest first, then dedupe by coordinate so coincident entries can
+    // never masquerade as two independent support points.
+    std::sort(points.begin(), points.end(),
+              [&](const AxisPoint& a, const AxisPoint& b) {
+                return std::abs(a.coordinate - query[axis]) <
+                       std::abs(b.coordinate - query[axis]);
+              });
+    points.erase(std::unique(points.begin(), points.end(),
+                             [](const AxisPoint& a, const AxisPoint& b) {
+                               return a.coordinate == b.coordinate;
+                             }),
+                 points.end());
+    if (points.size() < 2) continue;
+    return linear_estimate(points[0], points[1], query[axis]);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ReplayReport replay_with_interp1d(const Trajectory& trajectory,
+                                  const Interp1dOptions& options,
+                                  MetricKind kind) {
+  if (trajectory.configs.size() != trajectory.values.size())
+    throw std::invalid_argument("replay_with_interp1d: ragged trajectory");
+  if (options.max_span <= 0)
+    throw std::invalid_argument("replay_with_interp1d: max_span must be > 0");
+
+  SimulationStore store;
+  std::unordered_set<Config, ConfigHash> stored;
+  ReplayReport report;
+  report.records.reserve(trajectory.size());
+
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    const Config& config = trajectory.configs[i];
+    const double true_value = trajectory.values[i];
+    ++report.stats.total;
+
+    ReplayRecord record;
+    record.index = i;
+    record.true_value = true_value;
+
+    if (const auto estimate =
+            try_interp1d(store, config, options.max_span)) {
+      record.interpolated = true;
+      record.estimate = *estimate;
+      record.epsilon = interpolation_epsilon(*estimate, true_value, kind);
+      ++report.stats.interpolated;
+      report.stats.neighbors_per_interpolation.add(2.0);
+    } else {
+      record.interpolated = false;
+      record.estimate = true_value;
+      record.epsilon = 0.0;
+      if (stored.insert(config).second) store.add(config, true_value);
+      ++report.stats.simulated;
+    }
+    report.records.push_back(record);
+  }
+  return report;
+}
+
+}  // namespace ace::dse

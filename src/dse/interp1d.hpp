@@ -1,0 +1,30 @@
+// Per-variable 1-D interpolation baseline (after Sedano et al., SPL 2012
+// — the paper's ref [18] and its conceptual competitor).
+//
+// The paper criticizes this class of method for interpolating along one
+// variable at a time: a configuration can only be estimated from stored
+// configurations that differ in a single coordinate. This module
+// implements that policy faithfully so the critique is measurable:
+// bench/baseline_interp1d replays the same trajectories through both
+// estimators and compares the fraction of configurations each can serve.
+#pragma once
+
+#include "dse/trajectory.hpp"
+
+namespace ace::dse {
+
+/// Knobs of the 1-D baseline.
+struct Interp1dOptions {
+  int max_span = 3;  ///< Max |Δ| along the varying coordinate per side.
+};
+
+/// Replay a recorded trajectory through the 1-D policy: a configuration is
+/// interpolated when at least two stored configurations share all other
+/// coordinates within max_span along one axis (linear interpolation /
+/// one-sided extrapolation from the two closest); otherwise it is
+/// "simulated" (true value taken) and stored.
+ReplayReport replay_with_interp1d(const Trajectory& trajectory,
+                                  const Interp1dOptions& options,
+                                  MetricKind kind);
+
+}  // namespace ace::dse

@@ -1,0 +1,172 @@
+#include "dse/kriging_policy.hpp"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "kriging/empirical_variogram.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/vector.hpp"
+
+namespace ace::dse {
+
+namespace {
+
+/// Least-squares fit of λ ≈ β0 + Σ β_i x_i over the store. Returns the
+/// mean-only coefficient vector {mean} when the design is rank deficient
+/// (e.g. every stored configuration lies on one axis sweep).
+std::vector<double> fit_linear_trend(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<double>& values) {
+  const std::size_t n = points.size();
+  const std::size_t dim = points.front().size();
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(n);
+  if (n < dim + 2) return {mean};
+
+  linalg::Matrix design(n, dim + 1);
+  linalg::Vector rhs(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    design(r, 0) = 1.0;
+    for (std::size_t c = 0; c < dim; ++c) design(r, c + 1) = points[r][c];
+    rhs[r] = values[r];
+  }
+  const linalg::QrDecomposition qr(design);
+  if (qr.rank_deficient()) return {mean};
+  const linalg::Vector beta = qr.solve(rhs);
+  return std::vector<double>(beta.data().begin(), beta.data().end());
+}
+
+}  // namespace
+
+KrigingPolicy::KrigingPolicy(PolicyOptions options)
+    : options_(std::move(options)) {
+  if (options_.distance < 0)
+    throw std::invalid_argument("KrigingPolicy: distance must be >= 0");
+  if (options_.variance_gate < 0.0)
+    throw std::invalid_argument("KrigingPolicy: variance_gate must be >= 0");
+}
+
+double KrigingPolicy::trend_value(const std::vector<double>& x) const {
+  if (trend_.empty()) return 0.0;
+  double acc = trend_[0];
+  for (std::size_t i = 1; i < trend_.size(); ++i) acc += trend_[i] * x[i - 1];
+  return acc;
+}
+
+bool KrigingPolicy::refit_model() {
+  if (store_.size() < 2) return false;
+  std::vector<std::vector<double>> points;
+  points.reserve(store_.size());
+  for (const auto& c : store_.configs()) points.push_back(to_real(c));
+
+  // Regression kriging: identify the global trend first, then model the
+  // spatial structure of the residuals.
+  std::vector<double> field = store_.values();
+  if (options_.drift == kriging::DriftKind::kLinear) {
+    trend_ = fit_linear_trend(points, field);
+    for (std::size_t i = 0; i < field.size(); ++i)
+      field[i] -= trend_value(points[i]);
+  } else {
+    trend_.clear();
+  }
+
+  const auto distance = options_.use_l2_distance ? kriging::l2_distance
+                                                 : kriging::l1_distance;
+  kriging::EmpiricalVariogram ev(points, field, distance, 1.0);
+  if (ev.bins().size() < 2) return false;
+  model_ = kriging::fit_best(ev, options_.fit).model;
+  sill_estimate_ = ev.value_variance();
+  sims_at_last_fit_ = store_.size();
+  return true;
+}
+
+std::optional<double> KrigingPolicy::try_interpolate(
+    const Config& config, const Neighborhood& neighborhood,
+    EvalOutcome& outcome) {
+  // Identify (or periodically re-identify) the semi-variogram.
+  if (!model_ || store_.size() >= sims_at_last_fit_ + options_.refit_period) {
+    if (store_.size() < options_.min_fit_points && !model_) return std::nullopt;
+    if (!refit_model() && !model_) return std::nullopt;
+  }
+
+  std::vector<std::vector<double>> points;
+  std::vector<double> values;
+  store_.gather(neighborhood, points, values);
+  const std::vector<double> query = to_real(config);
+
+  // Regression kriging: interpolate the residual field and add the global
+  // trend back at the query. With no trend this is the paper's ordinary
+  // kriging verbatim.
+  if (!trend_.empty())
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] -= trend_value(points[i]);
+
+  const auto distance = options_.use_l2_distance ? kriging::l2_distance
+                                                 : kriging::l1_distance;
+  const auto result =
+      kriging::krige(points, values, query, *model_, distance);
+  if (!result) return std::nullopt;
+
+  // Sanity guard: a (residual) estimate far outside the support values'
+  // own interval signals an ill-conditioned system, not information.
+  if (options_.sanity_span > 0.0) {
+    double lo = values.front(), hi = values.front();
+    for (double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double span = std::max(hi - lo, 1e-12);
+    if (result->estimate < lo - options_.sanity_span * span ||
+        result->estimate > hi + options_.sanity_span * span)
+      return std::nullopt;
+  }
+
+  // Variance gate (extension): refuse interpolations whose predicted
+  // kriging variance exceeds the configured fraction of the field's
+  // sample variance — those are extrapolations the support cannot back.
+  if (options_.variance_gate > 0.0 && sill_estimate_ > 0.0 &&
+      result->variance > options_.variance_gate * sill_estimate_) {
+    ++stats_.variance_rejections;
+    return std::nullopt;
+  }
+
+  outcome.regularized = result->regularized;
+  return result->estimate + trend_value(query);
+}
+
+EvalOutcome KrigingPolicy::evaluate(const Config& config,
+                                    const SimulatorFn& simulate) {
+  EvalOutcome outcome;
+  ++stats_.total;
+
+  const auto neighborhood =
+      options_.use_l2_distance
+          ? store_.neighbors_within_l2(config,
+                                       static_cast<double>(options_.distance))
+          : store_.neighbors_within(config, options_.distance);
+  outcome.neighbors = neighborhood.count();
+
+  if (neighborhood.count() > options_.nn_min) {
+    if (auto estimate = try_interpolate(config, neighborhood, outcome)) {
+      outcome.value = *estimate;
+      outcome.interpolated = true;
+      ++stats_.interpolated;
+      stats_.neighbors_per_interpolation.add(
+          static_cast<double>(neighborhood.count()));
+      return outcome;
+    }
+    ++stats_.kriging_failures;
+  }
+
+  // Simulation path (lines 19-23): evaluate and enrich the store.
+  outcome.value = simulate(config);
+  outcome.interpolated = false;
+  store_.add(config, outcome.value);
+  ++stats_.simulated;
+  return outcome;
+}
+
+}  // namespace ace::dse

@@ -1,0 +1,136 @@
+// The simulate-or-interpolate policy at the heart of the paper
+// (Algorithms 1-2, lines 6-24):
+//
+//   for a configuration w to evaluate:
+//     collect already-simulated configurations within L1 distance d;
+//     if more than Nn_min neighbours exist  -> kriging interpolation,
+//     else                                  -> simulate and add to Wsim.
+//
+// The semi-variogram model is identified from the simulated store the
+// first time kriging is attempted (once enough points exist) and refitted
+// every `refit_period` new simulations; the paper notes identification is
+// done "once for a particular metric and application".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "dse/config.hpp"
+#include "dse/sim_store.hpp"
+#include "kriging/fit.hpp"
+#include "kriging/universal_kriging.hpp"
+#include "kriging/variogram_model.hpp"
+#include "util/stats.hpp"
+
+namespace ace::dse {
+
+/// Deterministic application simulator: configuration -> metric value λ.
+using SimulatorFn = std::function<double(const Config&)>;
+
+/// Knobs of the policy (the d and Nn_min of Table I, plus the extensions
+/// ablated in bench/ablation_*).
+struct PolicyOptions {
+  int distance = 3;          ///< L1 search radius d.
+  std::size_t nn_min = 1;    ///< Interpolate only when neighbours > nn_min.
+  std::size_t min_fit_points = 10;  ///< Sims required before fitting γ.
+  std::size_t refit_period = 16;    ///< Refit γ every this many new sims.
+  kriging::FitOptions fit;          ///< Variogram families to consider.
+
+  /// Drift model: kConstant reproduces the paper's ordinary kriging;
+  /// kLinear enables *regression kriging* (extension): a global linear
+  /// trend is least-squares-fitted over the whole simulated store, the
+  /// variogram is identified on the residuals, and local kriging
+  /// interpolates the residual field. A global trend sidesteps the
+  /// small-neighbourhood limitation of classical universal kriging (the
+  /// typical support here is 2-3 points — too few to identify a local
+  /// drift in Nv dimensions). See bench/ablation_estimator.
+  kriging::DriftKind drift = kriging::DriftKind::kConstant;
+
+  /// Variance gate (extension): when > 0, an interpolation whose kriging
+  /// variance exceeds gate · (sample variance of stored λ) falls back to
+  /// simulation. 0 disables the gate (the paper's behaviour).
+  double variance_gate = 0.0;
+
+  /// Use Euclidean instead of Manhattan distance for both the neighbour
+  /// search and the variogram (extension ablation). The radius `distance`
+  /// is interpreted in the selected metric.
+  bool use_l2_distance = false;
+
+  /// Estimate sanity guard: reject an interpolation that lands more than
+  /// `sanity_span` × (support value range) outside the support's value
+  /// interval — the signature of an ill-conditioned kriging system whose
+  /// moderate-looking weights still amplify into a wild estimate. The
+  /// rejected configuration is simulated instead. 0 disables the guard.
+  double sanity_span = 3.0;
+};
+
+/// Outcome of evaluating one configuration through the policy.
+struct EvalOutcome {
+  double value = 0.0;          ///< λ (simulated or interpolated).
+  bool interpolated = false;   ///< True when kriging supplied the value.
+  std::size_t neighbors = 0;   ///< |N| used (support size when interpolated).
+  bool regularized = false;    ///< Kriging system needed the ridge fallback.
+};
+
+/// Aggregate statistics for Table I.
+struct PolicyStats {
+  std::size_t total = 0;
+  std::size_t simulated = 0;
+  std::size_t interpolated = 0;
+  std::size_t kriging_failures = 0;     ///< Unsolvable system: simulated.
+  std::size_t variance_rejections = 0;  ///< Gated by kriging variance.
+  util::RunningStats neighbors_per_interpolation;
+
+  double interpolated_fraction() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(interpolated) /
+                            static_cast<double>(total);
+  }
+};
+
+/// The policy object: owns the simulated-configuration store and the
+/// fitted variogram model.
+class KrigingPolicy {
+ public:
+  explicit KrigingPolicy(PolicyOptions options = {});
+
+  /// Evaluate one configuration: interpolate if the neighbourhood is rich
+  /// enough, otherwise call `simulate` and record the result in the store.
+  EvalOutcome evaluate(const Config& config, const SimulatorFn& simulate);
+
+  const SimulationStore& store() const { return store_; }
+  const PolicyStats& stats() const { return stats_; }
+  const PolicyOptions& options() const { return options_; }
+
+  /// Currently fitted variogram (nullptr before first fit).
+  const kriging::VariogramModel* model() const { return model_.get(); }
+
+  /// Fitted global trend coefficients [β0, β1, …, β_Nv] (empty before the
+  /// first fit; size 1 when only a mean could be identified). Only
+  /// populated when options().drift == kLinear.
+  const std::vector<double>& trend() const { return trend_; }
+
+  /// Force a (re)fit from the current store; returns false when the store
+  /// is still too small to produce a variogram.
+  bool refit_model();
+
+ private:
+  std::optional<double> try_interpolate(const Config& config,
+                                        const Neighborhood& neighborhood,
+                                        EvalOutcome& outcome);
+
+  /// Global trend value at a configuration (0 when no trend is fitted).
+  double trend_value(const std::vector<double>& x) const;
+
+  PolicyOptions options_;
+  SimulationStore store_;
+  PolicyStats stats_;
+  std::unique_ptr<kriging::VariogramModel> model_;
+  std::vector<double> trend_;   ///< Regression-kriging trend (may be empty).
+  std::size_t sims_at_last_fit_ = 0;
+  double sill_estimate_ = 0.0;  ///< Sample variance of the kriged field.
+};
+
+}  // namespace ace::dse

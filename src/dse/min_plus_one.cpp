@@ -1,0 +1,93 @@
+#include "dse/min_plus_one.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ace::dse {
+
+namespace {
+void validate(const MinPlusOneOptions& options) {
+  if (options.nv == 0)
+    throw std::invalid_argument("min_plus_one: nv must be positive");
+  if (options.w_min > options.w_max)
+    throw std::invalid_argument("min_plus_one: w_min must be <= w_max");
+  if (options.w_min < 2)
+    throw std::invalid_argument("min_plus_one: w_min must be >= 2");
+}
+}  // namespace
+
+Config determine_min_word_lengths(const EvaluateFn& evaluate,
+                                  const MinPlusOneOptions& options) {
+  validate(options);
+  Config w_min(options.nv, options.w_max);
+
+  for (std::size_t i = 0; i < options.nv; ++i) {
+    // All other variables pinned at Nmax; walk variable i down until the
+    // accuracy constraint breaks, then back off one bit.
+    Config w(options.nv, options.w_max);
+    int wi = options.w_max;
+    double lambda = evaluate(w);
+    while (lambda >= options.lambda_min && wi > options.w_min) {
+      --wi;
+      w[i] = wi;
+      lambda = evaluate(w);
+    }
+    // Back off one bit if the constraint broke; clamp to Nmax for the case
+    // where even the very first decrement (or Nmax itself) violates it.
+    w_min[i] = std::min(lambda >= options.lambda_min ? wi : wi + 1,
+                        options.w_max);
+  }
+  return w_min;
+}
+
+MinPlusOneResult optimize_word_lengths(const EvaluateFn& evaluate,
+                                       const MinPlusOneOptions& options,
+                                       Config start) {
+  validate(options);
+  if (start.size() != options.nv)
+    throw std::invalid_argument("optimize_word_lengths: start size mismatch");
+
+  MinPlusOneResult result;
+  result.w_min = start;
+  Config w = std::move(start);
+  double lambda = evaluate(w);
+
+  std::size_t steps = 0;
+  while (lambda < options.lambda_min && steps < options.max_steps) {
+    // Competition between variables: each candidate +1 bit is evaluated and
+    // the most accuracy-improving variable wins.
+    double best_lambda = -std::numeric_limits<double>::infinity();
+    std::size_t best_var = options.nv;  // Sentinel: none.
+    for (std::size_t i = 0; i < options.nv; ++i) {
+      if (w[i] >= options.w_max) continue;
+      Config candidate = w;
+      ++candidate[i];
+      const double li = evaluate(candidate);
+      if (li > best_lambda) {
+        best_lambda = li;
+        best_var = i;
+      }
+    }
+    if (best_var == options.nv) break;  // All variables saturated at Nmax.
+    ++w[best_var];
+    lambda = best_lambda;
+    result.decisions.push_back(best_var);
+    ++steps;
+  }
+
+  result.w_res = std::move(w);
+  result.final_lambda = lambda;
+  result.constraint_met = lambda >= options.lambda_min;
+  return result;
+}
+
+MinPlusOneResult min_plus_one(const EvaluateFn& evaluate,
+                              const MinPlusOneOptions& options) {
+  Config w_min = determine_min_word_lengths(evaluate, options);
+  MinPlusOneResult result = optimize_word_lengths(evaluate, options, w_min);
+  result.w_min = std::move(w_min);
+  return result;
+}
+
+}  // namespace ace::dse

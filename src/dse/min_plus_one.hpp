@@ -1,0 +1,54 @@
+// The min+1 bit word-length optimization algorithm (Cantin et al., ISCAS
+// 2001) — the paper's Algorithms 1 and 2, with the pseudocode typos fixed
+// as documented in DESIGN.md:
+//   * phase 1 decreases a variable while the constraint HOLDS and backs
+//     off one bit when it breaks;
+//   * phase 2 increments the variable whose +1 bit yields the HIGHEST
+//     accuracy (middle/steepest ascent) until the constraint is met.
+//
+// The algorithms are agnostic to how λ is produced: pass an exhaustive
+// simulator, a TrajectoryRecorder, or a KrigingPolicy-backed evaluator.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "dse/config.hpp"
+
+namespace ace::dse {
+
+/// Metric evaluation callable (λ = evaluateAccuracy in the paper).
+using EvaluateFn = std::function<double(const Config&)>;
+
+struct MinPlusOneOptions {
+  double lambda_min = 0.0;  ///< Accuracy constraint λm (λ >= λm feasible).
+  std::size_t nv = 0;       ///< Number of word-length variables.
+  int w_max = 16;           ///< Maximum word length (Nmax).
+  int w_min = 2;            ///< Minimum word length.
+  std::size_t max_steps = 100000;  ///< Safety cap on greedy iterations.
+};
+
+struct MinPlusOneResult {
+  Config w_min;                       ///< Result of phase 1 (MINKWL).
+  Config w_res;                       ///< Final optimized word lengths.
+  double final_lambda = 0.0;          ///< λ(w_res).
+  std::vector<std::size_t> decisions; ///< Chosen variable jc per greedy step.
+  bool constraint_met = false;        ///< λ(w_res) >= λm.
+};
+
+/// Phase 1: per-variable minimum word lengths (Algorithm 1).
+/// Throws std::invalid_argument on nv == 0 or w_min > w_max.
+Config determine_min_word_lengths(const EvaluateFn& evaluate,
+                                  const MinPlusOneOptions& options);
+
+/// Phase 2: greedy ascent from a starting vector (Algorithm 2).
+MinPlusOneResult optimize_word_lengths(const EvaluateFn& evaluate,
+                                       const MinPlusOneOptions& options,
+                                       Config start);
+
+/// Both phases chained — the full min+1 bit algorithm.
+MinPlusOneResult min_plus_one(const EvaluateFn& evaluate,
+                              const MinPlusOneOptions& options);
+
+}  // namespace ace::dse

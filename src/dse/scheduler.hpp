@@ -1,0 +1,31 @@
+// Evaluation-order scheduling for batch DSE (extension).
+//
+// The simulate-or-interpolate policy is order-sensitive: early
+// configurations find an empty store and must simulate, late ones reuse
+// them. When a batch of configurations is known up front (a GA
+// generation, a screening design, a Pareto sweep's candidate set),
+// evaluating a well-spread "spine" first maximizes how many of the rest
+// can be interpolated. maximin_order() produces that ordering: a
+// farthest-point traversal under the policy's L1 metric.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dse/config.hpp"
+#include "dse/kriging_policy.hpp"
+
+namespace ace::dse {
+
+/// Farthest-point (maximin) ordering: starts from the batch's L1 medoid,
+/// then repeatedly appends the configuration with the largest minimum
+/// distance to everything already ordered. Deterministic; ties broken by
+/// original index. Returns a permutation of the input.
+std::vector<Config> maximin_order(std::vector<Config> batch);
+
+/// Evaluate a batch through a policy in the given order; returns how many
+/// were interpolated.
+std::size_t evaluate_batch(KrigingPolicy& policy, const SimulatorFn& simulate,
+                           const std::vector<Config>& batch);
+
+}  // namespace ace::dse

@@ -1,0 +1,43 @@
+#include "dse/sim_store.hpp"
+
+#include <stdexcept>
+
+namespace ace::dse {
+
+void SimulationStore::add(Config config, double value) {
+  if (!configs_.empty() && config.size() != configs_.front().size())
+    throw std::invalid_argument("SimulationStore::add: dimension mismatch");
+  configs_.push_back(std::move(config));
+  values_.push_back(value);
+}
+
+Neighborhood SimulationStore::neighbors_within(const Config& query,
+                                               int radius) const {
+  Neighborhood n;
+  for (std::size_t i = 0; i < configs_.size(); ++i)
+    if (l1_distance(configs_[i], query) <= radius) n.indices.push_back(i);
+  return n;
+}
+
+Neighborhood SimulationStore::neighbors_within_l2(const Config& query,
+                                                  double radius) const {
+  Neighborhood n;
+  for (std::size_t i = 0; i < configs_.size(); ++i)
+    if (l2_distance(configs_[i], query) <= radius) n.indices.push_back(i);
+  return n;
+}
+
+void SimulationStore::gather(const Neighborhood& n,
+                             std::vector<std::vector<double>>& points,
+                             std::vector<double>& values) const {
+  points.clear();
+  values.clear();
+  points.reserve(n.indices.size());
+  values.reserve(n.indices.size());
+  for (std::size_t i : n.indices) {
+    points.push_back(to_real(configs_.at(i)));
+    values.push_back(values_.at(i));
+  }
+}
+
+}  // namespace ace::dse

@@ -1,0 +1,54 @@
+// Store of already-simulated configurations (the paper's Wsim / λsim).
+//
+// Only *simulated* configurations enter the store — interpolated points are
+// never reused as kriging support ("If the configuration is interpolated,
+// it is not used for kriging other configurations", Sec. III-B1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dse/config.hpp"
+
+namespace ace::dse {
+
+/// Indices of stored configurations within a given L1 radius of a query.
+struct Neighborhood {
+  std::vector<std::size_t> indices;
+  std::size_t count() const { return indices.size(); }
+};
+
+/// Append-only store of (configuration, metric value) pairs.
+class SimulationStore {
+ public:
+  /// Add a simulated configuration. Throws std::invalid_argument if the
+  /// dimensionality differs from previously stored entries.
+  void add(Config config, double value);
+
+  std::size_t size() const { return configs_.size(); }
+  bool empty() const { return configs_.empty(); }
+
+  const Config& config(std::size_t i) const { return configs_.at(i); }
+  double value(std::size_t i) const { return values_.at(i); }
+
+  const std::vector<Config>& configs() const { return configs_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// All stored entries with L1 distance <= radius from the query
+  /// (Algorithms 1-2, lines 7-16).
+  Neighborhood neighbors_within(const Config& query, int radius) const;
+
+  /// Same with Euclidean distance (extension ablation).
+  Neighborhood neighbors_within_l2(const Config& query, double radius) const;
+
+  /// Kriging support set for a neighborhood: real-coordinate points and
+  /// their metric values.
+  void gather(const Neighborhood& n, std::vector<std::vector<double>>& points,
+              std::vector<double>& values) const;
+
+ private:
+  std::vector<Config> configs_;
+  std::vector<double> values_;
+};
+
+}  // namespace ace::dse

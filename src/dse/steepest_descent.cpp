@@ -1,0 +1,54 @@
+#include "dse/steepest_descent.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ace::dse {
+
+SensitivityResult steepest_descent_budgeting(
+    const EvaluateFn& evaluate, const SensitivityOptions& options) {
+  if (options.nv == 0)
+    throw std::invalid_argument("steepest_descent: nv must be positive");
+  if (options.level_min > options.level_max)
+    throw std::invalid_argument("steepest_descent: level_min > level_max");
+
+  SensitivityResult result;
+  Config levels(options.nv, options.level_max);
+  double lambda = evaluate(levels);
+  result.feasible = lambda >= options.lambda_min;
+  if (!result.feasible) {
+    // Even near-silent error sources break the constraint: nothing to budget.
+    result.levels = std::move(levels);
+    result.final_lambda = lambda;
+    return result;
+  }
+
+  std::size_t steps = 0;
+  while (steps < options.max_steps) {
+    // Try relaxing each source one level; keep the least harmful move.
+    double best_lambda = -std::numeric_limits<double>::infinity();
+    std::size_t best_var = options.nv;  // Sentinel: none.
+    for (std::size_t i = 0; i < options.nv; ++i) {
+      if (levels[i] <= options.level_min) continue;
+      Config candidate = levels;
+      --candidate[i];
+      const double li = evaluate(candidate);
+      if (li > best_lambda) {
+        best_lambda = li;
+        best_var = i;
+      }
+    }
+    if (best_var == options.nv) break;           // Fully relaxed.
+    if (best_lambda < options.lambda_min) break; // Next move breaks quality.
+    --levels[best_var];
+    lambda = best_lambda;
+    result.decisions.push_back(best_var);
+    ++steps;
+  }
+
+  result.levels = std::move(levels);
+  result.final_lambda = lambda;
+  return result;
+}
+
+}  // namespace ace::dse

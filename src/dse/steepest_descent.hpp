@@ -1,0 +1,40 @@
+// Steepest-descent greedy noise budgeting for error-sensitivity analysis
+// (the paper's SqueezeNet experiment, after Parashar et al., VLSID 2010).
+//
+// Configurations are integer *levels*: component e_i maps to an injected
+// error power 2^-e_i·P0, so decreasing a level doubles that source's
+// power. Starting from near-silent sources, the optimizer repeatedly
+// relaxes (decrements) the level whose extra error degrades the quality
+// metric least, until the quality constraint λ >= λm would break — giving
+// the maximal tolerated error powers for the targeted quality.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dse/config.hpp"
+#include "dse/min_plus_one.hpp"  // EvaluateFn
+
+namespace ace::dse {
+
+struct SensitivityOptions {
+  double lambda_min = 0.9;  ///< Quality floor (e.g. classification agreement).
+  std::size_t nv = 0;       ///< Number of error sources.
+  int level_min = 0;        ///< Most aggressive level (largest power).
+  int level_max = 15;       ///< Starting level (smallest power).
+  std::size_t max_steps = 100000;  ///< Safety cap.
+};
+
+struct SensitivityResult {
+  Config levels;                      ///< Final per-source levels.
+  double final_lambda = 0.0;          ///< λ at the final configuration.
+  std::vector<std::size_t> decisions; ///< Relaxed source per step.
+  bool feasible = false;              ///< Start already met the constraint.
+};
+
+/// Run the budgeting descent. Throws std::invalid_argument on nv == 0 or
+/// level_min > level_max.
+SensitivityResult steepest_descent_budgeting(const EvaluateFn& evaluate,
+                                             const SensitivityOptions& options);
+
+}  // namespace ace::dse

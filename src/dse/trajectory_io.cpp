@@ -1,0 +1,81 @@
+#include "dse/trajectory_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace ace::dse {
+
+void save_trajectory(const Trajectory& trajectory, const std::string& path) {
+  if (trajectory.configs.size() != trajectory.values.size())
+    throw std::invalid_argument("save_trajectory: ragged trajectory");
+  if (trajectory.configs.empty())
+    throw std::invalid_argument("save_trajectory: empty trajectory");
+
+  const std::size_t dims = trajectory.configs.front().size();
+  util::CsvWriter csv(path);
+  std::vector<std::string> header;
+  header.reserve(dims + 1);
+  for (std::size_t i = 0; i < dims; ++i)
+    header.push_back("e" + std::to_string(i));
+  header.push_back("lambda");
+  csv.write_row(header);
+
+  for (std::size_t r = 0; r < trajectory.size(); ++r) {
+    if (trajectory.configs[r].size() != dims)
+      throw std::invalid_argument("save_trajectory: inconsistent dimensions");
+    std::vector<std::string> row;
+    row.reserve(dims + 1);
+    for (int v : trajectory.configs[r]) row.push_back(std::to_string(v));
+    std::ostringstream value;
+    value.precision(17);
+    value << trajectory.values[r];
+    row.push_back(value.str());
+    csv.write_row(row);
+  }
+}
+
+Trajectory load_trajectory(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trajectory: cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("load_trajectory: missing header");
+  std::size_t columns = 1;
+  for (char ch : line)
+    if (ch == ',') ++columns;
+  if (columns < 2)
+    throw std::runtime_error("load_trajectory: header needs >= 2 columns");
+  const std::size_t dims = columns - 1;
+
+  Trajectory trajectory;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string cell;
+    Config config;
+    config.reserve(dims);
+    std::vector<std::string> cells;
+    while (std::getline(row, cell, ',')) cells.push_back(cell);
+    if (cells.size() != columns)
+      throw std::runtime_error("load_trajectory: ragged row at line " +
+                               std::to_string(line_no));
+    try {
+      for (std::size_t i = 0; i < dims; ++i)
+        config.push_back(std::stoi(cells[i]));
+      trajectory.values.push_back(std::stod(cells[dims]));
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_trajectory: bad number at line " +
+                               std::to_string(line_no));
+    }
+    trajectory.configs.push_back(std::move(config));
+  }
+  return trajectory;
+}
+
+}  // namespace ace::dse

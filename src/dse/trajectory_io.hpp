@@ -1,0 +1,24 @@
+// Trajectory persistence. Exact optimizer runs are expensive (the paper's
+// SqueezeNet run took 98 hours); saving the recorded trajectory lets the
+// replay experiments (Table I, ablations) re-run against new policy knobs
+// without re-simulating anything.
+//
+// Format: CSV with a header row "e0,e1,...,lambda"; one row per tested
+// configuration, in evaluation order.
+#pragma once
+
+#include <string>
+
+#include "dse/trajectory.hpp"
+
+namespace ace::dse {
+
+/// Write a trajectory to CSV. Throws std::runtime_error on I/O failure
+/// and std::invalid_argument on an empty or ragged trajectory.
+void save_trajectory(const Trajectory& trajectory, const std::string& path);
+
+/// Read a trajectory back. Throws std::runtime_error on I/O or parse
+/// failure (missing header, ragged rows, non-numeric cells).
+Trajectory load_trajectory(const std::string& path);
+
+}  // namespace ace::dse

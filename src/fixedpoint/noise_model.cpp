@@ -1,0 +1,49 @@
+#include "fixedpoint/noise_model.hpp"
+
+#include <stdexcept>
+
+namespace ace::fixedpoint {
+
+double source_noise_power(const Format& format, RoundingMode rounding) {
+  switch (rounding) {
+    case RoundingMode::kTruncate:
+      return format.truncation_noise_power();
+    case RoundingMode::kRoundNearest:
+    case RoundingMode::kRoundConvergent:
+      return format.rounding_noise_power();
+  }
+  throw std::logic_error("source_noise_power: unreachable");
+}
+
+double predict_output_noise(const std::vector<NoiseSource>& sources) {
+  double total = 0.0;
+  for (const auto& s : sources) {
+    if (s.injections_per_output < 0.0 || s.output_energy_gain < 0.0)
+      throw std::invalid_argument("predict_output_noise: negative factor");
+    total += source_noise_power(s.format, s.rounding) *
+             s.injections_per_output * s.output_energy_gain;
+  }
+  return total;
+}
+
+double predict_fir_noise(int w_mpy, int iwl_mpy, int w_add, int iwl_add,
+                         std::size_t taps) {
+  if (taps == 0)
+    throw std::invalid_argument("predict_fir_noise: taps must be positive");
+  const Format mpy = Format::with_clamped_integer_bits(w_mpy, iwl_mpy);
+  const Format add = Format::with_clamped_integer_bits(w_add, iwl_add);
+  const double n = static_cast<double>(taps);
+
+  std::vector<NoiseSource> sources;
+  // Product rounding: one injection per tap, unit gain to the output.
+  // When the adder grid is coarser than the product grid, the cascaded
+  // adder-entry quantizer dominates and the product source is absorbed;
+  // modelling both as independent is the classical (slightly
+  // conservative) assumption.
+  sources.push_back({mpy, RoundingMode::kRoundConvergent, n, 1.0});
+  // Adder-entry rounding: per tap, plus the final output store.
+  sources.push_back({add, RoundingMode::kRoundConvergent, n + 1.0, 1.0});
+  return predict_output_noise(sources);
+}
+
+}  // namespace ace::fixedpoint

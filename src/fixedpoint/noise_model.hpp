@@ -1,0 +1,49 @@
+// Analytical quantization-noise models — the "analytical approaches"
+// family the paper contrasts with simulation-based evaluation (Sec. I-II).
+//
+// Classical linear noise theory treats each quantizer as an additive
+// white source of power q²/12 (rounding) or q²/3 (truncation) injected at
+// its dataflow node and propagated to the output through the node-to-
+// output transfer function's energy gain. For LTI kernels the prediction
+// is closed-form; the bench/baseline_analytical experiment measures how
+// far it lands from bit-true simulation, motivating the paper's
+// simulation-plus-kriging route for systems where no such model exists.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fixedpoint/quantizer.hpp"
+
+namespace ace::fixedpoint {
+
+/// Noise power injected by a single quantization at the given format.
+/// Convergent and round-half-up share the q²/12 model; truncation q²/3.
+double source_noise_power(const Format& format, RoundingMode rounding);
+
+/// One noise source in a dataflow: its format, rounding mode, how many
+/// statistically independent injections occur per output sample, and the
+/// energy gain from the injection node to the output.
+struct NoiseSource {
+  Format format;
+  RoundingMode rounding = RoundingMode::kRoundConvergent;
+  double injections_per_output = 1.0;
+  double output_energy_gain = 1.0;  ///< Σ h², h = node→output impulse resp.
+};
+
+/// Total predicted output noise power: Σ sources (power · injections ·
+/// gain), assuming independent white sources (the classical model).
+double predict_output_noise(const std::vector<NoiseSource>& sources);
+
+/// Closed-form FIR prediction for the paper's 2-variable FIR benchmark
+/// (the IIR counterpart, which needs impulse-response energy gains, lives
+/// in signal/noise_analysis.hpp):
+///   w_mpy: per-tap product quantization (taps independent injections,
+///          unity gain to the output),
+///   w_add: accumulator-entry quantization (same count) plus the final
+///          output store.
+/// `taps` is the filter length; integer bits per site as calibrated.
+double predict_fir_noise(int w_mpy, int iwl_mpy, int w_add, int iwl_add,
+                         std::size_t taps);
+
+}  // namespace ace::fixedpoint

@@ -1,0 +1,57 @@
+// Quantizers: map a real value onto a fixed-point grid with a selectable
+// rounding mode and overflow policy. These emulate the finite-precision
+// arithmetic the paper's word-length benchmarks simulate (its refs [12][13]
+// are the Mentor AC datatypes and SystemC fixed-point types).
+#pragma once
+
+#include "fixedpoint/format.hpp"
+
+namespace ace::fixedpoint {
+
+/// How values are mapped onto the grid.
+enum class RoundingMode {
+  kTruncate,         ///< Floor toward -inf (cheapest hardware).
+  kRoundNearest,     ///< Round half up (adds +q/2 bias under double rounding).
+  kRoundConvergent,  ///< Round half to even (bias-free; SystemC SC_RND_CONV).
+};
+
+/// What happens outside the representable range.
+enum class OverflowMode {
+  kSaturate,  ///< Clamp to [min_value, max_value].
+  kWrap,      ///< Two's-complement wrap-around.
+};
+
+/// A quantizer bound to a format + modes. Stateless and cheap to copy; the
+/// hot path is quantize(), kept branch-light.
+class Quantizer {
+ public:
+  /// Defaults to convergent rounding: cascaded quantizers (multiplier grid
+  /// feeding a coarser adder grid) hit exact halfway ties systematically,
+  /// and half-up rounding would turn those ties into a DC bias that
+  /// dominates the output noise floor.
+  explicit Quantizer(Format format,
+                     RoundingMode rounding = RoundingMode::kRoundConvergent,
+                     OverflowMode overflow = OverflowMode::kSaturate);
+
+  /// Quantize one value onto the grid.
+  double quantize(double x) const;
+
+  /// Convenience call operator.
+  double operator()(double x) const { return quantize(x); }
+
+  const Format& format() const { return format_; }
+  RoundingMode rounding() const { return rounding_; }
+  OverflowMode overflow() const { return overflow_; }
+
+ private:
+  Format format_;
+  RoundingMode rounding_;
+  OverflowMode overflow_;
+  double step_;
+  double inv_step_;
+  double min_;
+  double max_;
+  double span_;  // 2^(iwl+1): wrap period in value units.
+};
+
+}  // namespace ace::fixedpoint

@@ -1,0 +1,38 @@
+#include "fixedpoint/range_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ace::fixedpoint {
+
+RangeTracker::RangeTracker(std::size_t site_count) : max_abs_(site_count, 0.0) {
+  if (site_count == 0)
+    throw std::invalid_argument("RangeTracker: need at least one site");
+}
+
+double RangeTracker::observe(std::size_t site, double value) {
+  max_abs_.at(site) = std::max(max_abs_.at(site), std::abs(value));
+  return value;
+}
+
+double RangeTracker::max_abs(std::size_t site) const {
+  return max_abs_.at(site);
+}
+
+int RangeTracker::integer_bits(std::size_t site, int margin_bits) const {
+  const double m = max_abs_.at(site);
+  int iwl = 0;
+  if (m > 0.0) iwl = static_cast<int>(std::ceil(std::log2(m + 1e-12)));
+  iwl += margin_bits;
+  return std::clamp(iwl, 0, 48);
+}
+
+std::vector<int> RangeTracker::all_integer_bits(int margin_bits) const {
+  std::vector<int> out(max_abs_.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = integer_bits(i, margin_bits);
+  return out;
+}
+
+}  // namespace ace::fixedpoint

@@ -1,0 +1,42 @@
+// Dynamic-range calibration for quantization sites.
+//
+// Word-length optimization fixes each node's integer bit count from its
+// observed dynamic range (classical range-analysis step) and lets the DSE
+// vary only the total word length. RangeTracker records the max magnitude
+// seen at each named site during a reference (double) simulation and
+// derives the integer bits needed to avoid overflow.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ace::fixedpoint {
+
+/// Tracks per-site maximum magnitudes across a calibration run.
+class RangeTracker {
+ public:
+  /// Create a tracker with `site_count` sites (indexed 0..site_count-1).
+  explicit RangeTracker(std::size_t site_count);
+
+  /// Record a value observed at a site. Returns the value unchanged so the
+  /// call can be spliced into a dataflow expression.
+  double observe(std::size_t site, double value);
+
+  std::size_t site_count() const { return max_abs_.size(); }
+
+  /// Max |value| observed at the site (0 if never observed).
+  double max_abs(std::size_t site) const;
+
+  /// Integer bits needed so that |max| < 2^iwl, with a safety margin of
+  /// `margin_bits` and clamped to [0, 48].
+  int integer_bits(std::size_t site, int margin_bits = 0) const;
+
+  /// Integer bits for all sites at once.
+  std::vector<int> all_integer_bits(int margin_bits = 0) const;
+
+ private:
+  std::vector<double> max_abs_;
+};
+
+}  // namespace ace::fixedpoint

@@ -1,0 +1,81 @@
+#include "kriging/empirical_variogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace ace::kriging {
+
+double l1_distance(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("l1_distance: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+double l2_distance(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("l2_distance: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+EmpiricalVariogram::EmpiricalVariogram(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<double>& values, DistanceFn distance, double bin_width) {
+  if (points.size() != values.size())
+    throw std::invalid_argument("EmpiricalVariogram: size mismatch");
+  if (points.size() < 2)
+    throw std::invalid_argument("EmpiricalVariogram: need >= 2 points");
+  if (bin_width <= 0.0)
+    throw std::invalid_argument("EmpiricalVariogram: bin_width must be > 0");
+
+  // Value variance (sill estimate).
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  value_variance_ =
+      values.size() > 1 ? var / static_cast<double>(values.size() - 1) : 0.0;
+
+  struct BinAccum {
+    double sum_sq_diff = 0.0;  // Σ (λj − λk)²
+    double sum_distance = 0.0;
+    std::size_t pairs = 0;
+  };
+  std::map<long long, BinAccum> accum;
+
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    for (std::size_t k = j + 1; k < points.size(); ++k) {
+      const double d = distance(points[j], points[k]);
+      max_distance_ = std::max(max_distance_, d);
+      const auto bin = static_cast<long long>(std::floor(d / bin_width));
+      auto& slot = accum[bin];
+      const double diff = values[j] - values[k];
+      slot.sum_sq_diff += diff * diff;
+      slot.sum_distance += d;
+      ++slot.pairs;
+      ++total_pairs_;
+    }
+  }
+
+  bins_.reserve(accum.size());
+  for (const auto& [bin, slot] : accum) {
+    VariogramBin out;
+    out.distance = slot.sum_distance / static_cast<double>(slot.pairs);
+    out.gamma = slot.sum_sq_diff / (2.0 * static_cast<double>(slot.pairs));
+    out.pair_count = slot.pairs;
+    bins_.push_back(out);
+  }
+}
+
+}  // namespace ace::kriging

@@ -1,0 +1,61 @@
+// Empirical semi-variogram (paper Eq. 4):
+//   γ̂(d) = 1 / (2|N(d)|) · Σ_{(j,k) ∈ N(d)} (λ(e_j) − λ(e_k))²
+// where N(d) is the set of sample pairs at (binned) distance d.
+//
+// Configurations live on an integer lattice and distances are L1, so with
+// bin_width = 1 the binning is exact, matching the paper's discrete
+// hypercube setting.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ace::kriging {
+
+/// Distance function over configuration vectors.
+using DistanceFn =
+    std::function<double(const std::vector<double>&, const std::vector<double>&)>;
+
+/// L1 (Manhattan) distance — the paper's choice (Algs. 1-2 line 9).
+double l1_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean distance (provided for comparison/ablation).
+double l2_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// One bin of the empirical semi-variogram.
+struct VariogramBin {
+  double distance = 0.0;      ///< Representative distance (bin centre).
+  double gamma = 0.0;         ///< γ̂(d).
+  std::size_t pair_count = 0; ///< |N(d)| — used as fit weight.
+};
+
+/// Empirical semi-variogram over a sample set.
+class EmpiricalVariogram {
+ public:
+  /// Compute from points/values. bin_width groups pairwise distances into
+  /// [k·w, (k+1)·w) bins represented by their mean distance.
+  /// Throws std::invalid_argument on size mismatch, < 2 points, or
+  /// non-positive bin width.
+  EmpiricalVariogram(const std::vector<std::vector<double>>& points,
+                     const std::vector<double>& values,
+                     DistanceFn distance = l1_distance,
+                     double bin_width = 1.0);
+
+  const std::vector<VariogramBin>& bins() const { return bins_; }
+  std::size_t total_pairs() const { return total_pairs_; }
+
+  /// Largest pairwise distance observed.
+  double max_distance() const { return max_distance_; }
+
+  /// Sample variance of the values — the natural sill estimate.
+  double value_variance() const { return value_variance_; }
+
+ private:
+  std::vector<VariogramBin> bins_;
+  std::size_t total_pairs_ = 0;
+  double max_distance_ = 0.0;
+  double value_variance_ = 0.0;
+};
+
+}  // namespace ace::kriging

@@ -1,0 +1,109 @@
+#include "kriging/ordinary_kriging.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/vector.hpp"
+
+namespace ace::kriging {
+
+namespace {
+
+void validate(const std::vector<std::vector<double>>& points,
+              const std::vector<double>& values,
+              const std::vector<double>& query) {
+  if (points.empty())
+    throw std::invalid_argument("krige: empty support set");
+  if (points.size() != values.size())
+    throw std::invalid_argument("krige: points/values size mismatch");
+  for (const auto& p : points)
+    if (p.size() != query.size())
+      throw std::invalid_argument("krige: dimension mismatch");
+}
+
+/// Builds the bordered Γ of Eq. 9 and the query vector γ_i of Eq. 8, then
+/// solves Γ·μ = γ_i. The weight vector's first N entries are the kriging
+/// weights; the last entry is the Lagrange multiplier.
+std::optional<KrigingResult> solve_system(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<double>& values, const std::vector<double>& query,
+    const VariogramModel& model, const DistanceFn& distance) {
+  const std::size_t n = points.size();
+
+  linalg::Matrix gamma_mat(n + 1, n + 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = j; k < n; ++k) {
+      const double g = model.gamma(distance(points[j], points[k]));
+      gamma_mat(j, k) = g;
+      gamma_mat(k, j) = g;
+    }
+    gamma_mat(j, n) = 1.0;
+    gamma_mat(n, j) = 1.0;
+  }
+  gamma_mat(n, n) = 0.0;
+
+  linalg::Vector gamma_query(n + 1);
+  for (std::size_t k = 0; k < n; ++k)
+    gamma_query[k] = model.gamma(distance(query, points[k]));
+  gamma_query[n] = 1.0;
+
+  linalg::SolveReport report;
+  const auto weights =
+      linalg::robust_solve(gamma_mat, gamma_query, report, /*border=*/1);
+  if (!weights) return std::nullopt;
+
+  KrigingResult result;
+  result.regularized = report.regularized;
+  result.weights.resize(n);
+  double estimate = 0.0;
+  double variance = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = (*weights)[k];
+    result.weights[k] = w;
+    estimate += w * values[k];   // Eq. 10 with λ padded by 0.
+    variance += w * gamma_query[k];
+  }
+  variance += (*weights)[n];  // Lagrange multiplier term of σ²_OK.
+  if (!std::isfinite(estimate)) return std::nullopt;
+  result.estimate = estimate;
+  result.variance = std::max(variance, 0.0);
+  return result;
+}
+
+}  // namespace
+
+std::optional<KrigingResult> krige(
+    const std::vector<std::vector<double>>& support_points,
+    const std::vector<double>& support_values, const std::vector<double>& query,
+    const VariogramModel& model, const DistanceFn& distance) {
+  validate(support_points, support_values, query);
+  return solve_system(support_points, support_values, query, model, distance);
+}
+
+OrdinaryKriging::OrdinaryKriging(std::vector<std::vector<double>> support_points,
+                                 std::vector<double> support_values,
+                                 const VariogramModel& model,
+                                 DistanceFn distance)
+    : points_(std::move(support_points)),
+      values_(std::move(support_values)),
+      model_(model.clone()),
+      distance_(std::move(distance)) {
+  if (points_.empty())
+    throw std::invalid_argument("OrdinaryKriging: empty support set");
+  if (points_.size() != values_.size())
+    throw std::invalid_argument("OrdinaryKriging: points/values mismatch");
+  const std::size_t dim = points_.front().size();
+  for (const auto& p : points_)
+    if (p.size() != dim)
+      throw std::invalid_argument("OrdinaryKriging: ragged support set");
+}
+
+std::optional<KrigingResult> OrdinaryKriging::estimate(
+    const std::vector<double>& query) const {
+  validate(points_, values_, query);
+  return solve_system(points_, values_, query, *model_, distance_);
+}
+
+}  // namespace ace::kriging

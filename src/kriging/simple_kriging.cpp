@@ -1,0 +1,66 @@
+#include "kriging/simple_kriging.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/vector.hpp"
+
+namespace ace::kriging {
+
+std::optional<KrigingResult> simple_krige(
+    const std::vector<std::vector<double>>& support_points,
+    const std::vector<double>& support_values,
+    const std::vector<double>& query, const VariogramModel& model,
+    double sill, double mean, const DistanceFn& distance) {
+  if (support_points.empty())
+    throw std::invalid_argument("simple_krige: empty support set");
+  if (support_points.size() != support_values.size())
+    throw std::invalid_argument("simple_krige: points/values mismatch");
+  if (sill <= 0.0 || !std::isfinite(sill))
+    throw std::invalid_argument("simple_krige: sill must be positive");
+  for (const auto& p : support_points)
+    if (p.size() != query.size())
+      throw std::invalid_argument("simple_krige: dimension mismatch");
+
+  const std::size_t n = support_points.size();
+  auto covariance = [&](double d) {
+    return std::max(sill - model.gamma(d), 0.0);
+  };
+
+  linalg::Matrix cov(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t k = j; k < n; ++k) {
+      const double c =
+          covariance(distance(support_points[j], support_points[k]));
+      cov(j, k) = c;
+      cov(k, j) = c;
+    }
+  linalg::Vector cq(n);
+  for (std::size_t k = 0; k < n; ++k)
+    cq[k] = covariance(distance(query, support_points[k]));
+
+  linalg::SolveReport report;
+  const auto weights = linalg::robust_solve(cov, cq, report, /*border=*/0);
+  if (!weights) return std::nullopt;
+
+  KrigingResult result;
+  result.regularized = report.regularized;
+  result.weights.resize(n);
+  double estimate = mean;
+  double variance = covariance(0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = (*weights)[k];
+    result.weights[k] = w;
+    estimate += w * (support_values[k] - mean);
+    variance -= w * cq[k];
+  }
+  if (!std::isfinite(estimate)) return std::nullopt;
+  result.estimate = estimate;
+  result.variance = std::max(variance, 0.0);
+  return result;
+}
+
+}  // namespace ace::kriging

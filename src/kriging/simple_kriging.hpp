@@ -1,0 +1,33 @@
+// Simple kriging (known mean, covariance form).
+//
+// The paper's prose calls its method "a simple kriging technique" while
+// its equations (the ones-bordered system, Eq. 9-10) are ordinary
+// kriging — the variant that estimates the unknown mean via a Lagrange
+// constraint. This module implements actual simple kriging so the
+// difference is measurable (bench/ablation_estimator):
+//   C·w = c_q,   λ̂ = m + Σ w_k (λ_k − m),   σ² = C(0) − wᵀc_q,
+// with the covariance derived from the variogram, C(d) = sill − γ(d)
+// (clamped at 0). Simple kriging needs the mean m and the sill supplied
+// by the caller — exactly the extra assumptions ordinary kriging removes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "kriging/empirical_variogram.hpp"
+#include "kriging/ordinary_kriging.hpp"
+#include "kriging/variogram_model.hpp"
+
+namespace ace::kriging {
+
+/// Simple-kriging estimate at `query`. `sill` must be positive; the
+/// covariance is max(sill − γ(d), 0). Returns nullopt when the covariance
+/// system cannot be solved even with ridge regularization. Throws
+/// std::invalid_argument on empty/ragged inputs or non-positive sill.
+std::optional<KrigingResult> simple_krige(
+    const std::vector<std::vector<double>>& support_points,
+    const std::vector<double>& support_values,
+    const std::vector<double>& query, const VariogramModel& model,
+    double sill, double mean, const DistanceFn& distance = l1_distance);
+
+}  // namespace ace::kriging

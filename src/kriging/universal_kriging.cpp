@@ -1,0 +1,98 @@
+#include "kriging/universal_kriging.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/vector.hpp"
+
+namespace ace::kriging {
+
+namespace {
+
+/// Drift basis f(x) for the effective drift (after small-support fallback).
+std::vector<double> basis(const std::vector<double>& x, DriftKind drift) {
+  std::vector<double> f;
+  if (drift == DriftKind::kConstant) {
+    f = {1.0};
+  } else {
+    f.reserve(x.size() + 1);
+    f.push_back(1.0);
+    f.insert(f.end(), x.begin(), x.end());
+  }
+  return f;
+}
+
+}  // namespace
+
+std::optional<KrigingResult> krige_with_drift(
+    const std::vector<std::vector<double>>& support_points,
+    const std::vector<double>& support_values,
+    const std::vector<double>& query, const VariogramModel& model,
+    DriftKind drift, const DistanceFn& distance) {
+  if (support_points.empty())
+    throw std::invalid_argument("krige_with_drift: empty support set");
+  if (support_points.size() != support_values.size())
+    throw std::invalid_argument("krige_with_drift: points/values mismatch");
+  for (const auto& p : support_points)
+    if (p.size() != query.size())
+      throw std::invalid_argument("krige_with_drift: dimension mismatch");
+
+  const std::size_t n = support_points.size();
+  const std::size_t dim = query.size();
+
+  // A linear drift adds dim + 1 constraints; identifying it needs at least
+  // dim + 2 support points — otherwise degrade gracefully to the constant
+  // drift (= ordinary kriging).
+  DriftKind effective = drift;
+  if (drift == DriftKind::kLinear && n < dim + 2)
+    effective = DriftKind::kConstant;
+  const std::size_t p = effective == DriftKind::kConstant ? 1 : dim + 1;
+
+  linalg::Matrix system(n + p, n + p);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = j; k < n; ++k) {
+      const double g =
+          model.gamma(distance(support_points[j], support_points[k]));
+      system(j, k) = g;
+      system(k, j) = g;
+    }
+    const auto fj = basis(support_points[j], effective);
+    for (std::size_t l = 0; l < p; ++l) {
+      system(j, n + l) = fj[l];
+      system(n + l, j) = fj[l];
+    }
+  }
+
+  linalg::Vector rhs(n + p);
+  for (std::size_t k = 0; k < n; ++k)
+    rhs[k] = model.gamma(distance(query, support_points[k]));
+  const auto fq = basis(query, effective);
+  for (std::size_t l = 0; l < p; ++l) rhs[n + l] = fq[l];
+
+  linalg::SolveReport report;
+  const auto solution = linalg::robust_solve(system, rhs, report,
+                                             /*border=*/p);
+  if (!solution) return std::nullopt;
+
+  KrigingResult result;
+  result.regularized = report.regularized;
+  result.weights.resize(n);
+  double estimate = 0.0;
+  double variance = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = (*solution)[k];
+    result.weights[k] = w;
+    estimate += w * support_values[k];
+    variance += w * rhs[k];
+  }
+  for (std::size_t l = 0; l < p; ++l)
+    variance += (*solution)[n + l] * fq[l];
+  if (!std::isfinite(estimate)) return std::nullopt;
+  result.estimate = estimate;
+  result.variance = std::max(variance, 0.0);
+  return result;
+}
+
+}  // namespace ace::kriging

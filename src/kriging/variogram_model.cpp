@@ -1,0 +1,155 @@
+#include "kriging/variogram_model.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ace::kriging {
+
+void VariogramModel::check_distance(double d) {
+  if (d < 0.0)
+    throw std::invalid_argument("VariogramModel: negative distance");
+}
+
+namespace {
+void check_nonneg(double v, const char* what) {
+  if (v < 0.0 || !std::isfinite(v))
+    throw std::invalid_argument(std::string("Variogram: ") + what +
+                                " must be finite and >= 0");
+}
+void check_pos(double v, const char* what) {
+  if (v <= 0.0 || !std::isfinite(v))
+    throw std::invalid_argument(std::string("Variogram: ") + what +
+                                " must be finite and > 0");
+}
+}  // namespace
+
+// ---------------------------------------------------------------- linear
+LinearVariogram::LinearVariogram(double nugget, double slope)
+    : nugget_(nugget), slope_(slope) {
+  check_nonneg(nugget, "nugget");
+  check_nonneg(slope, "slope");
+}
+
+double LinearVariogram::gamma(double d) const {
+  check_distance(d);
+  return d == 0.0 ? 0.0 : nugget_ + slope_ * d;
+}
+
+std::string LinearVariogram::describe() const {
+  std::ostringstream ss;
+  ss << "linear(nugget=" << nugget_ << ", slope=" << slope_ << ")";
+  return ss.str();
+}
+
+std::unique_ptr<VariogramModel> LinearVariogram::clone() const {
+  return std::make_unique<LinearVariogram>(*this);
+}
+
+// ------------------------------------------------------------- spherical
+SphericalVariogram::SphericalVariogram(double nugget, double sill,
+                                       double range)
+    : nugget_(nugget), sill_(sill), range_(range) {
+  check_nonneg(nugget, "nugget");
+  check_nonneg(sill, "sill");
+  check_pos(range, "range");
+}
+
+double SphericalVariogram::gamma(double d) const {
+  check_distance(d);
+  if (d == 0.0) return 0.0;
+  const double h = d / range_;
+  if (h >= 1.0) return nugget_ + sill_;
+  return nugget_ + sill_ * (1.5 * h - 0.5 * h * h * h);
+}
+
+std::string SphericalVariogram::describe() const {
+  std::ostringstream ss;
+  ss << "spherical(nugget=" << nugget_ << ", sill=" << sill_
+     << ", range=" << range_ << ")";
+  return ss.str();
+}
+
+std::unique_ptr<VariogramModel> SphericalVariogram::clone() const {
+  return std::make_unique<SphericalVariogram>(*this);
+}
+
+// ----------------------------------------------------------- exponential
+ExponentialVariogram::ExponentialVariogram(double nugget, double sill,
+                                           double range)
+    : nugget_(nugget), sill_(sill), range_(range) {
+  check_nonneg(nugget, "nugget");
+  check_nonneg(sill, "sill");
+  check_pos(range, "range");
+}
+
+double ExponentialVariogram::gamma(double d) const {
+  check_distance(d);
+  if (d == 0.0) return 0.0;
+  return nugget_ + sill_ * (1.0 - std::exp(-3.0 * d / range_));
+}
+
+std::string ExponentialVariogram::describe() const {
+  std::ostringstream ss;
+  ss << "exponential(nugget=" << nugget_ << ", sill=" << sill_
+     << ", range=" << range_ << ")";
+  return ss.str();
+}
+
+std::unique_ptr<VariogramModel> ExponentialVariogram::clone() const {
+  return std::make_unique<ExponentialVariogram>(*this);
+}
+
+// -------------------------------------------------------------- gaussian
+GaussianVariogram::GaussianVariogram(double nugget, double sill, double range)
+    : nugget_(nugget), sill_(sill), range_(range) {
+  check_nonneg(nugget, "nugget");
+  check_nonneg(sill, "sill");
+  check_pos(range, "range");
+}
+
+double GaussianVariogram::gamma(double d) const {
+  check_distance(d);
+  if (d == 0.0) return 0.0;
+  const double h = d / range_;
+  return nugget_ + sill_ * (1.0 - std::exp(-3.0 * h * h));
+}
+
+std::string GaussianVariogram::describe() const {
+  std::ostringstream ss;
+  ss << "gaussian(nugget=" << nugget_ << ", sill=" << sill_
+     << ", range=" << range_ << ")";
+  return ss.str();
+}
+
+std::unique_ptr<VariogramModel> GaussianVariogram::clone() const {
+  return std::make_unique<GaussianVariogram>(*this);
+}
+
+// ----------------------------------------------------------------- power
+PowerVariogram::PowerVariogram(double nugget, double scale, double exponent)
+    : nugget_(nugget), scale_(scale), exponent_(exponent) {
+  check_nonneg(nugget, "nugget");
+  check_nonneg(scale, "scale");
+  if (exponent <= 0.0 || exponent >= 2.0)
+    throw std::invalid_argument("PowerVariogram: exponent must be in (0, 2)");
+}
+
+double PowerVariogram::gamma(double d) const {
+  check_distance(d);
+  if (d == 0.0) return 0.0;
+  return nugget_ + scale_ * std::pow(d, exponent_);
+}
+
+std::string PowerVariogram::describe() const {
+  std::ostringstream ss;
+  ss << "power(nugget=" << nugget_ << ", scale=" << scale_
+     << ", exponent=" << exponent_ << ")";
+  return ss.str();
+}
+
+std::unique_ptr<VariogramModel> PowerVariogram::clone() const {
+  return std::make_unique<PowerVariogram>(*this);
+}
+
+}  // namespace ace::kriging

@@ -1,0 +1,53 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ace::linalg {
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix& a)
+    : l_(a.rows(), a.cols()) {
+  if (!a.square())
+    throw std::invalid_argument("CholeskyDecomposition: matrix must be square");
+  const std::size_t n = a.rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      double acc = a(r, c);
+      for (std::size_t k = 0; k < c; ++k) acc -= l_(r, k) * l_(c, k);
+      if (r == c) {
+        if (acc <= 0.0) {
+          failed_ = true;
+          return;
+        }
+        l_(r, c) = std::sqrt(acc);
+      } else {
+        l_(r, c) = acc / l_(c, c);
+      }
+    }
+  }
+}
+
+Vector CholeskyDecomposition::solve(const Vector& b) const {
+  if (failed_)
+    throw std::runtime_error("CholeskyDecomposition::solve: not SPD");
+  const std::size_t n = size();
+  if (b.size() != n)
+    throw std::invalid_argument("CholeskyDecomposition::solve: size mismatch");
+  // L·y = b
+  Vector y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[r];
+    for (std::size_t c = 0; c < r; ++c) acc -= l_(r, c) * y[c];
+    y[r] = acc / l_(r, r);
+  }
+  // Lᵀ·x = y
+  Vector x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= l_(c, ri) * x[c];
+    x[ri] = acc / l_(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace ace::linalg

@@ -1,0 +1,119 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ace::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_)
+      throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_)
+    throw std::out_of_range("Matrix::operator(): index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_)
+    throw std::out_of_range("Matrix::operator(): index out of range");
+  return data_[r * cols_ + c];
+}
+
+namespace {
+void require_same_shape(const Matrix& a, const Matrix& b, const char* op) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument(std::string("Matrix ") + op +
+                                ": shape mismatch");
+}
+}  // namespace
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  require_same_shape(*this, rhs, "+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  require_same_shape(*this, rhs, "-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  if (cols_ != v.size())
+    throw std::invalid_argument("Matrix*Vector: dimension mismatch");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += data_[r * cols_ + c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("Matrix*Matrix: dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[r * cols_ + k];
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c)
+        out(r, c) += a * rhs(k, c);
+    }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+Vector Matrix::row(std::size_t r) const {
+  Vector out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+}  // namespace ace::linalg

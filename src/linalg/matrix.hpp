@@ -1,0 +1,67 @@
+// Dense row-major double-precision matrix.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace ace::linalg {
+
+/// Dense row-major matrix of doubles with checked element access.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  bool square() const { return rows_ == cols_; }
+
+  /// Checked element access.
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  bool operator==(const Matrix& rhs) const = default;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+
+  /// Matrix-vector product; throws on dimension mismatch.
+  Vector operator*(const Vector& v) const;
+
+  /// Matrix-matrix product; throws on dimension mismatch.
+  Matrix operator*(const Matrix& rhs) const;
+
+  Matrix transposed() const;
+
+  /// Max-abs element (entrywise infinity norm surrogate).
+  double max_abs() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Row as a Vector copy.
+  Vector row(std::size_t r) const;
+  /// Column as a Vector copy.
+  Vector col(std::size_t c) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ace::linalg

@@ -1,0 +1,71 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ace::linalg {
+
+QrDecomposition::QrDecomposition(Matrix a, double tolerance)
+    : qr_(std::move(a)), r_diag_(qr_.cols()) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  if (m < n)
+    throw std::invalid_argument("QrDecomposition: need rows >= cols");
+
+  const double scale = std::max(qr_.max_abs(), 1e-300);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k.
+    double norm = 0.0;
+    for (std::size_t r = k; r < m; ++r) norm += qr_(r, k) * qr_(r, k);
+    norm = std::sqrt(norm);
+    if (norm <= tolerance * scale) {
+      rank_deficient_ = true;
+      r_diag_[k] = 0.0;
+      continue;
+    }
+    if (qr_(k, k) < 0.0) norm = -norm;
+    for (std::size_t r = k; r < m; ++r) qr_(r, k) /= norm;
+    qr_(k, k) += 1.0;
+    // Apply transform to remaining columns.
+    for (std::size_t c = k + 1; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t r = k; r < m; ++r) s += qr_(r, k) * qr_(r, c);
+      s = -s / qr_(k, k);
+      for (std::size_t r = k; r < m; ++r) qr_(r, c) += s * qr_(r, k);
+    }
+    r_diag_[k] = -norm;
+  }
+}
+
+Vector QrDecomposition::solve(const Vector& b) const {
+  if (rank_deficient_)
+    throw std::runtime_error("QrDecomposition::solve: rank deficient");
+  const std::size_t m = rows();
+  const std::size_t n = cols();
+  if (b.size() != m)
+    throw std::invalid_argument("QrDecomposition::solve: size mismatch");
+
+  // y = Qᵀ·b by applying the stored Householder reflections.
+  Vector y = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    double s = 0.0;
+    for (std::size_t r = k; r < m; ++r) s += qr_(r, k) * y[r];
+    s = -s / qr_(k, k);
+    for (std::size_t r = k; r < m; ++r) y[r] += s * qr_(r, k);
+  }
+  // Back substitution through R.
+  Vector x(n);
+  for (std::size_t ki = n; ki-- > 0;) {
+    double acc = y[ki];
+    for (std::size_t c = ki + 1; c < n; ++c) acc -= qr_(ki, c) * x[c];
+    x[ki] = acc / r_diag_[ki];
+  }
+  return x;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+  return QrDecomposition(a).solve(b);
+}
+
+}  // namespace ace::linalg

@@ -1,0 +1,36 @@
+// Householder QR factorization — used for robust linear least squares in
+// variogram model fitting (better conditioned than normal equations).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace ace::linalg {
+
+/// Householder QR of an m×n matrix with m >= n.
+///
+/// Supports least-squares solves min‖A·x − b‖₂. `rank_deficient()` reports a
+/// collapsed diagonal of R; solves then throw.
+class QrDecomposition {
+ public:
+  /// Factorize. Throws std::invalid_argument if rows < cols.
+  explicit QrDecomposition(Matrix a, double tolerance = 1e-12);
+
+  bool rank_deficient() const { return rank_deficient_; }
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+  /// Least-squares solution of A·x = b (size m); returns x (size n).
+  Vector solve(const Vector& b) const;
+
+ private:
+  Matrix qr_;            // Householder vectors below diagonal, R on/above.
+  Vector r_diag_;        // Diagonal of R.
+  bool rank_deficient_ = false;
+};
+
+/// Convenience: least-squares solve min‖A·x − b‖₂ via QR.
+/// Throws std::runtime_error if A is rank deficient.
+Vector least_squares(const Matrix& a, const Vector& b);
+
+}  // namespace ace::linalg

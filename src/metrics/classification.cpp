@@ -1,0 +1,26 @@
+#include "metrics/classification.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ace::metrics {
+
+double classification_agreement(const std::vector<int>& predicted,
+                                const std::vector<int>& reference) {
+  if (predicted.size() != reference.size())
+    throw std::invalid_argument("classification_agreement: size mismatch");
+  if (predicted.empty())
+    throw std::invalid_argument("classification_agreement: empty input");
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    if (predicted[i] == reference[i]) ++same;
+  return static_cast<double>(same) / static_cast<double>(predicted.size());
+}
+
+std::size_t argmax(const std::vector<double>& scores) {
+  if (scores.empty()) throw std::invalid_argument("argmax: empty input");
+  return static_cast<std::size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace ace::metrics

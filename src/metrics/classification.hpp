@@ -1,0 +1,20 @@
+// Classification-agreement metric for the error-sensitivity benchmark:
+// the probability p_cl that the approximate network predicts the same
+// class as the error-free reference network.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ace::metrics {
+
+/// Fraction of positions where the two label sequences agree.
+/// Throws std::invalid_argument on size mismatch or empty input.
+double classification_agreement(const std::vector<int>& predicted,
+                                const std::vector<int>& reference);
+
+/// Index of the maximum element (argmax); first index wins ties.
+/// Throws std::invalid_argument on empty input.
+std::size_t argmax(const std::vector<double>& scores);
+
+}  // namespace ace::metrics

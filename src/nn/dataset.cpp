@@ -1,0 +1,61 @@
+#include "nn/dataset.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ace::nn {
+
+namespace {
+
+/// Smooth class prototype: a mixture of oriented sinusoids and a blob,
+/// parameterized by per-class random draws.
+Tensor make_prototype(util::Rng& rng, std::size_t hw) {
+  Tensor proto(1, hw, hw);
+  const double freq = rng.uniform(0.08, 0.4);
+  const double angle = rng.uniform(0.0, std::numbers::pi);
+  const double cx = rng.uniform(0.25, 0.75) * static_cast<double>(hw);
+  const double cy = rng.uniform(0.25, 0.75) * static_cast<double>(hw);
+  const double blob_sigma = rng.uniform(2.0, 5.0);
+  const double blob_amp = rng.uniform(0.5, 1.2);
+  const double ca = std::cos(angle);
+  const double sa = std::sin(angle);
+  for (std::size_t y = 0; y < hw; ++y)
+    for (std::size_t x = 0; x < hw; ++x) {
+      const double fx = static_cast<double>(x);
+      const double fy = static_cast<double>(y);
+      double v = std::sin(2.0 * std::numbers::pi * freq * (ca * fx + sa * fy));
+      const double dx = fx - cx;
+      const double dy = fy - cy;
+      v += blob_amp *
+           std::exp(-(dx * dx + dy * dy) / (2.0 * blob_sigma * blob_sigma));
+      proto.at(0, y, x) = v;
+    }
+  return proto;
+}
+
+}  // namespace
+
+SyntheticDataset::SyntheticDataset(std::size_t count, std::size_t classes,
+                                   util::Rng& rng)
+    : classes_(classes) {
+  if (count == 0 || classes == 0)
+    throw std::invalid_argument("SyntheticDataset: count/classes positive");
+  const std::size_t hw = 16;
+  std::vector<Tensor> prototypes;
+  prototypes.reserve(classes);
+  for (std::size_t c = 0; c < classes; ++c)
+    prototypes.push_back(make_prototype(rng, hw));
+
+  images_.reserve(count);
+  labels_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t cls = i % classes;
+    Tensor img = prototypes[cls];
+    for (auto& v : img.flat()) v += rng.normal(0.0, 0.25);
+    images_.push_back(std::move(img));
+    labels_.push_back(cls);
+  }
+}
+
+}  // namespace ace::nn

@@ -1,0 +1,36 @@
+// Synthetic image set for the sensitivity benchmark (substitute for the
+// paper's 1000-image classification set; see DESIGN.md).
+//
+// Each class is a fixed random prototype pattern; an image is its class
+// prototype plus instance noise, so inputs cluster by class and the clean
+// network produces stable, margin-varied predictions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ace::nn {
+
+/// A deterministic synthetic dataset of 16×16 grayscale images.
+class SyntheticDataset {
+ public:
+  /// `count` images over `classes` prototypes (both positive; throws).
+  SyntheticDataset(std::size_t count, std::size_t classes, util::Rng& rng);
+
+  std::size_t size() const { return images_.size(); }
+  std::size_t classes() const { return classes_; }
+
+  const Tensor& image(std::size_t i) const { return images_.at(i); }
+  /// Generating class of image i (prototype id, not a network label).
+  std::size_t source_class(std::size_t i) const { return labels_.at(i); }
+
+ private:
+  std::size_t classes_;
+  std::vector<Tensor> images_;
+  std::vector<std::size_t> labels_;
+};
+
+}  // namespace ace::nn

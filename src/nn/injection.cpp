@@ -1,0 +1,34 @@
+#include "nn/injection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ace::nn {
+
+FrozenNoise make_frozen_noise(util::Rng& rng,
+                              const std::vector<std::size_t>& site_sizes) {
+  FrozenNoise noise;
+  noise.per_site.reserve(site_sizes.size());
+  for (std::size_t size : site_sizes)
+    noise.per_site.push_back(rng.normal_vector(size));
+  return noise;
+}
+
+InjectionPlan InjectionPlan::from_powers(const std::vector<double>& powers) {
+  InjectionPlan plan;
+  plan.stddev.reserve(powers.size());
+  for (double p : powers) {
+    if (p < 0.0)
+      throw std::invalid_argument("InjectionPlan: negative error power");
+    plan.stddev.push_back(std::sqrt(p));
+  }
+  return plan;
+}
+
+double power_from_level(int level, double base_power) {
+  if (level < 0)
+    throw std::invalid_argument("power_from_level: level must be >= 0");
+  return std::ldexp(base_power, -level);
+}
+
+}  // namespace ace::nn

@@ -1,0 +1,39 @@
+// Error injection for the sensitivity-analysis benchmark.
+//
+// The paper injects "an error source at the output of each layer of the
+// network"; a configuration assigns each source a power. We freeze one
+// unit-variance noise realization per (image, site) and scale it by the
+// configured standard deviation, so the quality metric λ(e) is a
+// deterministic, continuous function of the error-power configuration —
+// the property kriging interpolation relies on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ace::nn {
+
+/// Frozen unit-variance noise for one image: one flat vector per site.
+struct FrozenNoise {
+  std::vector<std::vector<double>> per_site;
+};
+
+/// Draw frozen noise matching the given per-site activation sizes.
+FrozenNoise make_frozen_noise(util::Rng& rng,
+                              const std::vector<std::size_t>& site_sizes);
+
+/// Per-site noise standard deviations (sqrt of the configured powers).
+struct InjectionPlan {
+  std::vector<double> stddev;
+
+  /// Plan from per-site error powers. Throws on a negative power.
+  static InjectionPlan from_powers(const std::vector<double>& powers);
+};
+
+/// Map an integer configuration component e in [0, emax] to an error power
+/// 2^-e · base_power — the integer lattice the DSE explores (DESIGN.md).
+double power_from_level(int level, double base_power = 1.0);
+
+}  // namespace ace::nn

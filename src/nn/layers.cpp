@@ -1,0 +1,126 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ace::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      weights_(out_channels * in_channels * kernel * kernel, 0.0),
+      bias_(out_channels, 0.0) {
+  if (in_channels == 0 || out_channels == 0)
+    throw std::invalid_argument("Conv2d: channels must be positive");
+  if (kernel == 0 || kernel % 2 == 0)
+    throw std::invalid_argument("Conv2d: kernel must be odd and positive");
+}
+
+void Conv2d::init_weights(util::Rng& rng) {
+  const double fan_in = static_cast<double>(in_c_ * k_ * k_);
+  const double scale = std::sqrt(2.0 / fan_in);
+  for (auto& w : weights_) w = rng.normal(0.0, scale);
+  for (auto& b : bias_) b = rng.normal(0.0, 0.05);
+}
+
+Tensor Conv2d::forward(const Tensor& input) const {
+  if (input.channels() != in_c_)
+    throw std::invalid_argument("Conv2d::forward: channel mismatch");
+  const std::size_t h = input.height();
+  const std::size_t w = input.width();
+  const std::size_t pad = k_ / 2;
+  Tensor out(out_c_, h, w);
+
+  const double* in = input.data();
+  double* o = out.data();
+  for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        double acc = bias_[oc];
+        for (std::size_t ic = 0; ic < in_c_; ++ic) {
+          const double* wbase =
+              &weights_[((oc * in_c_ + ic) * k_) * k_];
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y + ky) -
+                                      static_cast<std::ptrdiff_t>(pad);
+            if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(h)) continue;
+            const double* irow =
+                &in[(ic * h + static_cast<std::size_t>(sy)) * w];
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const std::ptrdiff_t sx = static_cast<std::ptrdiff_t>(x + kx) -
+                                        static_cast<std::ptrdiff_t>(pad);
+              if (sx < 0 || sx >= static_cast<std::ptrdiff_t>(w)) continue;
+              acc += wbase[ky * k_ + kx] * irow[static_cast<std::size_t>(sx)];
+            }
+          }
+        }
+        o[(oc * h + y) * w + x] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+void relu_inplace(Tensor& t) {
+  for (auto& x : t.flat()) x = std::max(x, 0.0);
+}
+
+Tensor max_pool2(const Tensor& input) {
+  if (input.height() % 2 != 0 || input.width() % 2 != 0)
+    throw std::invalid_argument("max_pool2: spatial dims must be even");
+  const std::size_t h = input.height() / 2;
+  const std::size_t w = input.width() / 2;
+  Tensor out(input.channels(), h, w);
+  for (std::size_t c = 0; c < input.channels(); ++c)
+    for (std::size_t y = 0; y < h; ++y)
+      for (std::size_t x = 0; x < w; ++x) {
+        const double a = input.at(c, 2 * y, 2 * x);
+        const double b = input.at(c, 2 * y, 2 * x + 1);
+        const double d = input.at(c, 2 * y + 1, 2 * x);
+        const double e = input.at(c, 2 * y + 1, 2 * x + 1);
+        out.at(c, y, x) = std::max(std::max(a, b), std::max(d, e));
+      }
+  return out;
+}
+
+std::vector<double> global_avg_pool(const Tensor& input) {
+  std::vector<double> out(input.channels(), 0.0);
+  const double denom =
+      static_cast<double>(input.height() * input.width());
+  for (std::size_t c = 0; c < input.channels(); ++c) {
+    double acc = 0.0;
+    for (std::size_t y = 0; y < input.height(); ++y)
+      for (std::size_t x = 0; x < input.width(); ++x)
+        acc += input.at(c, y, x);
+    out[c] = acc / denom;
+  }
+  return out;
+}
+
+std::vector<double> softmax(const std::vector<double>& logits) {
+  if (logits.empty()) throw std::invalid_argument("softmax: empty input");
+  const double peak = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> out(logits.size());
+  double denom = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - peak);
+    denom += out[i];
+  }
+  for (auto& p : out) p /= denom;
+  return out;
+}
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  if (a.height() != b.height() || a.width() != b.width())
+    throw std::invalid_argument("concat_channels: spatial mismatch");
+  Tensor out(a.channels() + b.channels(), a.height(), a.width());
+  std::copy(a.flat().begin(), a.flat().end(), out.flat().begin());
+  std::copy(b.flat().begin(), b.flat().end(),
+            out.flat().begin() + static_cast<std::ptrdiff_t>(a.size()));
+  return out;
+}
+
+}  // namespace ace::nn

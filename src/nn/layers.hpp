@@ -1,0 +1,56 @@
+// CNN layers: convolution, ReLU, pooling, softmax. Double precision —
+// the SqueezeNet benchmark studies injected-error sensitivity, not
+// quantization, so the arithmetic itself is exact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ace::nn {
+
+/// 2-D convolution with square kernel, stride 1, symmetric zero padding
+/// chosen to preserve spatial size (pad = kernel/2).
+class Conv2d {
+ public:
+  /// Throws std::invalid_argument on zero channels or even kernel size.
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel);
+
+  /// He-normal weight initialization from the given generator.
+  void init_weights(util::Rng& rng);
+
+  /// Forward pass; input channel count must match. Throws otherwise.
+  Tensor forward(const Tensor& input) const;
+
+  std::size_t in_channels() const { return in_c_; }
+  std::size_t out_channels() const { return out_c_; }
+  std::size_t kernel() const { return k_; }
+
+  std::vector<double>& weights() { return weights_; }
+  std::vector<double>& bias() { return bias_; }
+
+ private:
+  std::size_t in_c_, out_c_, k_;
+  std::vector<double> weights_;  ///< [out][in][ky][kx]
+  std::vector<double> bias_;     ///< [out]
+};
+
+/// In-place ReLU.
+void relu_inplace(Tensor& t);
+
+/// 2×2 max pooling with stride 2; spatial dims must be even (throws).
+Tensor max_pool2(const Tensor& input);
+
+/// Global average pooling to a per-channel score vector.
+std::vector<double> global_avg_pool(const Tensor& input);
+
+/// Numerically stable softmax.
+std::vector<double> softmax(const std::vector<double>& logits);
+
+/// Concatenate two tensors along the channel axis (same H, W; throws).
+Tensor concat_channels(const Tensor& a, const Tensor& b);
+
+}  // namespace ace::nn

@@ -1,0 +1,103 @@
+#include "nn/squeezenet.hpp"
+
+#include <stdexcept>
+
+namespace ace::nn {
+
+FireModule::FireModule(std::size_t in_channels, std::size_t squeeze_channels,
+                       std::size_t expand_channels)
+    : squeeze_(in_channels, squeeze_channels, 1),
+      expand1_(squeeze_channels, expand_channels, 1),
+      expand3_(squeeze_channels, expand_channels, 3) {}
+
+void FireModule::init_weights(util::Rng& rng) {
+  squeeze_.init_weights(rng);
+  expand1_.init_weights(rng);
+  expand3_.init_weights(rng);
+}
+
+Tensor FireModule::forward(const Tensor& input) const {
+  Tensor s = squeeze_.forward(input);
+  relu_inplace(s);
+  Tensor e1 = expand1_.forward(s);
+  relu_inplace(e1);
+  Tensor e3 = expand3_.forward(s);
+  relu_inplace(e3);
+  return concat_channels(e1, e3);
+}
+
+SqueezeNetLike::SqueezeNetLike(std::size_t classes, util::Rng& rng)
+    : classes_(classes), conv1_(1, 8, 3), conv10_(20, classes, 1) {
+  if (classes < 2)
+    throw std::invalid_argument("SqueezeNetLike: need >= 2 classes");
+  // Fire-module ladder mirroring SqueezeNet v1.1's widening pattern.
+  fires_.emplace_back(8, 2, 4);    // fire2 ->  8 ch @ 8x8
+  fires_.emplace_back(8, 2, 4);    // fire3 ->  8 ch @ 8x8
+  fires_.emplace_back(8, 3, 6);    // fire4 -> 12 ch @ 8x8
+  fires_.emplace_back(12, 3, 6);   // fire5 -> 12 ch @ 4x4
+  fires_.emplace_back(12, 4, 8);   // fire6 -> 16 ch @ 4x4
+  fires_.emplace_back(16, 4, 8);   // fire7 -> 16 ch @ 4x4
+  fires_.emplace_back(16, 5, 10);  // fire8 -> 20 ch @ 2x2
+  fires_.emplace_back(20, 5, 10);  // fire9 -> 20 ch @ 2x2
+
+  conv1_.init_weights(rng);
+  for (auto& fire : fires_) fire.init_weights(rng);
+  conv10_.init_weights(rng);
+
+  // Compute site sizes with a dry run.
+  Tensor probe(1, input_size(), input_size());
+  site_sizes_.clear();
+  run(probe, [this](std::size_t site, Tensor& t) {
+    (void)site;
+    site_sizes_.push_back(t.size());
+  });
+}
+
+template <typename Inject>
+std::vector<double> SqueezeNetLike::run(const Tensor& input,
+                                        Inject&& inject) const {
+  if (input.channels() != 1 || input.height() != input_size() ||
+      input.width() != input_size())
+    throw std::invalid_argument("SqueezeNetLike: input must be 1x16x16");
+
+  std::size_t site = 0;
+  Tensor x = conv1_.forward(input);
+  relu_inplace(x);
+  inject(site++, x);  // site 0: conv1 output
+  x = max_pool2(x);   // 16x16 -> 8x8
+
+  for (std::size_t f = 0; f < fires_.size(); ++f) {
+    x = fires_[f].forward(x);
+    inject(site++, x);  // sites 1..8: fire outputs
+    if (f == 2 || f == 5) x = max_pool2(x);  // after fire4 and fire7
+  }
+
+  x = conv10_.forward(x);
+  inject(site++, x);  // site 9: classifier conv output
+  return global_avg_pool(x);
+}
+
+std::vector<double> SqueezeNetLike::forward(const Tensor& input) const {
+  return run(input, [](std::size_t, Tensor&) {});
+}
+
+std::vector<double> SqueezeNetLike::forward_injected(
+    const Tensor& input, const InjectionPlan& plan,
+    const FrozenNoise& noise) const {
+  if (plan.stddev.size() != kSites)
+    throw std::invalid_argument("forward_injected: plan must have 10 sites");
+  if (noise.per_site.size() != kSites)
+    throw std::invalid_argument("forward_injected: noise must have 10 sites");
+
+  return run(input, [&](std::size_t site, Tensor& t) {
+    const double sd = plan.stddev[site];
+    if (sd == 0.0) return;
+    const auto& n = noise.per_site[site];
+    if (n.size() != t.size())
+      throw std::invalid_argument("forward_injected: noise size mismatch");
+    double* data = t.data();
+    for (std::size_t i = 0; i < n.size(); ++i) data[i] += sd * n[i];
+  });
+}
+
+}  // namespace ace::nn

@@ -1,0 +1,78 @@
+// SqueezeNet-like classifier (Table I row 5, Nv = 10).
+//
+// Mirrors SqueezeNet v1.1's block structure at laptop scale: conv1, eight
+// fire modules, a 1×1 classification conv, global average pooling — ten
+// blocks, hence the paper's ten injection sites (one error source at the
+// output of each layer). Weights are fixed-seed He-initialized; the
+// benchmark's metric is classification *agreement* with the error-free
+// network, which does not require trained weights (see DESIGN.md,
+// substitutions).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "nn/injection.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace ace::nn {
+
+/// SqueezeNet fire module: 1×1 squeeze → ReLU → parallel 1×1/3×3 expands →
+/// ReLU → channel concat.
+class FireModule {
+ public:
+  FireModule(std::size_t in_channels, std::size_t squeeze_channels,
+             std::size_t expand_channels);
+
+  void init_weights(util::Rng& rng);
+  Tensor forward(const Tensor& input) const;
+
+  std::size_t out_channels() const {
+    return expand1_.out_channels() + expand3_.out_channels();
+  }
+
+ private:
+  Conv2d squeeze_;
+  Conv2d expand1_;
+  Conv2d expand3_;
+};
+
+/// The ten-block network. Input is 1×16×16, output one logit per class.
+class SqueezeNetLike {
+ public:
+  static constexpr std::size_t kSites = 10;
+
+  /// Builds and He-initializes all weights from the generator.
+  /// `classes` >= 2 (throws otherwise).
+  SqueezeNetLike(std::size_t classes, util::Rng& rng);
+
+  std::size_t classes() const { return classes_; }
+  static std::size_t input_size() { return 16; }
+
+  /// Flat activation counts at each of the ten injection sites, in order.
+  const std::vector<std::size_t>& site_sizes() const { return site_sizes_; }
+
+  /// Clean forward pass: logits for one image.
+  std::vector<double> forward(const Tensor& input) const;
+
+  /// Forward pass with additive error injection: at each site s the frozen
+  /// unit noise is scaled by plan.stddev[s] and added to the activations.
+  /// Sizes must match kSites / site_sizes(); throws otherwise.
+  std::vector<double> forward_injected(const Tensor& input,
+                                       const InjectionPlan& plan,
+                                       const FrozenNoise& noise) const;
+
+ private:
+  template <typename Inject>
+  std::vector<double> run(const Tensor& input, Inject&& inject) const;
+
+  std::size_t classes_;
+  Conv2d conv1_;
+  std::vector<FireModule> fires_;
+  Conv2d conv10_;
+  std::vector<std::size_t> site_sizes_;
+};
+
+}  // namespace ace::nn

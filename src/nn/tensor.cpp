@@ -1,0 +1,27 @@
+#include "nn/tensor.hpp"
+
+#include <stdexcept>
+
+namespace ace::nn {
+
+Tensor::Tensor(std::size_t channels, std::size_t height, std::size_t width,
+               double fill)
+    : c_(channels), h_(height), w_(width), data_(channels * height * width,
+                                                 fill) {
+  if (channels == 0 || height == 0 || width == 0)
+    throw std::invalid_argument("Tensor: dimensions must be positive");
+}
+
+double& Tensor::at(std::size_t c, std::size_t y, std::size_t x) {
+  if (c >= c_ || y >= h_ || x >= w_)
+    throw std::out_of_range("Tensor::at: out of range");
+  return data_[(c * h_ + y) * w_ + x];
+}
+
+double Tensor::at(std::size_t c, std::size_t y, std::size_t x) const {
+  if (c >= c_ || y >= h_ || x >= w_)
+    throw std::out_of_range("Tensor::at: out of range");
+  return data_[(c * h_ + y) * w_ + x];
+}
+
+}  // namespace ace::nn

@@ -1,0 +1,38 @@
+// Minimal CHW tensor for the CNN error-sensitivity benchmark.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ace::nn {
+
+/// Dense 3-D tensor in channel-height-width order.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Throws std::invalid_argument on a zero dimension.
+  Tensor(std::size_t channels, std::size_t height, std::size_t width,
+         double fill = 0.0);
+
+  std::size_t channels() const { return c_; }
+  std::size_t height() const { return h_; }
+  std::size_t width() const { return w_; }
+  std::size_t size() const { return data_.size(); }
+
+  /// Checked element access; throws std::out_of_range.
+  double& at(std::size_t c, std::size_t y, std::size_t x);
+  double at(std::size_t c, std::size_t y, std::size_t x) const;
+
+  /// Unchecked flat access for hot loops.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  std::vector<double>& flat() { return data_; }
+  const std::vector<double>& flat() const { return data_; }
+
+ private:
+  std::size_t c_ = 0, h_ = 0, w_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ace::nn

@@ -1,0 +1,59 @@
+#include "signal/biquad.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ace::signal {
+
+bool BiquadCoefficients::is_stable() const {
+  return std::abs(a2) < 1.0 && std::abs(a1) < 1.0 + a2;
+}
+
+BiquadCoefficients design_lowpass_biquad(double cutoff, double q) {
+  if (cutoff <= 0.0 || cutoff >= 0.5)
+    throw std::invalid_argument("design_lowpass_biquad: cutoff in (0, 0.5)");
+  if (q <= 0.0)
+    throw std::invalid_argument("design_lowpass_biquad: q must be positive");
+  const double w0 = 2.0 * std::numbers::pi * cutoff;
+  const double cw = std::cos(w0);
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  BiquadCoefficients c;
+  c.b0 = (1.0 - cw) / 2.0 / a0;
+  c.b1 = (1.0 - cw) / a0;
+  c.b2 = c.b0;
+  c.a1 = -2.0 * cw / a0;
+  c.a2 = (1.0 - alpha) / a0;
+  return c;
+}
+
+std::vector<BiquadCoefficients> design_butterworth_lowpass(std::size_t order,
+                                                           double cutoff) {
+  if (order < 2 || order % 2 != 0)
+    throw std::invalid_argument(
+        "design_butterworth_lowpass: order must be even and >= 2");
+  std::vector<BiquadCoefficients> sections;
+  sections.reserve(order / 2);
+  for (std::size_t k = 0; k < order / 2; ++k) {
+    const double angle = (2.0 * static_cast<double>(k) + 1.0) *
+                         std::numbers::pi / (2.0 * static_cast<double>(order));
+    const double q = 1.0 / (2.0 * std::cos(angle));
+    sections.push_back(design_lowpass_biquad(cutoff, q));
+  }
+  return sections;
+}
+
+double Biquad::process(double x) {
+  const double y = c_.b0 * x + c_.b1 * x1_ + c_.b2 * x2_ - c_.a1 * y1_ -
+                   c_.a2 * y2_;
+  x2_ = x1_;
+  x1_ = x;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+}  // namespace ace::signal

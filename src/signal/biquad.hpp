@@ -1,0 +1,48 @@
+// Second-order IIR sections (biquads) and Butterworth lowpass design.
+// The paper's IIR benchmark is an 8th-order filter (Nv = 5); we realize it
+// as four cascaded direct-form-I biquads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ace::signal {
+
+/// Normalized biquad coefficients (a0 = 1):
+///   y[n] = b0·x[n] + b1·x[n-1] + b2·x[n-2] − a1·y[n-1] − a2·y[n-2]
+struct BiquadCoefficients {
+  double b0 = 0.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+
+  /// Stable iff both poles are inside the unit circle
+  /// (triangle condition: |a2| < 1 and |a1| < 1 + a2).
+  bool is_stable() const;
+};
+
+/// RBJ-cookbook digital lowpass biquad at normalized cutoff (cycles/sample)
+/// with the given quality factor. cutoff in (0, 0.5), q > 0.
+BiquadCoefficients design_lowpass_biquad(double cutoff, double q);
+
+/// Even-order digital Butterworth lowpass as cascaded biquads
+/// (order must be even and >= 2; cutoff in (0, 0.5)).
+/// Section k gets the classical Butterworth quality factor
+/// Q_k = 1 / (2·cos((2k+1)·π / (2·order))).
+std::vector<BiquadCoefficients> design_butterworth_lowpass(std::size_t order,
+                                                           double cutoff);
+
+/// Stateful double-precision biquad (direct form I).
+class Biquad {
+ public:
+  explicit Biquad(BiquadCoefficients coeffs) : c_(coeffs) {}
+
+  double process(double x);
+  void reset();
+
+  const BiquadCoefficients& coefficients() const { return c_; }
+
+ private:
+  BiquadCoefficients c_;
+  double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+}  // namespace ace::signal

@@ -1,0 +1,130 @@
+#include "signal/dct.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "fixedpoint/quantizer.hpp"
+#include "fixedpoint/range_tracker.hpp"
+
+namespace ace::signal {
+
+namespace {
+
+/// Orthonormal DCT-II basis matrix C with C·Cᵀ = I.
+const std::array<double, kDctBlock>& dct_matrix() {
+  static const std::array<double, kDctBlock> c = [] {
+    std::array<double, kDctBlock> m{};
+    for (std::size_t k = 0; k < kDctSize; ++k) {
+      const double scale =
+          k == 0 ? std::sqrt(1.0 / kDctSize) : std::sqrt(2.0 / kDctSize);
+      for (std::size_t n = 0; n < kDctSize; ++n)
+        m[k * kDctSize + n] =
+            scale * std::cos(std::numbers::pi *
+                             (2.0 * static_cast<double>(n) + 1.0) *
+                             static_cast<double>(k) / (2.0 * kDctSize));
+    }
+    return m;
+  }();
+  return c;
+}
+
+/// Shared dataflow for reference / calibration / quantized runs. The
+/// observer is called at six sites: 0/1 row products & accumulator
+/// entries, 2 intermediate storage, 3/4 column products & accumulator
+/// entries, 5 output storage.
+template <typename Observe>
+std::array<double, kDctBlock> run_dct(const std::array<double, kDctBlock>& in,
+                                      Observe&& observe) {
+  const auto& c = dct_matrix();
+
+  // Row pass: interm = block · Cᵀ  (DCT of each row).
+  std::array<double, kDctBlock> interm{};
+  for (std::size_t r = 0; r < kDctSize; ++r) {
+    for (std::size_t k = 0; k < kDctSize; ++k) {
+      double acc = 0.0;
+      for (std::size_t n = 0; n < kDctSize; ++n) {
+        const double product =
+            observe(0, c[k * kDctSize + n] * in[r * kDctSize + n]);
+        acc += observe(1, product);
+      }
+      interm[r * kDctSize + k] = observe(2, acc);
+    }
+  }
+
+  // Column pass: out = C · interm (DCT of each column).
+  std::array<double, kDctBlock> out{};
+  for (std::size_t k = 0; k < kDctSize; ++k) {
+    for (std::size_t col = 0; col < kDctSize; ++col) {
+      double acc = 0.0;
+      for (std::size_t n = 0; n < kDctSize; ++n) {
+        const double product =
+            observe(3, c[k * kDctSize + n] * interm[n * kDctSize + col]);
+        acc += observe(4, product);
+      }
+      out[k * kDctSize + col] = observe(5, acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::array<double, kDctBlock> dct2d_reference(
+    const std::array<double, kDctBlock>& block) {
+  return run_dct(block, [](std::size_t, double v) { return v; });
+}
+
+std::array<double, kDctBlock> idct2d_reference(
+    const std::array<double, kDctBlock>& coefficients) {
+  const auto& c = dct_matrix();
+  // inverse: block = Cᵀ · coeff · C.
+  std::array<double, kDctBlock> tmp{};
+  for (std::size_t n = 0; n < kDctSize; ++n)
+    for (std::size_t col = 0; col < kDctSize; ++col) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < kDctSize; ++k)
+        acc += c[k * kDctSize + n] * coefficients[k * kDctSize + col];
+      tmp[n * kDctSize + col] = acc;
+    }
+  std::array<double, kDctBlock> out{};
+  for (std::size_t r = 0; r < kDctSize; ++r)
+    for (std::size_t n = 0; n < kDctSize; ++n) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < kDctSize; ++k)
+        acc += tmp[r * kDctSize + k] * c[k * kDctSize + n];
+      out[r * kDctSize + n] = acc;
+    }
+  return out;
+}
+
+QuantizedDct2d::QuantizedDct2d(
+    const std::vector<std::array<double, kDctBlock>>& calibration,
+    int margin_bits) {
+  if (calibration.empty())
+    throw std::invalid_argument("QuantizedDct2d: empty calibration set");
+  fixedpoint::RangeTracker tracker(kDctVariables);
+  for (const auto& block : calibration)
+    run_dct(block, [&](std::size_t site, double v) {
+      return tracker.observe(site, v);
+    });
+  site_iwl_ = tracker.all_integer_bits(margin_bits);
+}
+
+std::array<double, kDctBlock> QuantizedDct2d::transform(
+    const std::array<double, kDctBlock>& block,
+    const std::vector<int>& w) const {
+  if (w.size() != kVariables)
+    throw std::invalid_argument("QuantizedDct2d: wrong word-length count");
+  for (int wl : w)
+    if (wl < 2 || wl > 52)
+      throw std::invalid_argument("QuantizedDct2d: word length out of [2, 52]");
+  std::vector<fixedpoint::Quantizer> q;
+  q.reserve(kVariables);
+  for (std::size_t s = 0; s < kVariables; ++s)
+    q.emplace_back(fixedpoint::Format::with_clamped_integer_bits(w[s], site_iwl_[s]));
+  return run_dct(block,
+                 [&](std::size_t site, double v) { return q[site](v); });
+}
+
+}  // namespace ace::signal

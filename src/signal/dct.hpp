@@ -1,0 +1,51 @@
+// 8×8 two-dimensional DCT-II (JPEG-style) — an *extension* benchmark
+// beyond the paper's set (Nv = 6), exercising the kriging policy on a
+// medium-dimensional word-length problem with a separable 2-D dataflow.
+//
+// Word-length mapping:
+//   w[0]: row-pass multiplier outputs      w[3]: column-pass multipliers
+//   w[1]: row-pass accumulator entries     w[4]: column-pass accumulator
+//   w[2]: intermediate (row-DCT) storage   w[5]: output storage
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace ace::signal {
+
+inline constexpr std::size_t kDctSize = 8;
+inline constexpr std::size_t kDctBlock = kDctSize * kDctSize;
+inline constexpr std::size_t kDctVariables = 6;
+
+/// Orthonormal 2-D DCT-II of a row-major 8×8 block (reference).
+std::array<double, kDctBlock> dct2d_reference(
+    const std::array<double, kDctBlock>& block);
+
+/// Inverse 2-D DCT (for round-trip validation).
+std::array<double, kDctBlock> idct2d_reference(
+    const std::array<double, kDctBlock>& coefficients);
+
+/// Fixed-point 2-D DCT emulation with the six word-length variables above.
+class QuantizedDct2d {
+ public:
+  static constexpr std::size_t kVariables = kDctVariables;
+
+  /// Calibrates per-site integer bits from reference transforms of the
+  /// given blocks. Throws std::invalid_argument on an empty set.
+  explicit QuantizedDct2d(
+      const std::vector<std::array<double, kDctBlock>>& calibration,
+      int margin_bits = 1);
+
+  /// Transform with word lengths w (size 6, each in [2, 52]).
+  std::array<double, kDctBlock> transform(
+      const std::array<double, kDctBlock>& block,
+      const std::vector<int>& w) const;
+
+  const std::vector<int>& site_integer_bits() const { return site_iwl_; }
+
+ private:
+  std::vector<int> site_iwl_;
+};
+
+}  // namespace ace::signal

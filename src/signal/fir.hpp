@@ -1,0 +1,60 @@
+// FIR filter — the paper's 2-variable benchmark (64th-order, Nv = 2):
+// one word-length for the multiplier outputs, one for the accumulator.
+// Fig. 1 of the paper is the noise-power surface over these two axes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fixedpoint/quantizer.hpp"
+
+namespace ace::signal {
+
+/// Windowed-sinc (Hamming) lowpass design.
+/// `taps` >= 1 coefficients, cutoff in (0, 0.5) cycles/sample.
+std::vector<double> design_lowpass_fir(std::size_t taps, double cutoff);
+
+/// Double-precision (reference) FIR.
+class FirFilter {
+ public:
+  /// Throws std::invalid_argument on empty coefficients.
+  explicit FirFilter(std::vector<double> coefficients);
+
+  /// Full-precision convolution (zero initial state).
+  std::vector<double> filter(const std::vector<double>& input) const;
+
+  const std::vector<double>& coefficients() const { return coeffs_; }
+  std::size_t taps() const { return coeffs_.size(); }
+
+  /// Σ|c_k| — the accumulator's worst-case gain, used for range analysis.
+  double l1_gain() const;
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+/// Fixed-point FIR emulation with two word-length variables:
+///   w[0]: multiplier-output word-length,
+///   w[1]: adder (accumulator) word-length.
+/// Coefficients are pre-quantized to a fixed 16-bit format; integer bits at
+/// each site come from the filter's worst-case gains, so only fractional
+/// precision varies with w.
+class QuantizedFirFilter {
+ public:
+  static constexpr std::size_t kVariables = 2;
+
+  explicit QuantizedFirFilter(const FirFilter& reference,
+                              int coefficient_bits = 16);
+
+  /// Simulate with word lengths w (size 2, each in [2, 52]).
+  /// Throws std::invalid_argument on wrong size / out-of-range entries.
+  std::vector<double> filter(const std::vector<double>& input,
+                             const std::vector<int>& w) const;
+
+ private:
+  std::vector<double> qcoeffs_;
+  int iwl_product_;
+  int iwl_accum_;
+};
+
+}  // namespace ace::signal

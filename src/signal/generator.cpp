@@ -1,0 +1,45 @@
+#include "signal/generator.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ace::signal {
+
+std::vector<double> white_noise(util::Rng& rng, std::size_t n,
+                                double amplitude) {
+  if (n == 0) throw std::invalid_argument("white_noise: n must be positive");
+  return rng.uniform_vector(n, -amplitude, amplitude);
+}
+
+std::vector<double> sine_mixture(const std::vector<double>& frequencies,
+                                 std::size_t n, double amplitude) {
+  if (n == 0) throw std::invalid_argument("sine_mixture: n must be positive");
+  if (frequencies.empty())
+    throw std::invalid_argument("sine_mixture: need at least one frequency");
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (double f : frequencies)
+      acc += std::sin(2.0 * std::numbers::pi * f * static_cast<double>(i));
+    out[i] = acc;
+  }
+  double peak = 0.0;
+  for (double x : out) peak = std::max(peak, std::abs(x));
+  if (peak > 0.0)
+    for (double& x : out) x *= amplitude / peak;
+  return out;
+}
+
+std::vector<double> noisy_multitone(util::Rng& rng, std::size_t n,
+                                    double amplitude) {
+  auto tones = sine_mixture({0.013, 0.057, 0.121, 0.243}, n, 1.0);
+  for (double& x : tones) x += rng.uniform(-0.25, 0.25);
+  double peak = 0.0;
+  for (double x : tones) peak = std::max(peak, std::abs(x));
+  if (peak > 0.0)
+    for (double& x : tones) x *= amplitude / peak;
+  return tones;
+}
+
+}  // namespace ace::signal

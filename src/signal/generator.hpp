@@ -1,0 +1,27 @@
+// Input-signal generators for the word-length benchmarks. The paper
+// simulates each configuration on "an arbitrary large pre-defined input
+// data set"; these generators produce that data set deterministically.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ace::signal {
+
+/// Uniform white noise in (-amplitude, amplitude).
+std::vector<double> white_noise(util::Rng& rng, std::size_t n,
+                                double amplitude = 0.9);
+
+/// Sum of sinusoids with the given normalized frequencies (cycles/sample),
+/// scaled so the peak magnitude is `amplitude`.
+std::vector<double> sine_mixture(const std::vector<double>& frequencies,
+                                 std::size_t n, double amplitude = 0.9);
+
+/// Noisy multitone: sine mixture plus white noise, rescaled to peak
+/// `amplitude` — a representative DSP excitation that exercises the full
+/// dynamic range.
+std::vector<double> noisy_multitone(util::Rng& rng, std::size_t n,
+                                    double amplitude = 0.9);
+
+}  // namespace ace::signal

@@ -1,0 +1,103 @@
+#include "signal/iir.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fixedpoint/quantizer.hpp"
+#include "fixedpoint/range_tracker.hpp"
+
+namespace ace::signal {
+
+IirCascade::IirCascade(std::vector<BiquadCoefficients> sections)
+    : sections_(std::move(sections)) {
+  if (sections_.empty())
+    throw std::invalid_argument("IirCascade: empty section list");
+  for (const auto& s : sections_)
+    if (!s.is_stable())
+      throw std::invalid_argument("IirCascade: unstable section");
+}
+
+std::vector<double> IirCascade::filter(const std::vector<double>& input) const {
+  std::vector<Biquad> state;
+  state.reserve(sections_.size());
+  for (const auto& s : sections_) state.emplace_back(s);
+
+  std::vector<double> out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    double x = input[i];
+    for (auto& bq : state) x = bq.process(x);
+    out[i] = x;
+  }
+  return out;
+}
+
+QuantizedIirCascade::QuantizedIirCascade(
+    const IirCascade& reference, const std::vector<double>& calibration_input,
+    int margin_bits)
+    : sections_(reference.sections()) {
+  if (calibration_input.empty())
+    throw std::invalid_argument("QuantizedIirCascade: empty calibration input");
+  const std::size_t ns = sections_.size();
+  // Sites: one accumulator per biquad, plus the shared inter-stage data.
+  fixedpoint::RangeTracker tracker(ns + 1);
+  std::vector<Biquad> state;
+  for (const auto& s : sections_) state.emplace_back(s);
+  for (double xin : calibration_input) {
+    double x = xin;
+    for (std::size_t k = 0; k < ns; ++k) {
+      x = tracker.observe(k, state[k].process(x));
+      tracker.observe(ns, x);
+    }
+  }
+  accum_iwl_.resize(ns);
+  for (std::size_t k = 0; k < ns; ++k)
+    accum_iwl_[k] = tracker.integer_bits(k, margin_bits);
+  data_iwl_ = tracker.integer_bits(ns, margin_bits);
+}
+
+std::vector<double> QuantizedIirCascade::filter(
+    const std::vector<double>& input, const std::vector<int>& w) const {
+  const std::size_t nv = variable_count();
+  if (w.size() != nv)
+    throw std::invalid_argument("QuantizedIirCascade: wrong word-length count");
+  for (int wl : w)
+    if (wl < 2 || wl > 52)
+      throw std::invalid_argument(
+          "QuantizedIirCascade: word length out of [2, 52]");
+
+  const std::size_t ns = sections_.size();
+  std::vector<fixedpoint::Quantizer> qaccum;
+  qaccum.reserve(ns);
+  for (std::size_t k = 0; k < ns; ++k)
+    qaccum.emplace_back(fixedpoint::Format::with_clamped_integer_bits(w[k], accum_iwl_[k]));
+  const fixedpoint::Quantizer qdata{fixedpoint::Format::with_clamped_integer_bits(w[ns], data_iwl_)};
+
+  // Direct-form-I state per section, on quantized signals.
+  struct State {
+    double x1 = 0.0, x2 = 0.0, y1 = 0.0, y2 = 0.0;
+  };
+  std::vector<State> st(ns);
+
+  std::vector<double> out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    double x = input[i];
+    for (std::size_t k = 0; k < ns; ++k) {
+      const auto& c = sections_[k];
+      auto& s = st[k];
+      // Wide accumulator quantized at w[k]; stored signal at w[ns].
+      const double acc = qaccum[k](c.b0 * x + c.b1 * s.x1 + c.b2 * s.x2 -
+                                   c.a1 * s.y1 - c.a2 * s.y2);
+      const double y = qdata(acc);
+      s.x2 = s.x1;
+      s.x1 = x;
+      s.y2 = s.y1;
+      s.y1 = y;
+      x = y;
+    }
+    out[i] = x;
+  }
+  return out;
+}
+
+}  // namespace ace::signal

@@ -1,0 +1,67 @@
+#include "signal/noise_analysis.hpp"
+
+#include <stdexcept>
+
+#include "fixedpoint/format.hpp"
+
+namespace ace::signal {
+
+double tail_energy_gain(const std::vector<BiquadCoefficients>& sections,
+                        std::size_t first_section,
+                        std::size_t impulse_length) {
+  if (first_section > sections.size())
+    throw std::invalid_argument("tail_energy_gain: bad section index");
+  if (impulse_length == 0)
+    throw std::invalid_argument("tail_energy_gain: zero impulse length");
+  if (first_section == sections.size()) return 1.0;
+
+  std::vector<Biquad> tail;
+  for (std::size_t s = first_section; s < sections.size(); ++s)
+    tail.emplace_back(sections[s]);
+
+  double energy = 0.0;
+  for (std::size_t n = 0; n < impulse_length; ++n) {
+    double x = n == 0 ? 1.0 : 0.0;
+    for (auto& bq : tail) x = bq.process(x);
+    energy += x * x;
+  }
+  return energy;
+}
+
+double predict_iir_noise(const std::vector<BiquadCoefficients>& sections,
+                         const std::vector<int>& w,
+                         const std::vector<int>& accum_iwl, int data_iwl,
+                         std::size_t impulse_length) {
+  const std::size_t ns = sections.size();
+  if (w.size() != ns + 1)
+    throw std::invalid_argument("predict_iir_noise: w must have ns+1 entries");
+  if (accum_iwl.size() != ns)
+    throw std::invalid_argument("predict_iir_noise: accum_iwl size");
+
+  double total = 0.0;
+  for (std::size_t k = 0; k < ns; ++k) {
+    // Noise injected at section k's output recirculates through that
+    // section's own poles (transfer 1/A_k(z)) before crossing the tail —
+    // the DF-I feedback taps read the quantized stored value. Model the
+    // source path as [feedback-only section k] + sections k+1..end.
+    std::vector<BiquadCoefficients> path;
+    BiquadCoefficients recirculation = sections[k];
+    recirculation.b0 = 1.0;
+    recirculation.b1 = 0.0;
+    recirculation.b2 = 0.0;
+    path.push_back(recirculation);
+    path.insert(path.end(), sections.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                sections.end());
+    const double gain = tail_energy_gain(path, 0, impulse_length);
+
+    const auto accum =
+        fixedpoint::Format::with_clamped_integer_bits(w[k], accum_iwl[k]);
+    const auto data =
+        fixedpoint::Format::with_clamped_integer_bits(w[ns], data_iwl);
+    total += gain *
+             (accum.rounding_noise_power() + data.rounding_noise_power());
+  }
+  return total;
+}
+
+}  // namespace ace::signal

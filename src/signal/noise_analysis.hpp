@@ -1,0 +1,33 @@
+// Analytical noise prediction for the IIR cascade — extends the FIR
+// closed-form baseline (fixedpoint/noise_model) to feedback filters: each
+// quantization source's power is shaped by the energy gain of the cascade
+// tail it feeds, computed from the tail's impulse response.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/biquad.hpp"
+
+namespace ace::signal {
+
+/// Energy gain Σ h² of the cascade formed by sections [first_section, end),
+/// measured over `impulse_length` samples of the impulse response.
+/// first_section == sections.size() means a direct path (gain 1).
+/// Throws std::invalid_argument on a bad index or zero length.
+double tail_energy_gain(const std::vector<BiquadCoefficients>& sections,
+                        std::size_t first_section,
+                        std::size_t impulse_length = 2048);
+
+/// Predicted output noise power of QuantizedIirCascade at word lengths w
+/// (per-biquad accumulator WLs + shared data WL, as in signal/iir.hpp),
+/// using the classical independent-white-source model: each section k
+/// injects q_k²/12 (accumulator) and q_data²/12 (stored output), both
+/// shaped by the energy gain of sections k+1..end.
+/// `accum_iwl` / `data_iwl` are the calibrated integer bits.
+double predict_iir_noise(const std::vector<BiquadCoefficients>& sections,
+                         const std::vector<int>& w,
+                         const std::vector<int>& accum_iwl, int data_iwl,
+                         std::size_t impulse_length = 2048);
+
+}  // namespace ace::signal

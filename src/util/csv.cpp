@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ace::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    std::string message = "CsvWriter: cannot open ";
+    message += path;
+    throw std::runtime_error(message);
+  }
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) throw std::runtime_error("CsvWriter: write after close");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values, int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream ss;
+    ss << std::setprecision(decimals) << std::fixed << v;
+    cells.push_back(ss.str());
+  }
+  write_row(cells);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace ace::util

@@ -1,0 +1,30 @@
+// Minimal CSV writer for exporting experiment series (e.g. the Fig. 1
+// surface) in a form external plotting tools can consume.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ace::util {
+
+/// Streaming CSV writer. Throws std::runtime_error if the file cannot be
+/// opened. Cells containing commas/quotes/newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& values, int decimals = 6);
+
+  /// Flushes and closes; subsequent writes throw.
+  void close();
+
+  bool is_open() const { return out_.is_open(); }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace ace::util

@@ -1,0 +1,58 @@
+#include "util/rng.hpp"
+
+#include <stdexcept>
+
+namespace ace::util {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: n must be positive");
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<double> Rng::uniform_vector(std::size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = uniform(lo, hi);
+  return v;
+}
+
+std::vector<double> Rng::normal_vector(std::size_t n, double mean,
+                                       double stddev) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = normal(mean, stddev);
+  return v;
+}
+
+Rng Rng::fork() {
+  // SplitMix-style scramble of the next raw draw keeps child streams
+  // statistically decoupled from the parent and from each other.
+  std::uint64_t s = engine_();
+  s ^= s >> 30;
+  s *= 0xbf58476d1ce4e5b9ULL;
+  s ^= s >> 27;
+  s *= 0x94d049bb133111ebULL;
+  s ^= s >> 31;
+  return Rng(s);
+}
+
+}  // namespace ace::util

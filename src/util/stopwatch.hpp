@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for the timing experiments (speed-up bench).
+#pragma once
+
+#include <chrono>
+
+namespace ace::util {
+
+/// Monotonic stopwatch; starts on construction, restartable.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ace::util

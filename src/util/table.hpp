@@ -1,0 +1,38 @@
+// Column-aligned console tables. Every bench binary prints its results
+// through TablePrinter so the output mirrors the layout of the paper's
+// Table I and is grep-friendly for EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ace::util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Column headers fix the column count; rows must match it.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row. Throws std::invalid_argument on column-count mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to the stream with a header rule and right-aligned numerics.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given number of decimals.
+std::string fmt(double value, int decimals = 2);
+
+/// Format a double as a percentage with the given decimals ("52.78").
+std::string fmt_pct(double fraction, int decimals = 2);
+
+}  // namespace ace::util

@@ -1,0 +1,81 @@
+#include "video/hevc_mc_int.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ace::video {
+
+namespace {
+
+constexpr std::array<std::array<int, kTaps>, 4> kIntCoeffs = {{
+    {0, 0, 0, 64, 0, 0, 0, 0},
+    {-1, 4, -10, 58, 17, -5, 1, 0},
+    {-1, 4, -11, 40, 40, -11, 4, -1},
+    {0, 1, -5, 17, 58, -10, 4, -1},
+}};
+
+int clip255(int v) { return std::clamp(v, 0, 255); }
+
+/// Window sample as an 8-bit integer; validates the 1/256 grid.
+int sample_at(const Frame& window, std::size_t x, std::size_t y) {
+  const double scaled = window.at(x, y) * 256.0;
+  const double rounded = std::round(scaled);
+  if (std::abs(scaled - rounded) > 1e-9)
+    throw std::invalid_argument(
+        "interpolate_integer: sample not on the 8-bit grid");
+  return static_cast<int>(rounded);
+}
+
+}  // namespace
+
+const std::array<int, kTaps>& luma_filter_int(int phase) {
+  if (phase < 0 || phase > 3)
+    throw std::invalid_argument("luma_filter_int: phase must be in [0, 3]");
+  return kIntCoeffs[static_cast<std::size_t>(phase)];
+}
+
+IntBlock interpolate_integer(const McJob& job) {
+  const auto& ch = luma_filter_int(job.frac_x);
+  const auto& cv = luma_filter_int(job.frac_y);
+  const bool frac_h = job.frac_x != 0;
+  const bool frac_v = job.frac_y != 0;
+
+  // Horizontal pass at full precision (values scaled by 64 when the
+  // horizontal filter is fractional; by 1 for the copy phase — the
+  // standard folds the copy into a shift, handled uniformly here by
+  // always accumulating the 64-weighted sum).
+  std::array<std::array<long long, kWindow>, kBlockSize> tmp{};
+  for (std::size_t y = 0; y < kWindow; ++y)
+    for (std::size_t x = 0; x < kBlockSize; ++x) {
+      long long acc = 0;
+      for (std::size_t t = 0; t < kTaps; ++t)
+        acc += static_cast<long long>(ch[t]) * sample_at(job.window, x + t, y);
+      tmp[x][y] = acc;  // Scaled by 64.
+    }
+
+  IntBlock out;
+  for (std::size_t y = 0; y < kBlockSize; ++y)
+    for (std::size_t x = 0; x < kBlockSize; ++x) {
+      long long acc = 0;
+      for (std::size_t t = 0; t < kTaps; ++t)
+        acc += static_cast<long long>(cv[t]) * tmp[x][y + t];
+      // acc is scaled by 64·64 = 4096.
+      int value;
+      if (frac_h && frac_v) {
+        value = static_cast<int>((acc + (1LL << 11)) >> 12);
+      } else if (frac_h || frac_v) {
+        // One stage was a pure copy (scale 64): total scale 4096 still,
+        // but the standard's single-stage path rounds at >> 6 on the
+        // 64-scaled sum; dividing our 4096-scaled sum by 64 first is
+        // exact because the copy stage contributes a factor of exactly 64.
+        value = static_cast<int>((acc / 64 + 32) >> 6);
+      } else {
+        value = static_cast<int>(acc >> 12);  // Pure copy: exact.
+      }
+      out.samples[x][y] = clip255(value);
+    }
+  return out;
+}
+
+}  // namespace ace::video

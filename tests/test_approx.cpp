@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "approx/adders.hpp"
+#include "approx/characterize.hpp"
+#include "approx/multipliers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace ax = ace::approx;
+
+TEST(ExactAdd, WrapsTwoComplement) {
+  EXPECT_EQ(ax::exact_add(3, 4, 8), 7);
+  EXPECT_EQ(ax::exact_add(127, 1, 8), -128);  // Overflow wraps.
+  EXPECT_EQ(ax::exact_add(-128, -1, 8), 127);
+  EXPECT_EQ(ax::exact_add(-5, 2, 8), -3);
+  EXPECT_THROW((void)ax::exact_add(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)ax::exact_add(0, 0, 63), std::invalid_argument);
+}
+
+TEST(Adders, ConstructionValidation) {
+  EXPECT_THROW(ax::LowerOrAdder(1, 0), std::invalid_argument);
+  EXPECT_THROW(ax::LowerOrAdder(8, -1), std::invalid_argument);
+  EXPECT_THROW(ax::LowerOrAdder(8, 9), std::invalid_argument);
+  EXPECT_THROW(ax::TruncatedAdder(8, 9), std::invalid_argument);
+  EXPECT_THROW(ax::CarryCutAdder(8, 9), std::invalid_argument);
+}
+
+TEST(Adders, DegreeZeroIsExact) {
+  ace::util::Rng rng(80);
+  const ax::LowerOrAdder loa(12, 0);
+  const ax::TruncatedAdder tra(12, 0);
+  const ax::CarryCutAdder cca(12, 0);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t a = rng.uniform_int(-2048, 2047);
+    const std::int64_t b = rng.uniform_int(-2048, 2047);
+    const std::int64_t exact = ax::exact_add(a, b, 12);
+    EXPECT_EQ(loa.add(a, b), exact);
+    EXPECT_EQ(tra.add(a, b), exact);
+    EXPECT_EQ(cca.add(a, b), exact);
+  }
+}
+
+TEST(LowerOrAdder, KnownSmallCases) {
+  // width 4, degree 2: low 2 bits OR-ed, carry = AND of bit 1.
+  const ax::LowerOrAdder loa(4, 2);
+  // a = 0b0001, b = 0b0010 -> low OR = 0b11, no carry, high 0 -> 3 (exact).
+  EXPECT_EQ(loa.add(1, 2), 3);
+  // a = 0b0011, b = 0b0011: low OR = 0b11 (exact sum low = 0b10 carry 1);
+  // carry predicted from bit1&bit1 = 1: high = (0+0+1)<<2 = 4; result 7.
+  EXPECT_EQ(loa.add(3, 3), 7);  // Exact is 6: LOA error = +1.
+  // a = 0b0101, b = 0b0001: low OR = 0b01, no carry; high = 1<<2; result 5.
+  EXPECT_EQ(loa.add(5, 1), 5);  // Exact is 6: LOA error = -1.
+}
+
+TEST(TruncatedAdder, ZeroesLowBits) {
+  const ax::TruncatedAdder tra(8, 3);
+  EXPECT_EQ(tra.add(0b00001111, 0b00000111), 0b00001000);
+  EXPECT_EQ(tra.add(0b1000, 0b1000), 0b10000);
+}
+
+TEST(CarryCutAdder, DropsCrossCarryOnly) {
+  const ax::CarryCutAdder cca(8, 4);
+  // No carry across bit 4: exact.
+  EXPECT_EQ(cca.add(0b0001, 0b0010), 3);
+  EXPECT_EQ(cca.add(0b10000, 0b100000), 0b110000);
+  // Carry across the cut is dropped: 0b1000 + 0b1000 = 0b10000 exact,
+  // but cut at 4 keeps low = 0b0000 and high = 0 -> 0.
+  EXPECT_EQ(cca.add(0b1000, 0b1000), 0);
+}
+
+/// Property sweep: approximate-adder error metrics are monotone in degree
+/// and exactly zero at degree 0.
+class AdderDegreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderDegreeTest, ErrorGrowsWithDegree) {
+  const int width = 8;
+  auto exact = [width](std::int64_t a, std::int64_t b) {
+    return ax::exact_add(a, b, width);
+  };
+  double previous_mse = -1.0;
+  for (int degree : {0, 2, 4, 6}) {
+    const int kind = GetParam();
+    ax::BinaryOp approx_op;
+    if (kind == 0) {
+      approx_op = [adder = ax::LowerOrAdder(width, degree)](
+                      std::int64_t a, std::int64_t b) {
+        return adder.add(a, b);
+      };
+    } else if (kind == 1) {
+      approx_op = [adder = ax::TruncatedAdder(width, degree)](
+                      std::int64_t a, std::int64_t b) {
+        return adder.add(a, b);
+      };
+    } else {
+      approx_op = [adder = ax::CarryCutAdder(width, degree)](
+                      std::int64_t a, std::int64_t b) {
+        return adder.add(a, b);
+      };
+    }
+    const auto profile = ax::characterize_exhaustive(approx_op, exact, width);
+    if (degree == 0) {
+      EXPECT_EQ(profile.error_rate, 0.0);
+      EXPECT_EQ(profile.mean_squared_error, 0.0);
+    }
+    EXPECT_GE(profile.mean_squared_error, previous_mse);
+    previous_mse = profile.mean_squared_error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AdderKinds, AdderDegreeTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(TruncatedMultiplier, DegreeZeroExactAndValidation) {
+  EXPECT_THROW(ax::TruncatedMultiplier(1, 0), std::invalid_argument);
+  EXPECT_THROW(ax::TruncatedMultiplier(8, 17), std::invalid_argument);
+  const ax::TruncatedMultiplier exact_mul(8, 0);
+  ace::util::Rng rng(81);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t a = rng.uniform_int(-128, 127);
+    const std::int64_t b = rng.uniform_int(-128, 127);
+    EXPECT_EQ(exact_mul.multiply(a, b), a * b);
+  }
+}
+
+TEST(TruncatedMultiplier, DropsLowColumns) {
+  const ax::TruncatedMultiplier mul(8, 4);
+  // 5·7 = 35 = 0b100011 -> low 4 bits dropped -> 32; sign preserved.
+  EXPECT_EQ(mul.multiply(5, 7), 32);
+  EXPECT_EQ(mul.multiply(-5, 7), -32);
+  EXPECT_EQ(mul.multiply(5, -7), -32);
+  EXPECT_EQ(mul.multiply(-5, -7), 32);
+  EXPECT_EQ(mul.multiply(0, 123), 0);
+}
+
+TEST(MitchellMultiplier, PowersOfTwoAreExact) {
+  const ax::MitchellMultiplier mul(16, 8);
+  EXPECT_EQ(mul.multiply(4, 8), 32);
+  EXPECT_EQ(mul.multiply(16, 16), 256);
+  EXPECT_EQ(mul.multiply(-4, 8), -32);
+  EXPECT_EQ(mul.multiply(0, 99), 0);
+}
+
+TEST(MitchellMultiplier, RelativeErrorWithinClassicalBound) {
+  // Mitchell's log multiplier underestimates by at most ~11.1%.
+  const ax::MitchellMultiplier mul(12, 16);
+  ace::util::Rng rng(82);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t a = rng.uniform_int(1, 2047);
+    const std::int64_t b = rng.uniform_int(1, 2047);
+    const double exact = static_cast<double>(a * b);
+    const double approx_v = static_cast<double>(mul.multiply(a, b));
+    const double rel = (exact - approx_v) / exact;
+    EXPECT_GE(rel, -0.02);  // Never overestimates beyond rounding.
+    EXPECT_LE(rel, 0.115);  // The 1 - (ln 2·e)/... classical bound.
+  }
+}
+
+TEST(Characterize, ValidationAndExhaustiveCounts) {
+  auto identity = [](std::int64_t a, std::int64_t) { return a; };
+  EXPECT_THROW(
+      (void)ax::characterize_exhaustive(nullptr, identity, 4),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)ax::characterize_exhaustive(identity, identity, 13),
+      std::invalid_argument);
+  const auto profile = ax::characterize_exhaustive(identity, identity, 4);
+  EXPECT_EQ(profile.pairs, 256u);
+  EXPECT_EQ(profile.error_rate, 0.0);
+}
+
+TEST(Characterize, SampledMatchesExhaustiveTrend) {
+  auto exact = [](std::int64_t a, std::int64_t b) {
+    return ax::exact_add(a, b, 8);
+  };
+  auto approx_op = [adder = ax::LowerOrAdder(8, 4)](std::int64_t a,
+                                                    std::int64_t b) {
+    return adder.add(a, b);
+  };
+  const auto full = ax::characterize_exhaustive(approx_op, exact, 8);
+  ace::util::Rng rng(83);
+  const auto sampled =
+      ax::characterize_sampled(approx_op, exact, 8, 20000, rng);
+  EXPECT_NEAR(sampled.error_rate, full.error_rate, 0.05);
+  EXPECT_NEAR(sampled.mean_error_distance, full.mean_error_distance,
+              0.25 * full.mean_error_distance + 0.1);
+  ace::util::Rng rng2(84);
+  EXPECT_THROW(
+      (void)ax::characterize_sampled(approx_op, exact, 8, 0, rng2),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include "core/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+namespace c = ace::core;
+namespace d = ace::dse;
+
+c::SignalBenchOptions tiny_signal() {
+  c::SignalBenchOptions o;
+  o.samples = 128;
+  return o;
+}
+
+TEST(FirBenchmark, ShapeAndDeterminism) {
+  const auto bench = c::make_fir_benchmark(tiny_signal());
+  EXPECT_EQ(bench.name, "FIR");
+  EXPECT_EQ(bench.nv, 2u);
+  EXPECT_EQ(bench.metric, d::MetricKind::kAccuracyDb);
+  EXPECT_EQ(bench.optimizer, c::OptimizerKind::kMinPlusOne);
+  const d::Config w = {10, 10};
+  EXPECT_DOUBLE_EQ(bench.simulate(w), bench.simulate(w));
+}
+
+TEST(FirBenchmark, AccuracyImprovesWithWiderWords) {
+  const auto bench = c::make_fir_benchmark(tiny_signal());
+  EXPECT_LT(bench.simulate({6, 6}), bench.simulate({12, 12}));
+  EXPECT_LT(bench.simulate({8, 8}), bench.simulate({14, 14}));
+}
+
+TEST(FirBenchmark, IndependentInstancesAgree) {
+  // Same seed -> same simulator behaviour (cross-instance determinism).
+  const auto a = c::make_fir_benchmark(tiny_signal());
+  const auto b = c::make_fir_benchmark(tiny_signal());
+  EXPECT_DOUBLE_EQ(a.simulate({9, 11}), b.simulate({9, 11}));
+}
+
+TEST(IirBenchmark, ShapeAndMonotonicity) {
+  const auto bench = c::make_iir_benchmark(tiny_signal());
+  EXPECT_EQ(bench.name, "IIR");
+  EXPECT_EQ(bench.nv, 5u);
+  const d::Config narrow(5, 8), wide(5, 14);
+  EXPECT_LT(bench.simulate(narrow), bench.simulate(wide));
+}
+
+TEST(FftBenchmark, ShapeAndMonotonicity) {
+  const auto bench = c::make_fft_benchmark(tiny_signal());
+  EXPECT_EQ(bench.name, "FFT");
+  EXPECT_EQ(bench.nv, 10u);
+  const d::Config narrow(10, 8), wide(10, 14);
+  EXPECT_LT(bench.simulate(narrow), bench.simulate(wide));
+}
+
+TEST(HevcBenchmark, ShapeAndMonotonicity) {
+  c::HevcBenchOptions o;
+  o.jobs = 4;
+  const auto bench = c::make_hevc_benchmark(o);
+  EXPECT_EQ(bench.name, "HEVC");
+  EXPECT_EQ(bench.nv, 23u);
+  const d::Config narrow(23, 8), wide(23, 14);
+  EXPECT_LT(bench.simulate(narrow), bench.simulate(wide));
+  EXPECT_DOUBLE_EQ(bench.simulate(narrow), bench.simulate(narrow));
+}
+
+TEST(SqueezeNetBenchmark, ShapeAndQualitySemantics) {
+  c::CnnBenchOptions o;
+  o.images = 30;
+  o.classes = 5;
+  const auto bench = c::make_squeezenet_benchmark(o);
+  EXPECT_EQ(bench.name, "SqueezeNet");
+  EXPECT_EQ(bench.nv, 10u);
+  EXPECT_EQ(bench.metric, d::MetricKind::kQualityRate);
+  EXPECT_EQ(bench.optimizer, c::OptimizerKind::kSensitivity);
+
+  // Near-silent sources: agreement ~1. Loud sources: lower agreement.
+  const d::Config quiet(10, o.level_max);
+  const d::Config loud(10, 0);
+  const double q_quiet = bench.simulate(quiet);
+  const double q_loud = bench.simulate(loud);
+  EXPECT_GT(q_quiet, 0.9);
+  EXPECT_LE(q_quiet, 1.0);
+  EXPECT_LT(q_loud, q_quiet);
+  // Deterministic.
+  EXPECT_DOUBLE_EQ(bench.simulate(loud), q_loud);
+}
+
+TEST(IirSensitivityBenchmark, ShapeAndMonotonicity) {
+  c::IirSensitivityOptions o;
+  o.samples = 128;
+  const auto bench = c::make_iir_sensitivity_benchmark(o);
+  EXPECT_EQ(bench.name, "IIR-sens");
+  EXPECT_EQ(bench.nv, 5u);  // 4 sections + input source.
+  EXPECT_EQ(bench.optimizer, c::OptimizerKind::kSensitivity);
+  // Quieter sources (higher level) -> higher accuracy.
+  const d::Config quiet(5, 20), loud(5, 4);
+  EXPECT_GT(bench.simulate(quiet), bench.simulate(loud));
+  EXPECT_DOUBLE_EQ(bench.simulate(loud), bench.simulate(loud));
+}
+
+TEST(ApproxFirBenchmark, ShapeAndMonotonicity) {
+  c::ApproxFirBenchOptions o;
+  o.samples = 128;
+  const auto bench = c::make_approx_fir_benchmark(o);
+  EXPECT_EQ(bench.name, "ApproxFIR");
+  EXPECT_EQ(bench.nv, 4u);
+  // More precise operators (higher v) -> higher accuracy.
+  const d::Config rough(4, 4), fine(4, 12);
+  EXPECT_LT(bench.simulate(rough), bench.simulate(fine));
+  EXPECT_DOUBLE_EQ(bench.simulate(rough), bench.simulate(rough));
+  // Validation.
+  c::ApproxFirBenchOptions bad;
+  bad.taps = 3;
+  EXPECT_THROW((void)c::make_approx_fir_benchmark(bad),
+               std::invalid_argument);
+  bad = {};
+  bad.v_min = 14;
+  EXPECT_THROW((void)c::make_approx_fir_benchmark(bad),
+               std::invalid_argument);
+}
+
+TEST(DctBenchmark, ShapeAndMonotonicity) {
+  c::DctBenchOptions o;
+  o.blocks = 6;
+  const auto bench = c::make_dct_benchmark(o);
+  EXPECT_EQ(bench.name, "DCT");
+  EXPECT_EQ(bench.nv, 6u);
+  const d::Config narrow(6, 8), wide(6, 14);
+  EXPECT_LT(bench.simulate(narrow), bench.simulate(wide));
+}
+
+TEST(FftBenchmark, RejectsTooFewSamples) {
+  c::SignalBenchOptions o;
+  o.samples = 32;
+  EXPECT_THROW((void)c::make_fft_benchmark(o), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Tests for the two related-work baselines: per-variable 1-D
+// interpolation (ref [18]) and adaptive observation counts (ref [14]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dse/adaptive_simulation.hpp"
+#include "dse/interp1d.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace d = ace::dse;
+
+d::Trajectory axis_sweep_trajectory() {
+  // Phase-1-like pattern: sweep variable 0 with variable 1 pinned, then
+  // variable 1 with variable 0 pinned — plus two off-axis points.
+  d::Trajectory t;
+  auto add = [&](int a, int b) {
+    t.configs.push_back({a, b});
+    t.values.push_back(3.0 * a + 5.0 * b);
+  };
+  for (int a = 16; a >= 10; --a) add(a, 16);
+  for (int b = 16; b >= 10; --b) add(16, b);
+  add(12, 12);
+  add(13, 12);
+  return t;
+}
+
+TEST(Interp1d, Validation) {
+  d::Trajectory bad;
+  bad.configs.push_back({1});
+  EXPECT_THROW((void)d::replay_with_interp1d(bad, {},
+                                             d::MetricKind::kAccuracyDb),
+               std::invalid_argument);
+  d::Interp1dOptions o;
+  o.max_span = 0;
+  EXPECT_THROW((void)d::replay_with_interp1d(axis_sweep_trajectory(), o,
+                                             d::MetricKind::kAccuracyDb),
+               std::invalid_argument);
+}
+
+TEST(Interp1d, InterpolatesAlongAxisSweeps) {
+  const auto t = axis_sweep_trajectory();
+  d::Interp1dOptions o;
+  o.max_span = 3;
+  const auto report =
+      d::replay_with_interp1d(t, o, d::MetricKind::kAccuracyDb);
+  EXPECT_EQ(report.stats.total, t.size());
+  // The axis sweeps are exactly the pattern 1-D interpolation serves.
+  EXPECT_GT(report.stats.interpolated, 4u);
+  // λ is linear along each axis: 1-D linear interpolation is near exact.
+  for (const auto& r : report.records)
+    if (r.interpolated) EXPECT_LT(r.epsilon, 0.05) << "index " << r.index;
+}
+
+TEST(Interp1d, CannotServeOffAxisConfigurations) {
+  // A trajectory moving diagonally defeats per-variable interpolation.
+  d::Trajectory t;
+  for (int i = 0; i < 12; ++i) {
+    t.configs.push_back({i, i});
+    t.values.push_back(2.0 * i);
+  }
+  const auto report =
+      d::replay_with_interp1d(t, {}, d::MetricKind::kAccuracyDb);
+  EXPECT_EQ(report.stats.interpolated, 0u);
+  EXPECT_EQ(report.stats.simulated, 12u);
+}
+
+TEST(Interp1d, MaxSpanLimitsReach) {
+  d::Trajectory t;
+  for (int a : {0, 10, 20}) {
+    t.configs.push_back({a});
+    t.values.push_back(static_cast<double>(a));
+  }
+  t.configs.push_back({5});
+  t.values.push_back(5.0);
+  d::Interp1dOptions near;
+  near.max_span = 2;
+  const auto r1 = d::replay_with_interp1d(t, near, d::MetricKind::kAccuracyDb);
+  EXPECT_EQ(r1.stats.interpolated, 0u);
+  d::Interp1dOptions far;
+  far.max_span = 10;
+  const auto r2 = d::replay_with_interp1d(t, far, d::MetricKind::kAccuracyDb);
+  EXPECT_EQ(r2.stats.interpolated, 1u);  // {5} from {0} and {10}.
+  EXPECT_LT(r2.records.back().epsilon, 1e-9);
+}
+
+TEST(AdaptiveMean, Validation) {
+  EXPECT_THROW((void)d::adaptive_mean(nullptr, 10), std::invalid_argument);
+  auto one = [](std::size_t) { return 1.0; };
+  EXPECT_THROW((void)d::adaptive_mean(one, 0), std::invalid_argument);
+  d::AdaptiveSimOptions o;
+  o.batch = 0;
+  EXPECT_THROW((void)d::adaptive_mean(one, 10, o), std::invalid_argument);
+  o = {};
+  o.relative_half_width = 0.0;
+  EXPECT_THROW((void)d::adaptive_mean(one, 10, o), std::invalid_argument);
+}
+
+TEST(AdaptiveMean, ConstantSequenceConvergesImmediately) {
+  d::AdaptiveSimOptions o;
+  o.batch = 8;
+  const auto r = d::adaptive_mean([](std::size_t) { return 2.5; }, 1000, o);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.mean, 2.5);
+  EXPECT_EQ(r.observations, o.batch * o.min_batches);
+}
+
+TEST(AdaptiveMean, NoisySequenceStopsEarlyWithAccurateMean) {
+  ace::util::Rng rng(60);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i)
+    samples.push_back(10.0 + rng.normal(0.0, 1.0));
+  d::AdaptiveSimOptions o;
+  o.relative_half_width = 0.02;
+  const auto r = d::adaptive_mean(
+      [&](std::size_t i) { return samples[i]; }, samples.size(), o);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.observations, samples.size() / 2);  // Real savings.
+  EXPECT_NEAR(r.mean, 10.0, 0.3);
+}
+
+TEST(AdaptiveMean, ExhaustsWhenToleranceUnreachable) {
+  ace::util::Rng rng(61);
+  d::AdaptiveSimOptions o;
+  o.relative_half_width = 1e-6;
+  o.batch = 16;
+  const auto r = d::adaptive_mean(
+      [&](std::size_t) { return rng.normal(5.0, 2.0); }, 256, o);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.observations, 256u);
+}
+
+TEST(AdaptiveMean, MatchesFullMeanWhenExhausted) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  d::AdaptiveSimOptions o;
+  o.relative_half_width = 1e-9;
+  o.batch = 2;
+  const auto r = d::adaptive_mean([&](std::size_t i) { return xs[i]; },
+                                  xs.size(), o);
+  EXPECT_DOUBLE_EQ(r.mean, 2.5);
+}
+
+}  // namespace

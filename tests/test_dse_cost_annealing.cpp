@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dse/annealing.hpp"
+#include "dse/cost.hpp"
+
+namespace {
+
+namespace d = ace::dse;
+
+TEST(CostModels, LinearAndQuadratic) {
+  EXPECT_DOUBLE_EQ(d::linear_cost({2, 3, 5}), 10.0);
+  EXPECT_DOUBLE_EQ(d::quadratic_cost({2, 3}), 13.0);
+  EXPECT_DOUBLE_EQ(d::linear_cost({}), 0.0);
+}
+
+TEST(WeightedCostModel, DefaultWeightsAreOnes) {
+  const d::WeightedCostModel model({}, {});
+  EXPECT_DOUBLE_EQ(model({2, 3}), 2.0 + 3.0 + 4.0 + 9.0);
+}
+
+TEST(WeightedCostModel, CustomWeightsAndValidation) {
+  const d::WeightedCostModel model({1.0, 0.0}, {0.0, 2.0});
+  // 1·2 + 0·3 + 0·4 + 2·9 = 20.
+  EXPECT_DOUBLE_EQ(model({2, 3}), 20.0);
+  EXPECT_THROW((void)model({2, 3, 4}), std::invalid_argument);
+  const auto fn = model.as_function();
+  EXPECT_DOUBLE_EQ(fn({2, 3}), 20.0);
+}
+
+/// Separable test surface: λ(w) = 6·Σ w_i, feasible iff Σ w_i >= λm/6.
+double separable(const d::Config& w) { return 6.0 * d::linear_cost(w); }
+
+TEST(Annealing, Validation) {
+  const d::Lattice lat(2, 2, 16);
+  d::AnnealingOptions o;
+  o.cost = nullptr;
+  EXPECT_THROW((void)d::simulated_annealing(separable, lat, o),
+               std::invalid_argument);
+  o = {};
+  o.iterations = 0;
+  EXPECT_THROW((void)d::simulated_annealing(separable, lat, o),
+               std::invalid_argument);
+  o = {};
+  o.initial_temperature = 0.0;
+  EXPECT_THROW((void)d::simulated_annealing(separable, lat, o),
+               std::invalid_argument);
+  o = {};
+  o.cooling = 1.5;
+  EXPECT_THROW((void)d::simulated_annealing(separable, lat, o),
+               std::invalid_argument);
+}
+
+TEST(Annealing, FindsCheapFeasibleSolutionOnSeparableSurface) {
+  const d::Lattice lat(3, 2, 16);
+  d::AnnealingOptions o;
+  o.lambda_min = 120.0;  // Needs Σ w = 20.
+  o.iterations = 6000;
+  o.seed = 9;
+  const auto r = d::simulated_annealing(separable, lat, o);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.best_lambda, o.lambda_min);
+  // Optimum cost is exactly 20; annealing should land close.
+  EXPECT_LE(r.best_cost, 24.0);
+  EXPECT_GE(r.best_cost, 20.0);
+  EXPECT_GT(r.evaluations, 100u);
+  EXPECT_GT(r.accepted, 0u);
+}
+
+TEST(Annealing, DeterministicGivenSeed) {
+  const d::Lattice lat(2, 2, 12);
+  d::AnnealingOptions o;
+  o.lambda_min = 60.0;
+  o.iterations = 1500;
+  o.seed = 4;
+  const auto a = d::simulated_annealing(separable, lat, o);
+  const auto b = d::simulated_annealing(separable, lat, o);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+TEST(Annealing, StartsFeasibleAtUpperCorner) {
+  const d::Lattice lat(2, 2, 16);
+  d::AnnealingOptions o;
+  o.lambda_min = 6.0 * 32.0;  // Only the upper corner is feasible.
+  o.iterations = 300;
+  const auto r = d::simulated_annealing(separable, lat, o);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.best, lat.uniform(16));
+}
+
+TEST(Annealing, InfeasibleProblemReportsInfeasible) {
+  const d::Lattice lat(2, 2, 8);
+  d::AnnealingOptions o;
+  o.lambda_min = 1e9;
+  o.iterations = 500;
+  const auto r = d::simulated_annealing(separable, lat, o);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_LT(r.best_lambda, o.lambda_min);
+}
+
+TEST(Annealing, QuadraticCostPrefersBalancedSolutions) {
+  // With λ = 6·Σw and quadratic cost, balanced configurations dominate:
+  // for a fixed feasible sum, Σw² is minimized by equal coordinates.
+  const d::Lattice lat(2, 2, 16);
+  d::AnnealingOptions o;
+  o.lambda_min = 120.0;  // Σ w >= 20.
+  o.cost = d::quadratic_cost;
+  o.iterations = 8000;
+  o.seed = 21;
+  const auto r = d::simulated_annealing(separable, lat, o);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(std::abs(r.best[0] - r.best[1]), 2);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include "dse/doe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace {
+
+namespace d = ace::dse;
+
+TEST(LatinHypercube, Validation) {
+  ace::util::Rng rng(1);
+  const d::Lattice lat(3, 2, 16);
+  EXPECT_THROW((void)d::latin_hypercube_sample(lat, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(LatinHypercube, PointsAreDistinctAndInRange) {
+  ace::util::Rng rng(2);
+  const d::Lattice lat(4, 2, 16);
+  const auto design = d::latin_hypercube_sample(lat, 10, rng);
+  EXPECT_EQ(design.size(), 10u);
+  std::set<d::Config> unique(design.begin(), design.end());
+  EXPECT_EQ(unique.size(), design.size());
+  for (const auto& c : design) EXPECT_TRUE(lat.contains(c));
+}
+
+TEST(LatinHypercube, StratifiesEachDimension) {
+  // With count == lattice span, every value of each dimension appears
+  // exactly once (classic LHS property).
+  ace::util::Rng rng(3);
+  const d::Lattice lat(2, 0, 9);
+  const auto design = d::latin_hypercube_sample(lat, 10, rng);
+  ASSERT_EQ(design.size(), 10u);
+  for (std::size_t dim = 0; dim < 2; ++dim) {
+    std::set<int> values;
+    for (const auto& c : design) values.insert(c[dim]);
+    EXPECT_EQ(values.size(), 10u) << "dimension " << dim;
+  }
+}
+
+TEST(LatinHypercube, Deterministic) {
+  ace::util::Rng a(4), b(4);
+  const d::Lattice lat(3, 2, 12);
+  EXPECT_EQ(d::latin_hypercube_sample(lat, 8, a),
+            d::latin_hypercube_sample(lat, 8, b));
+}
+
+TEST(CornerPlusRandom, IncludesBothCorners) {
+  ace::util::Rng rng(5);
+  const d::Lattice lat(3, 2, 16);
+  const auto design = d::corner_plus_random_sample(lat, 8, rng);
+  EXPECT_GE(design.size(), 2u);
+  EXPECT_EQ(design[0], lat.uniform(2));
+  EXPECT_EQ(design[1], lat.uniform(16));
+  std::set<d::Config> unique(design.begin(), design.end());
+  EXPECT_EQ(unique.size(), design.size());
+}
+
+TEST(CornerPlusRandom, HandlesTinyLattices) {
+  ace::util::Rng rng(6);
+  const d::Lattice lat(2, 5, 5);  // Single point.
+  const auto design = d::corner_plus_random_sample(lat, 4, rng);
+  EXPECT_EQ(design.size(), 1u);
+  EXPECT_EQ(design[0], (d::Config{5, 5}));
+}
+
+TEST(WarmStart, SeedsThePolicyStore) {
+  ace::util::Rng rng(7);
+  const d::Lattice lat(2, 0, 10);
+  const auto design = d::latin_hypercube_sample(lat, 8, rng);
+
+  d::PolicyOptions options;
+  options.distance = 2;
+  options.min_fit_points = 20;  // Keep the warm start fully simulated.
+  d::KrigingPolicy policy(options);
+  std::size_t calls = 0;
+  const std::size_t stored = d::warm_start(
+      policy,
+      [&](const d::Config& c) {
+        ++calls;
+        return static_cast<double>(c[0] + c[1]);
+      },
+      design);
+  EXPECT_EQ(stored, policy.store().size());
+  EXPECT_GE(calls, stored);
+  EXPECT_GT(stored, 0u);
+}
+
+TEST(WarmStart, RaisesEarlyInterpolationRate) {
+  // Dense trajectory around the lattice centre: with a warm-started store
+  // the very first queries can already be interpolated.
+  ace::util::Rng rng(8);
+  const d::Lattice lat(2, 0, 8);
+  auto surface = [](const d::Config& c) {
+    return 2.0 * c[0] + 3.0 * c[1];
+  };
+
+  d::PolicyOptions options;
+  options.distance = 4;
+  options.min_fit_points = 6;
+
+  d::KrigingPolicy cold(options);
+  d::KrigingPolicy warm(options);
+  const auto design = d::latin_hypercube_sample(lat, 12, rng);
+  d::warm_start(warm, surface, design);
+
+  std::size_t cold_interp = 0, warm_interp = 0;
+  for (int x = 3; x <= 5; ++x)
+    for (int y = 3; y <= 5; ++y) {
+      if (cold.evaluate({x, y}, surface).interpolated) ++cold_interp;
+      if (warm.evaluate({x, y}, surface).interpolated) ++warm_interp;
+    }
+  EXPECT_GE(warm_interp, cold_interp);
+  EXPECT_GT(warm_interp, 0u);
+}
+
+}  // namespace

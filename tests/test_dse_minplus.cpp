@@ -1,0 +1,154 @@
+#include "dse/min_plus_one.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace {
+
+namespace d = ace::dse;
+
+/// Separable analytic accuracy: λ(w) = Σ 6·(min(w_i, sat) − base). Monotone
+/// non-decreasing in every variable, as quantization-noise accuracy is.
+struct SeparableSurface {
+  double operator()(const d::Config& w) const {
+    double acc = 0.0;
+    for (int wi : w) acc += 6.0 * (std::min(wi, 14) - 2);
+    return acc;
+  }
+};
+
+TEST(MinPlusOne, OptionValidation) {
+  d::MinPlusOneOptions o;
+  o.nv = 0;
+  EXPECT_THROW((void)d::min_plus_one(SeparableSurface{}, o),
+               std::invalid_argument);
+  o.nv = 2;
+  o.w_min = 10;
+  o.w_max = 5;
+  EXPECT_THROW((void)d::min_plus_one(SeparableSurface{}, o),
+               std::invalid_argument);
+  o.w_min = 1;
+  o.w_max = 8;
+  EXPECT_THROW((void)d::min_plus_one(SeparableSurface{}, o),
+               std::invalid_argument);
+}
+
+TEST(MinPlusOnePhase1, FindsPerVariableMinimum) {
+  // λ with both at 16: 2·6·12 = 144. Dropping one variable to wi loses
+  // 6·(14 − wi)... constraint λm = 120 → need min(wi,14) >= 10.
+  d::MinPlusOneOptions o;
+  o.nv = 2;
+  o.w_max = 16;
+  o.w_min = 2;
+  o.lambda_min = 120.0;
+  const auto w_min = d::determine_min_word_lengths(SeparableSurface{}, o);
+  ASSERT_EQ(w_min.size(), 2u);
+  EXPECT_EQ(w_min[0], 10);
+  EXPECT_EQ(w_min[1], 10);
+}
+
+TEST(MinPlusOnePhase1, FloorIsRespectedWhenConstraintNeverBreaks) {
+  d::MinPlusOneOptions o;
+  o.nv = 3;
+  o.w_max = 12;
+  o.w_min = 2;
+  o.lambda_min = -1000.0;  // Always satisfied.
+  const auto w_min = d::determine_min_word_lengths(SeparableSurface{}, o);
+  for (int wi : w_min) EXPECT_EQ(wi, 2);
+}
+
+TEST(MinPlusOnePhase1, StuckAtMaxWhenConstraintUnreachable) {
+  d::MinPlusOneOptions o;
+  o.nv = 2;
+  o.w_max = 16;
+  o.w_min = 2;
+  o.lambda_min = 1e9;  // Unreachable.
+  const auto w_min = d::determine_min_word_lengths(SeparableSurface{}, o);
+  // First decrement already violates, so the +1 backoff restores w_max.
+  for (int wi : w_min) EXPECT_EQ(wi, 16);
+}
+
+TEST(MinPlusOnePhase2, ClimbsUntilConstraintMet) {
+  d::MinPlusOneOptions o;
+  o.nv = 3;
+  o.w_max = 16;
+  o.w_min = 2;
+  o.lambda_min = 150.0;  // From (4,4,4): λ = 3·6·2 = 36 — must climb.
+  const auto result =
+      d::optimize_word_lengths(SeparableSurface{}, o, {4, 4, 4});
+  EXPECT_TRUE(result.constraint_met);
+  EXPECT_GE(result.final_lambda, o.lambda_min);
+  // λ increments are 6 per bit: needs ceil((150−36)/6) = 19 steps.
+  EXPECT_EQ(result.decisions.size(), 19u);
+  // Greedy should not exceed the constraint by more than one step's gain.
+  EXPECT_LT(result.final_lambda, o.lambda_min + 6.0);
+}
+
+TEST(MinPlusOnePhase2, SaturatesGracefullyWhenUnreachable) {
+  d::MinPlusOneOptions o;
+  o.nv = 2;
+  o.w_max = 6;
+  o.w_min = 2;
+  o.lambda_min = 1e9;
+  const auto result =
+      d::optimize_word_lengths(SeparableSurface{}, o, {2, 2});
+  EXPECT_FALSE(result.constraint_met);
+  EXPECT_EQ(result.w_res, (d::Config{6, 6}));  // All at w_max.
+}
+
+TEST(MinPlusOnePhase2, StartSizeMismatchThrows) {
+  d::MinPlusOneOptions o;
+  o.nv = 3;
+  EXPECT_THROW((void)d::optimize_word_lengths(SeparableSurface{}, o, {4, 4}),
+               std::invalid_argument);
+}
+
+TEST(MinPlusOnePhase2, PrefersTheMostValuableVariable) {
+  // Weighted surface: variable 0 contributes 3× more per bit.
+  auto surface = [](const d::Config& w) {
+    return 9.0 * (w[0] - 2) + 3.0 * (w[1] - 2);
+  };
+  d::MinPlusOneOptions o;
+  o.nv = 2;
+  o.w_max = 16;
+  o.w_min = 2;
+  o.lambda_min = 40.0;
+  const auto result = d::optimize_word_lengths(surface, o, {2, 2});
+  EXPECT_TRUE(result.constraint_met);
+  // All early decisions should pick variable 0 (biggest gain).
+  ASSERT_FALSE(result.decisions.empty());
+  for (const std::size_t jc : result.decisions) EXPECT_EQ(jc, 0u);
+}
+
+TEST(MinPlusOne, FullAlgorithmEndsFeasibleAndRecordsPhases) {
+  d::MinPlusOneOptions o;
+  o.nv = 4;
+  o.w_max = 16;
+  o.w_min = 2;
+  o.lambda_min = 200.0;
+  const auto result = d::min_plus_one(SeparableSurface{}, o);
+  EXPECT_TRUE(result.constraint_met);
+  EXPECT_EQ(result.w_min.size(), 4u);
+  EXPECT_EQ(result.w_res.size(), 4u);
+  // Result dominates the phase-1 start.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_GE(result.w_res[i], result.w_min[i]);
+  EXPECT_GE(result.final_lambda, o.lambda_min);
+}
+
+TEST(MinPlusOne, MaxStepsCapIsHonoured) {
+  d::MinPlusOneOptions o;
+  o.nv = 2;
+  o.w_max = 16;
+  o.w_min = 2;
+  o.lambda_min = 1e9;
+  o.max_steps = 3;
+  const auto result = d::optimize_word_lengths(SeparableSurface{}, o, {2, 2});
+  EXPECT_LE(result.decisions.size(), 3u);
+  EXPECT_FALSE(result.constraint_met);
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+#include "dse/kriging_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace {
+
+namespace d = ace::dse;
+
+/// Smooth 2-D test surface: λ(x, y) = −(x + 2y), linear so kriging with the
+/// fitted variogram interpolates it very accurately.
+double linear_surface(const d::Config& c) {
+  return -(static_cast<double>(c[0]) + 2.0 * static_cast<double>(c[1]));
+}
+
+d::PolicyOptions small_fit_options(int distance, std::size_t nn_min = 1) {
+  d::PolicyOptions o;
+  o.distance = distance;
+  o.nn_min = nn_min;
+  // High enough that the six-point seeding clusters below are fully
+  // simulated before kriging can kick in.
+  o.min_fit_points = 6;
+  return o;
+}
+
+TEST(KrigingPolicy, RejectsNegativeDistance) {
+  d::PolicyOptions o;
+  o.distance = -1;
+  EXPECT_THROW(d::KrigingPolicy{o}, std::invalid_argument);
+}
+
+TEST(KrigingPolicy, FirstEvaluationsAreSimulated) {
+  d::KrigingPolicy policy(small_fit_options(2));
+  std::size_t calls = 0;
+  auto sim = [&](const d::Config& c) {
+    ++calls;
+    return linear_surface(c);
+  };
+  const auto o1 = policy.evaluate({0, 0}, sim);
+  EXPECT_FALSE(o1.interpolated);
+  EXPECT_DOUBLE_EQ(o1.value, 0.0);
+  const auto o2 = policy.evaluate({4, 4}, sim);  // Far from {0,0}.
+  EXPECT_FALSE(o2.interpolated);
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(policy.store().size(), 2u);
+  EXPECT_EQ(policy.stats().simulated, 2u);
+  EXPECT_EQ(policy.stats().interpolated, 0u);
+}
+
+TEST(KrigingPolicy, InterpolatesWhenNeighborhoodIsRich) {
+  d::KrigingPolicy policy(small_fit_options(3));
+  std::size_t calls = 0;
+  auto sim = [&](const d::Config& c) {
+    ++calls;
+    return linear_surface(c);
+  };
+  // Seed a dense cluster by simulation.
+  for (const d::Config& c : std::vector<d::Config>{
+           {0, 0}, {1, 0}, {0, 1}, {2, 0}, {1, 1}, {0, 2}})
+    (void)policy.evaluate(c, sim);
+  ASSERT_EQ(calls, 6u);
+
+  // Query inside the cluster: must interpolate, not simulate.
+  const auto o = policy.evaluate({1, 2}, sim);
+  EXPECT_TRUE(o.interpolated);
+  EXPECT_EQ(calls, 6u);  // No new simulation.
+  EXPECT_GT(o.neighbors, 1u);
+  // Linear surface: interpolation should be near-exact.
+  EXPECT_NEAR(o.value, linear_surface({1, 2}), 0.5);
+}
+
+TEST(KrigingPolicy, InterpolatedConfigsNeverEnterTheStore) {
+  // The paper's rule: interpolated points are not reused for kriging.
+  d::KrigingPolicy policy(small_fit_options(4));
+  auto sim = [&](const d::Config& c) { return linear_surface(c); };
+  for (const d::Config& c : std::vector<d::Config>{
+           {0, 0}, {1, 0}, {0, 1}, {2, 0}, {1, 1}, {0, 2}})
+    (void)policy.evaluate(c, sim);
+  const std::size_t before = policy.store().size();
+  const auto o = policy.evaluate({1, 2}, sim);
+  ASSERT_TRUE(o.interpolated);
+  EXPECT_EQ(policy.store().size(), before);
+  // Every stored config was simulated: store size == simulated count.
+  EXPECT_EQ(policy.store().size(), policy.stats().simulated);
+}
+
+TEST(KrigingPolicy, NnMinGatesInterpolation) {
+  // With nn_min = 10, a 6-point neighbourhood is not enough.
+  d::KrigingPolicy policy(small_fit_options(4, /*nn_min=*/10));
+  std::size_t calls = 0;
+  auto sim = [&](const d::Config& c) {
+    ++calls;
+    return linear_surface(c);
+  };
+  for (const d::Config& c : std::vector<d::Config>{
+           {0, 0}, {1, 0}, {0, 1}, {2, 0}, {1, 1}, {0, 2}})
+    (void)policy.evaluate(c, sim);
+  const auto o = policy.evaluate({1, 2}, sim);
+  EXPECT_FALSE(o.interpolated);
+  EXPECT_EQ(calls, 7u);
+}
+
+TEST(KrigingPolicy, DistanceZeroOnlyMatchesExactRepeats) {
+  d::PolicyOptions o = small_fit_options(0);
+  o.min_fit_points = 1;
+  d::KrigingPolicy policy(o);
+  auto sim = [&](const d::Config& c) { return linear_surface(c); };
+  (void)policy.evaluate({3, 3}, sim);
+  const auto far = policy.evaluate({3, 4}, sim);
+  EXPECT_FALSE(far.interpolated);
+}
+
+TEST(KrigingPolicy, StatsTrackNeighborCounts) {
+  d::KrigingPolicy policy(small_fit_options(4));
+  auto sim = [&](const d::Config& c) { return linear_surface(c); };
+  for (const d::Config& c : std::vector<d::Config>{
+           {0, 0}, {1, 0}, {0, 1}, {2, 0}, {1, 1}, {0, 2}})
+    (void)policy.evaluate(c, sim);
+  (void)policy.evaluate({1, 2}, sim);
+  (void)policy.evaluate({2, 1}, sim);
+  const auto& stats = policy.stats();
+  EXPECT_EQ(stats.total, 8u);
+  EXPECT_EQ(stats.interpolated, 2u);
+  EXPECT_EQ(stats.simulated, 6u);
+  EXPECT_GT(stats.neighbors_per_interpolation.mean(), 1.0);
+  EXPECT_NEAR(stats.interpolated_fraction(), 0.25, 1e-12);
+}
+
+TEST(KrigingPolicy, RefitModelRequiresEnoughData) {
+  d::KrigingPolicy policy(small_fit_options(3));
+  EXPECT_FALSE(policy.refit_model());
+  auto sim = [&](const d::Config& c) { return linear_surface(c); };
+  (void)policy.evaluate({0, 0}, sim);
+  EXPECT_FALSE(policy.refit_model());  // One point: no pairs.
+  (void)policy.evaluate({5, 5}, sim);
+  // Two points produce a single bin — still not fittable (needs 2 bins).
+  EXPECT_FALSE(policy.refit_model());
+  (void)policy.evaluate({9, 0}, sim);
+  EXPECT_TRUE(policy.refit_model());
+  EXPECT_NE(policy.model(), nullptr);
+}
+
+TEST(KrigingPolicy, RejectsNegativeVarianceGate) {
+  d::PolicyOptions o;
+  o.variance_gate = -0.5;
+  EXPECT_THROW(d::KrigingPolicy{o}, std::invalid_argument);
+}
+
+TEST(KrigingPolicy, RegressionKrigingCapturesLinearTrend) {
+  // λ = 10·x0 + 4·x1 is a pure linear trend: with drift = kLinear the
+  // residual field is ~0, so interpolation is near exact even where the
+  // support sits entirely on one side of the query.
+  auto surface = [](const d::Config& c) {
+    return 10.0 * c[0] + 4.0 * c[1];
+  };
+  d::PolicyOptions o = small_fit_options(4);
+  o.drift = ace::kriging::DriftKind::kLinear;
+  d::KrigingPolicy policy(o);
+  for (const d::Config& c : std::vector<d::Config>{
+           {0, 0}, {1, 0}, {0, 1}, {2, 0}, {1, 1}, {0, 2}, {2, 2}})
+    (void)policy.evaluate(c, surface);
+  ASSERT_EQ(policy.trend().size(), 3u);
+  EXPECT_NEAR(policy.trend()[1], 10.0, 1e-6);
+  EXPECT_NEAR(policy.trend()[2], 4.0, 1e-6);
+  const auto o1 = policy.evaluate({3, 2}, surface);  // Outside the hull.
+  if (o1.interpolated)
+    EXPECT_NEAR(o1.value, surface({3, 2}), 1e-4);
+}
+
+TEST(KrigingPolicy, TrendFallsBackToMeanOnDegenerateDesign) {
+  // All stored points on one axis: the linear design is rank deficient,
+  // the trend degrades to mean-only, and evaluation still works.
+  auto surface = [](const d::Config& c) { return 2.0 * c[0]; };
+  d::PolicyOptions o = small_fit_options(3);
+  o.drift = ace::kriging::DriftKind::kLinear;
+  o.min_fit_points = 4;
+  d::KrigingPolicy policy(o);
+  for (int x = 0; x < 6; ++x) (void)policy.evaluate({x, 7}, surface);
+  ASSERT_TRUE(policy.refit_model());
+  EXPECT_EQ(policy.trend().size(), 1u);  // Mean fallback.
+  const auto r = policy.evaluate({2, 7}, surface);
+  EXPECT_TRUE(r.interpolated);
+}
+
+TEST(KrigingPolicy, VarianceGateRejectsFarExtrapolations) {
+  auto surface = [](const d::Config& c) {
+    return static_cast<double>(c[0] * c[0]);
+  };
+  d::PolicyOptions gated = small_fit_options(12);
+  gated.variance_gate = 0.05;  // Very strict.
+  d::KrigingPolicy policy(gated);
+  std::size_t sims = 0;
+  auto counted = [&](const d::Config& c) {
+    ++sims;
+    return surface(c);
+  };
+  for (int x = 0; x < 8; ++x) (void)policy.evaluate({x, 0}, counted);
+  // A far query inside the radius but outside the cluster: high kriging
+  // variance, the gate forces simulation.
+  (void)policy.evaluate({0, 11}, counted);
+  EXPECT_GT(policy.stats().variance_rejections, 0u);
+  EXPECT_EQ(policy.stats().interpolated, 0u);
+}
+
+TEST(KrigingPolicy, L2MetricShrinksTheNeighbourhood) {
+  auto surface = [](const d::Config& c) {
+    return static_cast<double>(c[0] + c[1]);
+  };
+  d::PolicyOptions l1 = small_fit_options(2);
+  d::PolicyOptions l2 = small_fit_options(2);
+  l2.use_l2_distance = true;
+  d::KrigingPolicy pa(l1), pb(l2);
+  for (const d::Config& c : std::vector<d::Config>{
+           {0, 0}, {1, 1}, {2, 2}, {1, 0}, {0, 1}, {2, 1}})
+    (void)pa.evaluate(c, surface);
+  for (const d::Config& c : std::vector<d::Config>{
+           {0, 0}, {1, 1}, {2, 2}, {1, 0}, {0, 1}, {2, 1}})
+    (void)pb.evaluate(c, surface);
+  // Query {1, 2}: L1 ball of radius 2 holds more points than the L2 ball.
+  const auto na = pa.store().neighbors_within({1, 2}, 2);
+  const auto nb = pb.store().neighbors_within_l2({1, 2}, 2.0);
+  EXPECT_GE(na.count(), nb.count());
+  EXPECT_GT(nb.count(), 0u);
+}
+
+TEST(KrigingPolicy, SanityGuardRejectsWildEstimates) {
+  // Force a pathological support: after a cliff in the field, a gaussian
+  // variogram can produce estimates far outside the support range. With
+  // the guard enabled such interpolations must fall back to simulation,
+  // so every produced value stays within the guard's envelope.
+  auto cliff = [](const d::Config& c) {
+    return c[0] >= 6 ? 400.0 : 20.0 * c[0];
+  };
+  d::PolicyOptions o = small_fit_options(5);
+  o.sanity_span = 1.0;
+  d::KrigingPolicy policy(o);
+  for (int x = 0; x <= 10; ++x)
+    for (int y : {0, 1}) {
+      const auto r = policy.evaluate({x, y}, cliff);
+      if (!r.interpolated) continue;
+      EXPECT_GE(r.value, -420.0);
+      EXPECT_LE(r.value, 820.0);  // Within ~1 span of the field range.
+    }
+}
+
+TEST(KrigingPolicy, SanityGuardCanBeDisabled) {
+  d::PolicyOptions o = small_fit_options(3);
+  o.sanity_span = 0.0;
+  EXPECT_NO_THROW(d::KrigingPolicy{o});
+}
+
+TEST(KrigingPolicy, ConstantSurfaceInterpolatesToConstant) {
+  d::KrigingPolicy policy(small_fit_options(4));
+  auto sim = [](const d::Config&) { return 7.0; };
+  for (const d::Config& c : std::vector<d::Config>{
+           {0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 0}, {0, 2}})
+    (void)policy.evaluate(c, sim);
+  const auto o = policy.evaluate({1, 2}, [](const d::Config&) {
+    ADD_FAILURE() << "constant surface should interpolate";
+    return 0.0;
+  });
+  EXPECT_TRUE(o.interpolated);
+  EXPECT_NEAR(o.value, 7.0, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#include "dse/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace {
+
+namespace d = ace::dse;
+
+TEST(MaximinOrder, TrivialBatchesPassThrough) {
+  EXPECT_TRUE(d::maximin_order({}).empty());
+  const std::vector<d::Config> one = {{3, 4}};
+  EXPECT_EQ(d::maximin_order(one), one);
+  const std::vector<d::Config> two = {{0, 0}, {5, 5}};
+  EXPECT_EQ(d::maximin_order(two), two);
+}
+
+TEST(MaximinOrder, IsAPermutation) {
+  ace::util::Rng rng(90);
+  std::vector<d::Config> batch;
+  for (int i = 0; i < 30; ++i)
+    batch.push_back({rng.uniform_int(0, 10), rng.uniform_int(0, 10),
+                     rng.uniform_int(0, 10)});
+  const auto ordered = d::maximin_order(batch);
+  ASSERT_EQ(ordered.size(), batch.size());
+  auto sorted_a = batch;
+  auto sorted_b = ordered;
+  std::sort(sorted_a.begin(), sorted_a.end());
+  std::sort(sorted_b.begin(), sorted_b.end());
+  EXPECT_EQ(sorted_a, sorted_b);
+}
+
+TEST(MaximinOrder, StartsCentralThenReachesExtremes) {
+  // A 1-D line: medoid is the middle; the second pick is an endpoint.
+  std::vector<d::Config> batch;
+  for (int x = 0; x <= 10; ++x) batch.push_back({x});
+  const auto ordered = d::maximin_order(batch);
+  EXPECT_EQ(ordered[0], (d::Config{5}));
+  EXPECT_TRUE(ordered[1] == d::Config{0} || ordered[1] == d::Config{10});
+  // Both endpoints appear among the first three picks.
+  const std::set<d::Config> head(ordered.begin(), ordered.begin() + 3);
+  EXPECT_TRUE(head.count({0}) == 1);
+  EXPECT_TRUE(head.count({10}) == 1);
+}
+
+TEST(MaximinOrder, EarlyPrefixIsSpread) {
+  // On a dense 2-D grid, the minimum pairwise distance within the first
+  // five scheduled points must exceed that of the first five in raster
+  // order.
+  std::vector<d::Config> batch;
+  for (int x = 0; x < 6; ++x)
+    for (int y = 0; y < 6; ++y) batch.push_back({x, y});
+  const auto ordered = d::maximin_order(batch);
+  auto min_pairwise = [](const std::vector<d::Config>& v, std::size_t k) {
+    int best = 1 << 20;
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = i + 1; j < k; ++j)
+        best = std::min(best, d::l1_distance(v[i], v[j]));
+    return best;
+  };
+  EXPECT_GT(min_pairwise(ordered, 5), min_pairwise(batch, 5));
+}
+
+TEST(EvaluateBatch, MaximinOrderingInterpolatesMore) {
+  // A dense cloud evaluated through identical policies: the maximin
+  // ordering must interpolate at least as many configurations as the
+  // raster ordering (it front-loads the spread-out simulations).
+  std::vector<d::Config> batch;
+  for (int x = 0; x < 7; ++x)
+    for (int y = 0; y < 7; ++y) batch.push_back({x, y});
+  auto surface = [](const d::Config& c) {
+    return 2.0 * c[0] + 3.0 * c[1];
+  };
+  d::PolicyOptions options;
+  options.distance = 3;
+  options.min_fit_points = 8;
+
+  d::KrigingPolicy raster(options);
+  const std::size_t raster_count = d::evaluate_batch(raster, surface, batch);
+
+  d::KrigingPolicy maximin(options);
+  const std::size_t maximin_count =
+      d::evaluate_batch(maximin, surface, d::maximin_order(batch));
+
+  EXPECT_GE(maximin_count, raster_count);
+  EXPECT_GT(maximin_count, batch.size() / 2);
+}
+
+}  // namespace

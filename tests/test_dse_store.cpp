@@ -1,0 +1,67 @@
+#include "dse/sim_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+namespace d = ace::dse;
+
+TEST(SimulationStore, AddAndAccess) {
+  d::SimulationStore store;
+  EXPECT_TRUE(store.empty());
+  store.add({8, 8}, -40.0);
+  store.add({8, 9}, -45.0);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.config(1), (d::Config{8, 9}));
+  EXPECT_DOUBLE_EQ(store.value(0), -40.0);
+  EXPECT_THROW((void)store.config(2), std::out_of_range);
+  EXPECT_THROW((void)store.value(5), std::out_of_range);
+}
+
+TEST(SimulationStore, RejectsDimensionMismatch) {
+  d::SimulationStore store;
+  store.add({1, 2, 3}, 0.0);
+  EXPECT_THROW(store.add({1, 2}, 0.0), std::invalid_argument);
+}
+
+TEST(SimulationStore, NeighborsWithinRadiusIsInclusive) {
+  d::SimulationStore store;
+  store.add({0, 0}, 1.0);   // d = 0 from query {0,0}.
+  store.add({1, 0}, 2.0);   // d = 1.
+  store.add({1, 1}, 3.0);   // d = 2.
+  store.add({3, 3}, 4.0);   // d = 6.
+  const auto n0 = store.neighbors_within({0, 0}, 0);
+  EXPECT_EQ(n0.count(), 1u);
+  const auto n1 = store.neighbors_within({0, 0}, 1);
+  EXPECT_EQ(n1.count(), 2u);
+  const auto n2 = store.neighbors_within({0, 0}, 2);
+  EXPECT_EQ(n2.count(), 3u);
+  const auto n6 = store.neighbors_within({0, 0}, 6);
+  EXPECT_EQ(n6.count(), 4u);
+}
+
+TEST(SimulationStore, GatherProducesAlignedPointsAndValues) {
+  d::SimulationStore store;
+  store.add({0, 0}, 1.0);
+  store.add({2, 0}, 2.0);
+  store.add({5, 5}, 9.0);
+  const auto n = store.neighbors_within({1, 0}, 2);
+  ASSERT_EQ(n.count(), 2u);
+  std::vector<std::vector<double>> points;
+  std::vector<double> values;
+  store.gather(n, points, values);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(points[1][0], 2.0);
+  EXPECT_DOUBLE_EQ(values[0], 1.0);
+  EXPECT_DOUBLE_EQ(values[1], 2.0);
+}
+
+TEST(SimulationStore, EmptyStoreHasNoNeighbors) {
+  d::SimulationStore store;
+  EXPECT_EQ(store.neighbors_within({0, 0}, 100).count(), 0u);
+}
+
+}  // namespace

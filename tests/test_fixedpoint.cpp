@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+#include "fixedpoint/quantizer.hpp"
+#include "fixedpoint/range_tracker.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ace::fixedpoint::Format;
+using ace::fixedpoint::OverflowMode;
+using ace::fixedpoint::Quantizer;
+using ace::fixedpoint::RangeTracker;
+using ace::fixedpoint::RoundingMode;
+
+TEST(Format, ConstructionValidation) {
+  EXPECT_THROW(Format(1, 0), std::invalid_argument);
+  EXPECT_THROW(Format(53, 0), std::invalid_argument);
+  EXPECT_THROW(Format(8, -1), std::invalid_argument);
+  EXPECT_THROW(Format(8, 8), std::invalid_argument);
+  EXPECT_NO_THROW(Format(8, 7));
+  EXPECT_NO_THROW(Format(2, 0));
+}
+
+TEST(Format, DerivedQuantities) {
+  const Format f(8, 3);  // 1 sign, 3 integer, 4 fractional.
+  EXPECT_EQ(f.fractional_bits(), 4);
+  EXPECT_DOUBLE_EQ(f.step(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(f.min_value(), -8.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 8.0 - 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(f.rounding_noise_power(), (1.0 / 256.0) / 12.0);
+  EXPECT_DOUBLE_EQ(f.truncation_noise_power(), (1.0 / 256.0) / 3.0);
+  EXPECT_EQ(f.to_string(), "<8,3>");
+}
+
+TEST(Format, ClampedIntegerBitsKeepsConstructible) {
+  // A word too narrow for the requested range keeps sign + max integer
+  // bits: <2, iwl>=... clamps to iwl = 1.
+  const Format f = Format::with_clamped_integer_bits(2, 3);
+  EXPECT_EQ(f.word_length(), 2);
+  EXPECT_EQ(f.integer_bits(), 1);
+  EXPECT_EQ(f.fractional_bits(), 0);
+  // Wide enough words pass through unchanged.
+  const Format g = Format::with_clamped_integer_bits(8, 3);
+  EXPECT_EQ(g.integer_bits(), 3);
+  // Negative requests clamp to zero.
+  const Format h = Format::with_clamped_integer_bits(8, -2);
+  EXPECT_EQ(h.integer_bits(), 0);
+}
+
+TEST(Quantizer, ClampedFormatSaturatesOutOfRangeValues) {
+  const Quantizer q{Format::with_clamped_integer_bits(3, 5)};  // <3,2>.
+  EXPECT_DOUBLE_EQ(q(100.0), Format(3, 2).max_value());
+  EXPECT_DOUBLE_EQ(q(-100.0), -4.0);
+}
+
+TEST(Quantizer, RoundNearestGridValues) {
+  const Quantizer q{Format(8, 3)};  // step 1/16.
+  EXPECT_DOUBLE_EQ(q(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(q(1.0 / 16.0), 1.0 / 16.0);
+  // 0.03 and −0.03 are both nearer to 0 than to ±1/16 (half step = 1/32).
+  EXPECT_DOUBLE_EQ(q(0.03), 0.0);
+  EXPECT_DOUBLE_EQ(q(-0.03), 0.0);
+  // 0.04 crosses the 1/32 midpoint: rounds up to 1/16.
+  EXPECT_DOUBLE_EQ(q(0.04), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(q(-0.04), -1.0 / 16.0);
+}
+
+TEST(Quantizer, TruncationFloorsTowardMinusInfinity) {
+  const Quantizer q{Format(8, 3), RoundingMode::kTruncate};
+  EXPECT_DOUBLE_EQ(q(0.99 / 16.0), 0.0);
+  EXPECT_DOUBLE_EQ(q(-0.01), -1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(q(3.0 / 16.0), 3.0 / 16.0);
+}
+
+TEST(Quantizer, SaturationClampsAtRangeEdges) {
+  const Quantizer q{Format(6, 2)};  // Range [-4, 4 - 1/8].
+  EXPECT_DOUBLE_EQ(q(100.0), 4.0 - 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(q(-100.0), -4.0);
+}
+
+TEST(Quantizer, WrapIsPeriodic) {
+  const Quantizer q{Format(6, 2), RoundingMode::kRoundNearest,
+                    OverflowMode::kWrap};
+  // Span is 8; value 4 wraps to -4.
+  EXPECT_DOUBLE_EQ(q(4.0), -4.0);
+  EXPECT_DOUBLE_EQ(q(4.0 + 8.0), -4.0);
+  EXPECT_DOUBLE_EQ(q(-4.0 - 8.0), -4.0);
+  // In-range values unaffected.
+  EXPECT_DOUBLE_EQ(q(1.5), 1.5);
+}
+
+TEST(Quantizer, ErrorBoundedByStep) {
+  ace::util::Rng rng(5);
+  const Format f(10, 1);
+  const Quantizer qr{f};
+  const Quantizer qt{f, RoundingMode::kTruncate};
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-1.9, 1.9);
+    EXPECT_LE(std::abs(qr(x) - x), f.step() / 2.0 + 1e-15);
+    const double terr = x - qt(x);
+    EXPECT_GE(terr, -1e-15);
+    EXPECT_LT(terr, f.step() + 1e-15);
+  }
+}
+
+/// Property: quantization is idempotent across formats and modes.
+class QuantizerIdempotenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, RoundingMode>> {};
+
+TEST_P(QuantizerIdempotenceTest, QuantizeTwiceEqualsOnce) {
+  const auto [w, iwl, mode] = GetParam();
+  if (iwl > w - 1) GTEST_SKIP();
+  const Quantizer q{Format(w, iwl), mode};
+  ace::util::Rng rng(static_cast<std::uint64_t>(w * 100 + iwl));
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-4.0, 4.0);
+    const double once = q(x);
+    EXPECT_DOUBLE_EQ(q(once), once);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FormatsAndModes, QuantizerIdempotenceTest,
+    ::testing::Combine(::testing::Values(2, 4, 8, 12, 16, 24),
+                       ::testing::Values(0, 1, 3),
+                       ::testing::Values(RoundingMode::kRoundNearest,
+                                         RoundingMode::kTruncate)));
+
+/// Property: widening the word length never increases quantization error.
+class QuantizerMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerMonotoneTest, WiderWordSmallerError) {
+  const int w = GetParam();
+  ace::util::Rng rng(77);
+  const Quantizer narrow{Format(w, 2)};
+  const Quantizer wide{Format(w + 2, 2)};
+  double err_narrow = 0.0, err_wide = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-3.9, 3.9);
+    err_narrow += std::abs(narrow(x) - x);
+    err_wide += std::abs(wide(x) - x);
+  }
+  EXPECT_LE(err_wide, err_narrow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantizerMonotoneTest,
+                         ::testing::Values(4, 6, 8, 10, 12, 14));
+
+TEST(RangeTracker, TracksMaximaAndDerivesIntegerBits) {
+  RangeTracker t(3);
+  EXPECT_THROW(RangeTracker(0), std::invalid_argument);
+  t.observe(0, 0.4);
+  t.observe(0, -0.7);
+  t.observe(1, 3.9);
+  EXPECT_DOUBLE_EQ(t.max_abs(0), 0.7);
+  EXPECT_DOUBLE_EQ(t.max_abs(1), 3.9);
+  EXPECT_DOUBLE_EQ(t.max_abs(2), 0.0);
+  EXPECT_EQ(t.integer_bits(0), 0);   // |0.7| < 1.
+  EXPECT_EQ(t.integer_bits(1), 2);   // |3.9| < 4.
+  EXPECT_EQ(t.integer_bits(2), 0);   // Unobserved.
+  EXPECT_EQ(t.integer_bits(1, 1), 3);
+  const auto all = t.all_integer_bits();
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[1], 2);
+}
+
+TEST(RangeTracker, ObserveReturnsValueUnchanged) {
+  RangeTracker t(1);
+  EXPECT_DOUBLE_EQ(t.observe(0, -2.25), -2.25);
+  EXPECT_THROW(t.observe(1, 0.0), std::out_of_range);
+}
+
+TEST(RangeTracker, ExactPowersOfTwoNeedTheNextBit) {
+  RangeTracker t(1);
+  t.observe(0, 2.0);
+  // |2.0| needs iwl such that 2 < 2^iwl is violated at iwl=1; ceil(log2(2+eps))=2...
+  EXPECT_GE(t.integer_bits(0), 1);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include "kriging/empirical_variogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+namespace k = ace::kriging;
+
+TEST(Distances, L1AndL2) {
+  EXPECT_DOUBLE_EQ(k::l1_distance({0.0, 0.0}, {3.0, 4.0}), 7.0);
+  EXPECT_DOUBLE_EQ(k::l2_distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(k::l1_distance({1.0}, {1.0}), 0.0);
+  EXPECT_THROW((void)k::l1_distance({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)k::l2_distance({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(EmpiricalVariogram, HandComputedTwoPoints) {
+  // Two samples at L1 distance 2 with values 1 and 3:
+  // γ̂(2) = (3−1)² / (2·1) = 2.
+  const std::vector<std::vector<double>> pts = {{0.0, 0.0}, {1.0, 1.0}};
+  const std::vector<double> vals = {1.0, 3.0};
+  k::EmpiricalVariogram ev(pts, vals);
+  ASSERT_EQ(ev.bins().size(), 1u);
+  EXPECT_DOUBLE_EQ(ev.bins()[0].distance, 2.0);
+  EXPECT_DOUBLE_EQ(ev.bins()[0].gamma, 2.0);
+  EXPECT_EQ(ev.bins()[0].pair_count, 1u);
+  EXPECT_EQ(ev.total_pairs(), 1u);
+  EXPECT_DOUBLE_EQ(ev.max_distance(), 2.0);
+}
+
+TEST(EmpiricalVariogram, HandComputedThreeCollinearPoints) {
+  // Points 0, 1, 2 on a line with values 0, 1, 4.
+  // Pairs at d=1: (0,1): (1)², (1,2): (3)² → γ̂(1) = (1+9)/(2·2) = 2.5.
+  // Pair at d=2: (0,2): (4)² → γ̂(2) = 16/2 = 8.
+  const std::vector<std::vector<double>> pts = {{0.0}, {1.0}, {2.0}};
+  const std::vector<double> vals = {0.0, 1.0, 4.0};
+  k::EmpiricalVariogram ev(pts, vals);
+  ASSERT_EQ(ev.bins().size(), 2u);
+  EXPECT_DOUBLE_EQ(ev.bins()[0].gamma, 2.5);
+  EXPECT_EQ(ev.bins()[0].pair_count, 2u);
+  EXPECT_DOUBLE_EQ(ev.bins()[1].gamma, 8.0);
+  EXPECT_EQ(ev.total_pairs(), 3u);
+}
+
+TEST(EmpiricalVariogram, FlatFieldHasZeroGamma) {
+  const std::vector<std::vector<double>> pts = {{0.0}, {1.0}, {5.0}};
+  const std::vector<double> vals = {2.0, 2.0, 2.0};
+  k::EmpiricalVariogram ev(pts, vals);
+  for (const auto& bin : ev.bins()) EXPECT_DOUBLE_EQ(bin.gamma, 0.0);
+  EXPECT_DOUBLE_EQ(ev.value_variance(), 0.0);
+}
+
+TEST(EmpiricalVariogram, ValueVarianceIsSampleVariance) {
+  const std::vector<std::vector<double>> pts = {{0.0}, {1.0}, {2.0}, {3.0}};
+  const std::vector<double> vals = {1.0, 2.0, 3.0, 4.0};
+  k::EmpiricalVariogram ev(pts, vals);
+  EXPECT_NEAR(ev.value_variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(EmpiricalVariogram, WideBinsGroupDistances) {
+  const std::vector<std::vector<double>> pts = {{0.0}, {1.0}, {2.0}};
+  const std::vector<double> vals = {0.0, 1.0, 4.0};
+  // With bin_width 5, all three pairs fall in one bin.
+  k::EmpiricalVariogram ev(pts, vals, k::l1_distance, 5.0);
+  ASSERT_EQ(ev.bins().size(), 1u);
+  EXPECT_EQ(ev.bins()[0].pair_count, 3u);
+  // γ̂ = (1 + 9 + 16) / (2·3).
+  EXPECT_DOUBLE_EQ(ev.bins()[0].gamma, 26.0 / 6.0);
+  // Representative distance is the mean pair distance (1+1+2)/3.
+  EXPECT_NEAR(ev.bins()[0].distance, 4.0 / 3.0, 1e-12);
+}
+
+TEST(EmpiricalVariogram, Validation) {
+  EXPECT_THROW(k::EmpiricalVariogram({{0.0}}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(k::EmpiricalVariogram({{0.0}, {1.0}}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      k::EmpiricalVariogram({{0.0}, {1.0}}, {1.0, 2.0}, k::l1_distance, 0.0),
+      std::invalid_argument);
+}
+
+TEST(EmpiricalVariogram, L2DistanceOption) {
+  const std::vector<std::vector<double>> pts = {{0.0, 0.0}, {3.0, 4.0}};
+  const std::vector<double> vals = {0.0, 2.0};
+  k::EmpiricalVariogram ev(pts, vals, k::l2_distance);
+  ASSERT_EQ(ev.bins().size(), 1u);
+  EXPECT_DOUBLE_EQ(ev.bins()[0].distance, 5.0);
+}
+
+}  // namespace

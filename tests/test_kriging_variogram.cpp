@@ -1,0 +1,104 @@
+#include "kriging/variogram_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+namespace {
+
+namespace k = ace::kriging;
+
+TEST(LinearVariogram, ShapeAndValidation) {
+  const k::LinearVariogram v(0.1, 2.0);
+  EXPECT_DOUBLE_EQ(v.gamma(0.0), 0.0);  // γ(0) = 0 by definition.
+  EXPECT_DOUBLE_EQ(v.gamma(1.0), 2.1);
+  EXPECT_DOUBLE_EQ(v.gamma(3.0), 6.1);
+  EXPECT_THROW((void)v.gamma(-1.0), std::invalid_argument);
+  EXPECT_THROW(k::LinearVariogram(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(k::LinearVariogram(0.0, -1.0), std::invalid_argument);
+  EXPECT_EQ(v.name(), "linear");
+}
+
+TEST(SphericalVariogram, ReachesSillAtRange) {
+  const k::SphericalVariogram v(0.0, 4.0, 2.0);
+  EXPECT_DOUBLE_EQ(v.gamma(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(v.gamma(2.0), 4.0);   // At range: sill.
+  EXPECT_DOUBLE_EQ(v.gamma(10.0), 4.0);  // Beyond range: flat.
+  // Interior value: 1.5·h − 0.5·h³ at h = 0.5 → 0.6875·sill.
+  EXPECT_NEAR(v.gamma(1.0), 4.0 * 0.6875, 1e-12);
+  EXPECT_THROW(k::SphericalVariogram(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ExponentialVariogram, ApproachesSillAsymptotically) {
+  const k::ExponentialVariogram v(0.5, 3.0, 2.0);
+  EXPECT_DOUBLE_EQ(v.gamma(0.0), 0.0);
+  // At d = range, 1 − e⁻³ ≈ 0.9502.
+  EXPECT_NEAR(v.gamma(2.0), 0.5 + 3.0 * 0.950212931, 1e-8);
+  EXPECT_LT(v.gamma(100.0), 3.5 + 1e-9);
+  EXPECT_GT(v.gamma(100.0), 3.49);
+}
+
+TEST(GaussianVariogram, SmoothNearOrigin) {
+  const k::GaussianVariogram v(0.0, 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(v.gamma(0.0), 0.0);
+  // Quadratic start: γ(d) ≈ sill·3·(d/a)² for small d.
+  const double small = v.gamma(0.1);
+  EXPECT_NEAR(small, 2.0 * 3.0 * (0.1 / 4.0) * (0.1 / 4.0), 1e-4);
+  EXPECT_NEAR(v.gamma(100.0), 2.0, 1e-9);
+}
+
+TEST(PowerVariogram, ExponentBounds) {
+  const k::PowerVariogram v(0.0, 1.5, 1.0);
+  EXPECT_DOUBLE_EQ(v.gamma(2.0), 3.0);
+  EXPECT_THROW(k::PowerVariogram(0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(k::PowerVariogram(0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_NO_THROW(k::PowerVariogram(0.0, 1.0, 1.99));
+}
+
+/// Properties common to every model: γ(0) = 0, non-negative, monotone
+/// non-decreasing over distance, clone() preserves behaviour.
+class VariogramPropertyTest
+    : public ::testing::TestWithParam<std::shared_ptr<k::VariogramModel>> {};
+
+TEST_P(VariogramPropertyTest, ZeroAtOrigin) {
+  EXPECT_DOUBLE_EQ(GetParam()->gamma(0.0), 0.0);
+}
+
+TEST_P(VariogramPropertyTest, NonNegativeAndMonotone) {
+  const auto& v = *GetParam();
+  double prev = v.gamma(0.0);
+  for (double d = 0.25; d <= 20.0; d += 0.25) {
+    const double g = v.gamma(d);
+    EXPECT_GE(g, 0.0);
+    EXPECT_GE(g, prev - 1e-12) << "at d = " << d;
+    prev = g;
+  }
+}
+
+TEST_P(VariogramPropertyTest, CloneMatchesOriginal) {
+  const auto& v = *GetParam();
+  const auto copy = v.clone();
+  EXPECT_EQ(copy->name(), v.name());
+  for (double d : {0.0, 0.5, 1.0, 3.0, 7.5, 19.0})
+    EXPECT_DOUBLE_EQ(copy->gamma(d), v.gamma(d));
+}
+
+TEST_P(VariogramPropertyTest, DescribeMentionsFamily) {
+  const auto& v = *GetParam();
+  EXPECT_NE(v.describe().find(v.name()), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, VariogramPropertyTest,
+    ::testing::Values(
+        std::make_shared<k::LinearVariogram>(0.2, 1.3),
+        std::make_shared<k::LinearVariogram>(0.0, 0.0),
+        std::make_shared<k::SphericalVariogram>(0.1, 2.0, 5.0),
+        std::make_shared<k::SphericalVariogram>(0.0, 1.0, 0.5),
+        std::make_shared<k::ExponentialVariogram>(0.3, 4.0, 3.0),
+        std::make_shared<k::GaussianVariogram>(0.05, 1.5, 6.0),
+        std::make_shared<k::PowerVariogram>(0.0, 0.8, 0.5),
+        std::make_shared<k::PowerVariogram>(0.1, 1.2, 1.5)));
+
+}  // namespace

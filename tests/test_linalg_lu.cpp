@@ -1,0 +1,116 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using ace::linalg::LuDecomposition;
+using ace::linalg::Matrix;
+using ace::linalg::Vector;
+
+Matrix random_matrix(ace::util::Rng& rng, std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) m(r, c) = rng.uniform(-2.0, 2.0);
+  // Diagonal boost keeps the random systems comfortably non-singular.
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += 3.0;
+  return m;
+}
+
+TEST(Lu, RejectsNonSquare) {
+  EXPECT_THROW(LuDecomposition(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3.
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  LuDecomposition lu(a);
+  ASSERT_FALSE(lu.singular());
+  const Vector x = lu.solve(Vector{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingDiagonal) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};  // Permutation matrix.
+  LuDecomposition lu(a);
+  ASSERT_FALSE(lu.singular());
+  const Vector x = lu.solve(Vector{2.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  LuDecomposition lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  EXPECT_DOUBLE_EQ(lu.rcond_estimate(), 0.0);
+  EXPECT_THROW((void)lu.solve(Vector{1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Lu, DeterminantOfDiagonal) {
+  Matrix a{{2.0, 0.0, 0.0}, {0.0, 3.0, 0.0}, {0.0, 0.0, 4.0}};
+  EXPECT_NEAR(LuDecomposition(a).determinant(), 24.0, 1e-12);
+}
+
+TEST(Lu, SolveSizeMismatchThrows) {
+  LuDecomposition lu(Matrix::identity(3));
+  EXPECT_THROW((void)lu.solve(Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  ace::util::Rng rng(17);
+  const Matrix a = random_matrix(rng, 5);
+  const Matrix inv = LuDecomposition(a).inverse();
+  const Matrix prod = a * inv;
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Lu, MultipleRightHandSides) {
+  Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  Matrix b{{2.0, 4.0}, {4.0, 8.0}};
+  const Matrix x = LuDecomposition(a).solve(b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 2.0, 1e-12);
+}
+
+TEST(Lu, RcondEstimatePositiveForWellConditioned) {
+  EXPECT_GT(LuDecomposition(Matrix::identity(4)).rcond_estimate(), 0.5);
+}
+
+/// Property sweep: residual ‖Ax − b‖∞ stays tiny across sizes and seeds.
+class LuResidualTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(LuResidualTest, ResidualIsSmall) {
+  const auto [n, seed] = GetParam();
+  ace::util::Rng rng(seed);
+  const Matrix a = random_matrix(rng, n);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng.uniform(-5.0, 5.0);
+  LuDecomposition lu(a);
+  ASSERT_FALSE(lu.singular());
+  const Vector x = lu.solve(b);
+  const Vector residual = a * x - b;
+  EXPECT_LT(residual.norm_inf(), 1e-9);
+  // det(A) consistency: det should be finite and nonzero.
+  EXPECT_NE(lu.determinant(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, LuResidualTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 8, 13, 21),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5)));
+
+}  // namespace

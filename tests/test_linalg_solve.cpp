@@ -1,0 +1,73 @@
+#include "linalg/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace {
+
+using ace::linalg::Matrix;
+using ace::linalg::robust_solve;
+using ace::linalg::SolveReport;
+using ace::linalg::Vector;
+
+TEST(RobustSolve, PlainSolveNeedsNoRegularization) {
+  Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  SolveReport report;
+  const auto x = robust_solve(a, Vector{2.0, 8.0}, report);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_TRUE(report.ok);
+  EXPECT_FALSE(report.regularized);
+  EXPECT_GT(report.rcond, 0.0);
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(RobustSolve, RidgeRescuesSingularSystem) {
+  // Rank-1 matrix: plain LU fails, ridge succeeds.
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  SolveReport report;
+  const auto x = robust_solve(a, Vector{2.0, 2.0}, report);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_TRUE(report.regularized);
+  EXPECT_GT(report.ridge, 0.0);
+  // Regularized solution distributes the weight evenly.
+  EXPECT_NEAR((*x)[0], (*x)[1], 1e-9);
+  EXPECT_NEAR((*x)[0] + (*x)[1], 2.0, 1e-4);
+}
+
+TEST(RobustSolve, BorderRowsAreNotRegularized) {
+  // Kriging-like bordered system with an all-zero core: the Lagrange border
+  // must stay intact so Σ weights = 1 is still enforced.
+  Matrix a{{0.0, 0.0, 1.0}, {0.0, 0.0, 1.0}, {1.0, 1.0, 0.0}};
+  Vector b{0.0, 0.0, 1.0};
+  SolveReport report;
+  const auto x = robust_solve(a, b, report, /*border=*/1);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_TRUE(report.regularized);
+  // Weights must sum to ~1 (the border constraint).
+  EXPECT_NEAR((*x)[0] + (*x)[1], 1.0, 1e-6);
+  // Symmetric system: equal weights.
+  EXPECT_NEAR((*x)[0], 0.5, 1e-6);
+}
+
+TEST(RobustSolve, GivesUpOnHopelessSystem) {
+  // A zero matrix with border covering everything cannot be regularized.
+  Matrix a(2, 2, 0.0);
+  SolveReport report;
+  const auto x = robust_solve(a, Vector{1.0, 1.0}, report, /*border=*/2);
+  EXPECT_FALSE(x.has_value());
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(RobustSolve, ReportsRidgeMagnitudeScaledToMatrix) {
+  Matrix a{{100.0, 100.0}, {100.0, 100.0}};
+  SolveReport report;
+  const auto x = robust_solve(a, Vector{200.0, 200.0}, report);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_TRUE(report.regularized);
+  EXPECT_GE(report.ridge, 1e-10 * 100.0);  // Scaled by max |a|.
+}
+
+}  // namespace

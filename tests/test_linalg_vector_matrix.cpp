@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace {
+
+using ace::linalg::Matrix;
+using ace::linalg::Vector;
+
+TEST(Vector, ConstructionAndAccess) {
+  Vector v(3, 1.5);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 1.5);
+  v[1] = -2.0;
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+  EXPECT_THROW((void)v[3], std::out_of_range);
+  Vector init{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(init[1], 2.0);
+}
+
+TEST(Vector, Arithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vector({4.0, 1.0}));
+  EXPECT_EQ(a - b, Vector({-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, Vector({2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, Vector({2.0, 4.0}));
+  EXPECT_THROW((a += Vector{1.0}), std::invalid_argument);
+  EXPECT_THROW((a -= Vector{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Vector, DotAndNorms) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 4.0);
+  EXPECT_THROW((void)a.dot(Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.square());
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+  EXPECT_THROW((void)m(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, InitializerListAndRagged) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndTranspose) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector r = m * Vector{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 7.0);
+  EXPECT_THROW((void)(m * Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, MatrixMatrixProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+  Matrix bad(3, 3);
+  EXPECT_THROW((void)(a * bad), std::invalid_argument);
+  // Identity is neutral.
+  const Matrix e = a * Matrix::identity(2);
+  EXPECT_EQ(e, a);
+}
+
+TEST(Matrix, ElementwiseOpsAndNorms) {
+  Matrix a{{1.0, -2.0}, {3.0, 4.0}};
+  Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ((a - b)(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ((a * 2.0)(1, 1), 8.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), std::sqrt(30.0));
+  EXPECT_THROW(a += Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, RowAndColumnExtraction) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(m.row(1), Vector({4.0, 5.0, 6.0}));
+  EXPECT_EQ(m.col(2), Vector({3.0, 6.0}));
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/classification.hpp"
+#include "metrics/error_metrics.hpp"
+#include "metrics/noise_power.hpp"
+
+namespace {
+
+namespace m = ace::metrics;
+
+TEST(NoisePower, MatchesHandComputedMse) {
+  const std::vector<double> approx = {1.0, 2.0, 3.0};
+  const std::vector<double> ref = {1.0, 2.5, 2.0};
+  EXPECT_DOUBLE_EQ(m::noise_power(approx, ref), (0.0 + 0.25 + 1.0) / 3.0);
+}
+
+TEST(NoisePower, ZeroForIdenticalSequences) {
+  const std::vector<double> x = {0.1, -0.4, 2.0};
+  EXPECT_DOUBLE_EQ(m::noise_power(x, x), 0.0);
+}
+
+TEST(NoisePower, Validation) {
+  EXPECT_THROW((void)m::noise_power({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)m::noise_power({}, {}), std::invalid_argument);
+}
+
+TEST(NoisePowerComplex, CombinesBothComponents) {
+  const std::vector<double> are = {1.0}, aim = {2.0};
+  const std::vector<double> rre = {0.0}, rim = {0.0};
+  EXPECT_DOUBLE_EQ(m::noise_power_complex(are, aim, rre, rim), 5.0);
+  EXPECT_THROW(
+      (void)m::noise_power_complex({1.0}, {1.0, 2.0}, {0.0}, {0.0}),
+      std::invalid_argument);
+}
+
+TEST(DbConversion, RoundTripsAndClampsAtFloor) {
+  EXPECT_NEAR(m::to_db(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(m::to_db(0.001), -30.0, 1e-9);
+  EXPECT_NEAR(m::from_db(m::to_db(3.7e-5)), 3.7e-5, 1e-12);
+  EXPECT_DOUBLE_EQ(m::to_db(0.0), -400.0);
+  EXPECT_DOUBLE_EQ(m::to_db(-1.0), -400.0);
+  EXPECT_DOUBLE_EQ(m::to_db(1e-80), -400.0);  // Below floor clamps.
+}
+
+TEST(EquivalentBits, InvertsThePowerModel) {
+  // P = 2^-n / 12  at n = 10.
+  const double p = std::ldexp(1.0, -10) / 12.0;
+  EXPECT_NEAR(m::equivalent_bits(p), 10.0, 1e-12);
+  EXPECT_THROW((void)m::equivalent_bits(0.0), std::invalid_argument);
+  EXPECT_THROW((void)m::equivalent_bits(-1.0), std::invalid_argument);
+}
+
+TEST(EpsilonBits, MatchesEquation11) {
+  // P̂ = 4·P  =>  ε = |log2 4| = 2 bits, symmetric in the ratio.
+  EXPECT_NEAR(m::epsilon_bits(4.0e-6, 1.0e-6), 2.0, 1e-12);
+  EXPECT_NEAR(m::epsilon_bits(1.0e-6, 4.0e-6), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m::epsilon_bits(5.0e-4, 5.0e-4), 0.0);
+  EXPECT_THROW((void)m::epsilon_bits(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)m::epsilon_bits(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(EpsilonRelative, MatchesEquation12) {
+  EXPECT_NEAR(m::epsilon_relative(0.9, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(m::epsilon_relative(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(m::epsilon_relative(-0.5, -1.0), 0.5, 1e-12);
+  EXPECT_THROW((void)m::epsilon_relative(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Classification, AgreementFraction) {
+  EXPECT_DOUBLE_EQ(
+      m::classification_agreement({1, 2, 3, 4}, {1, 2, 0, 4}), 0.75);
+  EXPECT_DOUBLE_EQ(m::classification_agreement({5}, {5}), 1.0);
+  EXPECT_THROW((void)m::classification_agreement({}, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)m::classification_agreement({1}, {1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Argmax, FirstIndexWinsTies) {
+  EXPECT_EQ(m::argmax({0.1, 0.9, 0.9}), 1u);
+  EXPECT_EQ(m::argmax({-1.0}), 0u);
+  EXPECT_THROW((void)m::argmax({}), std::invalid_argument);
+}
+
+}  // namespace

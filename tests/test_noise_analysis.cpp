@@ -1,0 +1,98 @@
+#include "signal/noise_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/noise_power.hpp"
+#include "signal/generator.hpp"
+#include "signal/iir.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace s = ace::signal;
+
+TEST(TailEnergyGain, Validation) {
+  const auto sections = s::design_butterworth_lowpass(4, 0.2);
+  EXPECT_THROW((void)s::tail_energy_gain(sections, 3), std::invalid_argument);
+  EXPECT_THROW((void)s::tail_energy_gain(sections, 0, 0),
+               std::invalid_argument);
+}
+
+TEST(TailEnergyGain, DirectPathIsUnity) {
+  const auto sections = s::design_butterworth_lowpass(4, 0.2);
+  EXPECT_DOUBLE_EQ(s::tail_energy_gain(sections, sections.size()), 1.0);
+}
+
+TEST(TailEnergyGain, LongerTailsShapeMore) {
+  // Low-pass tails have energy gain < 1 for broadband (white) inputs in
+  // proportion to their bandwidth; each extra section shrinks the gain.
+  const auto sections = s::design_butterworth_lowpass(8, 0.12);
+  double previous = s::tail_energy_gain(sections, sections.size());
+  for (std::size_t first = sections.size(); first-- > 0;) {
+    const double gain = s::tail_energy_gain(sections, first);
+    EXPECT_GT(gain, 0.0);
+    EXPECT_LE(gain, previous + 1e-9) << "tail from section " << first;
+    previous = gain;
+  }
+}
+
+TEST(TailEnergyGain, MatchesHandComputedOnePole) {
+  // y[n] = x[n] + a·y[n−1]: h = a^n, Σ h² = 1 / (1 − a²).
+  s::BiquadCoefficients c;
+  c.b0 = 1.0;
+  c.a1 = -0.5;  // a = 0.5 in the recursion above.
+  const double gain = s::tail_energy_gain({c}, 0, 4096);
+  EXPECT_NEAR(gain, 1.0 / (1.0 - 0.25), 1e-9);
+}
+
+TEST(PredictIirNoise, Validation) {
+  const auto sections = s::design_butterworth_lowpass(4, 0.2);
+  EXPECT_THROW(
+      (void)s::predict_iir_noise(sections, {10, 10}, {1, 1}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)s::predict_iir_noise(sections, {10, 10, 10}, {1}, 1),
+      std::invalid_argument);
+}
+
+TEST(PredictIirNoise, MonotoneInEveryWordLength) {
+  const auto sections = s::design_butterworth_lowpass(8, 0.12);
+  const std::vector<int> accum_iwl = {1, 1, 1, 1};
+  const std::vector<int> base(5, 12);
+  const double p0 = s::predict_iir_noise(sections, base, accum_iwl, 1);
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto wider = base;
+    wider[i] += 2;
+    EXPECT_LT(s::predict_iir_noise(sections, wider, accum_iwl, 1), p0)
+        << "variable " << i;
+  }
+}
+
+TEST(PredictIirNoise, WithinTwoBitsOfBitTrueSimulation) {
+  // The white-source model should land within ~2 equivalent bits of the
+  // bit-true simulation at moderate word lengths (correlated-source and
+  // dead-band effects account for the gap — the reason the paper prefers
+  // simulation-based evaluation).
+  const s::IirCascade iir(s::design_butterworth_lowpass(8, 0.12));
+  ace::util::Rng rng(91);
+  const auto input = s::noisy_multitone(rng, 2048);
+  const s::QuantizedIirCascade q(iir, input);
+  const auto reference = iir.filter(input);
+
+  for (const int width : {10, 12, 14}) {
+    const std::vector<int> w(5, width);
+    const double simulated =
+        ace::metrics::noise_power(q.filter(input, w), reference);
+    const double predicted = s::predict_iir_noise(
+        iir.sections(), w, q.accumulator_integer_bits(),
+        q.data_integer_bits());
+    const double gap_bits = std::abs(std::log2(predicted / simulated));
+    EXPECT_LT(gap_bits, 2.0) << "width " << width << ": predicted "
+                             << predicted << " simulated " << simulated;
+  }
+}
+
+}  // namespace

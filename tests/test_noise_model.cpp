@@ -1,0 +1,78 @@
+#include "fixedpoint/noise_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/noise_power.hpp"
+#include "signal/fir.hpp"
+#include "signal/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fp = ace::fixedpoint;
+
+TEST(SourceNoisePower, MatchesTextbookFormulas) {
+  const fp::Format f(10, 1);  // 8 fractional bits, q = 2^-8.
+  const double q = f.step();
+  EXPECT_DOUBLE_EQ(
+      fp::source_noise_power(f, fp::RoundingMode::kRoundNearest),
+      q * q / 12.0);
+  EXPECT_DOUBLE_EQ(
+      fp::source_noise_power(f, fp::RoundingMode::kRoundConvergent),
+      q * q / 12.0);
+  EXPECT_DOUBLE_EQ(fp::source_noise_power(f, fp::RoundingMode::kTruncate),
+                   q * q / 3.0);
+}
+
+TEST(PredictOutputNoise, SumsIndependentSources) {
+  const fp::Format f(10, 0);
+  const double unit = f.rounding_noise_power();
+  std::vector<fp::NoiseSource> sources = {
+      {f, fp::RoundingMode::kRoundConvergent, 4.0, 1.0},
+      {f, fp::RoundingMode::kRoundConvergent, 1.0, 2.0},
+  };
+  EXPECT_DOUBLE_EQ(fp::predict_output_noise(sources), unit * 6.0);
+  sources[0].injections_per_output = -1.0;
+  EXPECT_THROW((void)fp::predict_output_noise(sources),
+               std::invalid_argument);
+}
+
+TEST(PredictFirNoise, Validation) {
+  EXPECT_THROW((void)fp::predict_fir_noise(10, 0, 12, 1, 0),
+               std::invalid_argument);
+}
+
+TEST(PredictFirNoise, MonotoneInBothWordLengths) {
+  const double base = fp::predict_fir_noise(10, 0, 12, 1, 64);
+  EXPECT_LT(fp::predict_fir_noise(12, 0, 12, 1, 64), base);
+  EXPECT_LT(fp::predict_fir_noise(10, 0, 14, 1, 64), base);
+}
+
+TEST(PredictFirNoise, WithinAFewDbOfBitTrueSimulation) {
+  // The analytical model should land within ~6 dB (one equivalent bit)
+  // of simulation in the regime where the white-noise assumptions hold
+  // (moderate word lengths, away from saturation).
+  ace::util::Rng rng(50);
+  const auto input = ace::signal::noisy_multitone(rng, 2048);
+  const ace::signal::FirFilter fir(ace::signal::design_lowpass_fir(64, 0.18));
+  const ace::signal::QuantizedFirFilter quantized(fir);
+  const auto reference = fir.filter(input);
+
+  for (const auto [w_mpy, w_add] : {std::pair{10, 12}, std::pair{12, 12},
+                                    std::pair{14, 14}, std::pair{12, 10}}) {
+    const auto approx = quantized.filter(input, {w_mpy, w_add});
+    const double simulated =
+        ace::metrics::noise_power(approx, reference);
+    const double predicted =
+        fp::predict_fir_noise(w_mpy, 0, w_add, 1, 64);
+    const double gap_bits = std::abs(std::log2(predicted / simulated));
+    EXPECT_LT(gap_bits, 1.5) << "w = (" << w_mpy << ", " << w_add
+                             << "): predicted " << predicted
+                             << " simulated " << simulated;
+  }
+}
+
+}  // namespace

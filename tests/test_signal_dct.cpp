@@ -1,0 +1,116 @@
+#include "signal/dct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace {
+
+namespace s = ace::signal;
+
+std::array<double, s::kDctBlock> random_block(ace::util::Rng& rng) {
+  std::array<double, s::kDctBlock> block{};
+  for (auto& v : block) v = rng.uniform(-0.5, 0.5);
+  return block;
+}
+
+TEST(Dct2d, ConstantBlockConcentratesInDc) {
+  std::array<double, s::kDctBlock> block{};
+  block.fill(0.25);
+  const auto coeffs = s::dct2d_reference(block);
+  // Orthonormal 2-D DCT: DC = 8 · mean = 2.0 for a constant 0.25 block.
+  EXPECT_NEAR(coeffs[0], 0.25 * 8.0, 1e-12);
+  for (std::size_t i = 1; i < s::kDctBlock; ++i)
+    EXPECT_NEAR(coeffs[i], 0.0, 1e-12) << "coefficient " << i;
+}
+
+TEST(Dct2d, RoundTripThroughInverse) {
+  ace::util::Rng rng(41);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto block = random_block(rng);
+    const auto back = s::idct2d_reference(s::dct2d_reference(block));
+    for (std::size_t i = 0; i < s::kDctBlock; ++i)
+      EXPECT_NEAR(back[i], block[i], 1e-10);
+  }
+}
+
+TEST(Dct2d, ParsevalEnergyPreserved) {
+  ace::util::Rng rng(42);
+  const auto block = random_block(rng);
+  const auto coeffs = s::dct2d_reference(block);
+  double in_energy = 0.0, out_energy = 0.0;
+  for (double v : block) in_energy += v * v;
+  for (double v : coeffs) out_energy += v * v;
+  EXPECT_NEAR(out_energy, in_energy, 1e-10);
+}
+
+TEST(Dct2d, Linearity) {
+  ace::util::Rng rng(43);
+  const auto a = random_block(rng);
+  const auto b = random_block(rng);
+  std::array<double, s::kDctBlock> sum{};
+  for (std::size_t i = 0; i < s::kDctBlock; ++i) sum[i] = 2.0 * a[i] - b[i];
+  const auto ca = s::dct2d_reference(a);
+  const auto cb = s::dct2d_reference(b);
+  const auto cs = s::dct2d_reference(sum);
+  for (std::size_t i = 0; i < s::kDctBlock; ++i)
+    EXPECT_NEAR(cs[i], 2.0 * ca[i] - cb[i], 1e-10);
+}
+
+TEST(QuantizedDct, Validation) {
+  ace::util::Rng rng(44);
+  EXPECT_THROW(s::QuantizedDct2d({}), std::invalid_argument);
+  const s::QuantizedDct2d q({random_block(rng)});
+  EXPECT_EQ(q.site_integer_bits().size(), s::kDctVariables);
+  EXPECT_THROW((void)q.transform(random_block(rng), {8, 8}),
+               std::invalid_argument);
+  EXPECT_THROW((void)q.transform(random_block(rng),
+                                 std::vector<int>(6, 1)),
+               std::invalid_argument);
+}
+
+TEST(QuantizedDct, WideWordsConvergeToReference) {
+  ace::util::Rng rng(45);
+  const auto block = random_block(rng);
+  const s::QuantizedDct2d q({block});
+  const auto ref = s::dct2d_reference(block);
+  const auto approx = q.transform(block, std::vector<int>(6, 40));
+  for (std::size_t i = 0; i < s::kDctBlock; ++i)
+    EXPECT_NEAR(approx[i], ref[i], 1e-9);
+}
+
+class DctMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DctMonotoneTest, NoiseShrinksWithWiderWords) {
+  const int w = GetParam();
+  ace::util::Rng rng(46);
+  const auto block = random_block(rng);
+  const s::QuantizedDct2d q({block});
+  const auto ref = s::dct2d_reference(block);
+  auto mse_at = [&](int width) {
+    const auto out = q.transform(block, std::vector<int>(6, width));
+    double acc = 0.0;
+    for (std::size_t i = 0; i < s::kDctBlock; ++i) {
+      const double e = out[i] - ref[i];
+      acc += e * e;
+    }
+    return acc;
+  };
+  EXPECT_LT(mse_at(w + 4), mse_at(w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DctMonotoneTest,
+                         ::testing::Values(6, 8, 10, 12));
+
+TEST(QuantizedDct, Deterministic) {
+  ace::util::Rng rng(47);
+  const auto block = random_block(rng);
+  const s::QuantizedDct2d q({block});
+  const std::vector<int> w = {10, 11, 12, 10, 11, 12};
+  EXPECT_EQ(q.transform(block, w), q.transform(block, w));
+}
+
+}  // namespace

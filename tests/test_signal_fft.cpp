@@ -1,0 +1,172 @@
+#include "signal/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+#include "metrics/noise_power.hpp"
+#include "signal/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace s = ace::signal;
+using Complex = std::complex<double>;
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) / static_cast<double>(n);
+      acc += x[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<Complex> random_frame(ace::util::Rng& rng, std::size_t n) {
+  std::vector<Complex> frame(n);
+  for (auto& v : frame) v = Complex(rng.uniform(-1.0, 1.0),
+                                    rng.uniform(-1.0, 1.0));
+  return frame;
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> bad(6);
+  EXPECT_THROW(s::fft(bad), std::invalid_argument);
+  std::vector<Complex> one(1);
+  EXPECT_THROW(s::fft(one), std::invalid_argument);
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  ace::util::Rng rng(10);
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u}) {
+    auto frame = random_frame(rng, n);
+    const auto expected = naive_dft(frame);
+    s::fft(frame);
+    for (std::size_t k = 0; k < n; ++k)
+      EXPECT_LT(std::abs(frame[k] - expected[k]), 1e-9)
+          << "size " << n << " bin " << k;
+  }
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> frame(8, 0.0);
+  frame[0] = 1.0;
+  s::fft(frame);
+  for (const auto& bin : frame) EXPECT_LT(std::abs(bin - Complex(1.0)), 1e-12);
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<Complex> frame(n);
+  for (std::size_t t = 0; t < n; ++t)
+    frame[t] = std::cos(2.0 * std::numbers::pi * 4.0 * static_cast<double>(t) /
+                        static_cast<double>(n));
+  s::fft(frame);
+  EXPECT_NEAR(std::abs(frame[4]), 32.0, 1e-9);   // n/2.
+  EXPECT_NEAR(std::abs(frame[60]), 32.0, 1e-9);  // Conjugate bin.
+  EXPECT_LT(std::abs(frame[10]), 1e-9);
+}
+
+TEST(Fft, IfftRoundTrip) {
+  ace::util::Rng rng(11);
+  auto frame = random_frame(rng, 32);
+  const auto original = frame;
+  s::fft(frame);
+  s::ifft(frame);
+  for (std::size_t i = 0; i < frame.size(); ++i)
+    EXPECT_LT(std::abs(frame[i] - original[i]), 1e-10);
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  ace::util::Rng rng(12);
+  auto frame = random_frame(rng, 64);
+  double time_energy = 0.0;
+  for (const auto& v : frame) time_energy += std::norm(v);
+  s::fft(frame);
+  double freq_energy = 0.0;
+  for (const auto& v : frame) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, 64.0 * time_energy, 1e-6 * freq_energy);
+}
+
+TEST(QuantizedFft, ConstructionAndVariableCount) {
+  ace::util::Rng rng(13);
+  const std::vector<std::vector<Complex>> cal = {random_frame(rng, 64)};
+  const s::QuantizedFft q(64, cal);
+  EXPECT_EQ(q.size(), 64u);
+  EXPECT_EQ(q.stage_count(), 6u);
+  EXPECT_EQ(q.variable_count(), 10u);
+  EXPECT_THROW(s::QuantizedFft(48, cal), std::invalid_argument);
+  EXPECT_THROW(s::QuantizedFft(64, {}), std::invalid_argument);
+  EXPECT_THROW(s::QuantizedFft(2, cal), std::invalid_argument);
+}
+
+TEST(QuantizedFft, InputValidation) {
+  ace::util::Rng rng(14);
+  const std::vector<std::vector<Complex>> cal = {random_frame(rng, 16)};
+  const s::QuantizedFft q(16, cal);  // 4 stages -> 6 variables.
+  EXPECT_EQ(q.variable_count(), 6u);
+  const auto frame = random_frame(rng, 16);
+  EXPECT_THROW((void)q.transform(frame, std::vector<int>(5, 12)),
+               std::invalid_argument);
+  EXPECT_THROW((void)q.transform(random_frame(rng, 8),
+                                 std::vector<int>(6, 12)),
+               std::invalid_argument);
+  EXPECT_THROW((void)q.transform(frame, std::vector<int>(6, 1)),
+               std::invalid_argument);
+}
+
+TEST(QuantizedFft, WideWordsConvergeToReference) {
+  ace::util::Rng rng(15);
+  const std::vector<std::vector<Complex>> cal = {random_frame(rng, 64),
+                                                 random_frame(rng, 64)};
+  const s::QuantizedFft q(64, cal);
+  auto frame = cal[0];
+  auto reference = frame;
+  s::fft(reference);
+  const auto approx = q.transform(frame, std::vector<int>(10, 44));
+  for (std::size_t i = 0; i < frame.size(); ++i)
+    EXPECT_LT(std::abs(approx[i] - reference[i]), 1e-8);
+}
+
+class FftMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftMonotoneTest, NoiseShrinksWithWiderWords) {
+  const int w = GetParam();
+  ace::util::Rng rng(16);
+  const auto frame = random_frame(rng, 64);
+  const s::QuantizedFft q(64, {frame});
+  auto reference = frame;
+  s::fft(reference);
+  auto power_at = [&](int width) {
+    const auto out = q.transform(frame, std::vector<int>(10, width));
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      acc += std::norm(out[i] - reference[i]);
+    return acc / static_cast<double>(out.size());
+  };
+  EXPECT_LT(power_at(w + 4), power_at(w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FftMonotoneTest,
+                         ::testing::Values(8, 10, 12, 14, 16));
+
+TEST(QuantizedFft, Deterministic) {
+  ace::util::Rng rng(17);
+  const auto frame = random_frame(rng, 64);
+  const s::QuantizedFft q(64, {frame});
+  const std::vector<int> w(10, 12);
+  const auto a = q.transform(frame, w);
+  const auto b = q.transform(frame, w);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+#include "signal/iir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+#include "metrics/noise_power.hpp"
+#include "signal/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace s = ace::signal;
+
+TEST(BiquadDesign, Validation) {
+  EXPECT_THROW((void)s::design_lowpass_biquad(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)s::design_lowpass_biquad(0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)s::design_lowpass_biquad(0.2, 0.0), std::invalid_argument);
+}
+
+TEST(BiquadDesign, DcGainIsUnity) {
+  const auto c = s::design_lowpass_biquad(0.1, 0.707);
+  // H(1) = (b0 + b1 + b2) / (1 + a1 + a2).
+  const double gain = (c.b0 + c.b1 + c.b2) / (1.0 + c.a1 + c.a2);
+  EXPECT_NEAR(gain, 1.0, 1e-10);
+  EXPECT_TRUE(c.is_stable());
+}
+
+TEST(BiquadStability, TriangleCondition) {
+  s::BiquadCoefficients c;
+  c.a1 = 0.0;
+  c.a2 = 0.5;
+  EXPECT_TRUE(c.is_stable());
+  c.a2 = 1.1;
+  EXPECT_FALSE(c.is_stable());
+  c.a2 = 0.2;
+  c.a1 = 1.3;
+  EXPECT_FALSE(c.is_stable());
+}
+
+TEST(Butterworth, ValidationAndSectionCount) {
+  EXPECT_THROW((void)s::design_butterworth_lowpass(3, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)s::design_butterworth_lowpass(0, 0.1),
+               std::invalid_argument);
+  const auto sections = s::design_butterworth_lowpass(8, 0.12);
+  EXPECT_EQ(sections.size(), 4u);
+  for (const auto& c : sections) EXPECT_TRUE(c.is_stable());
+}
+
+TEST(Butterworth, MagnitudeResponseIsLowpass) {
+  const auto sections = s::design_butterworth_lowpass(8, 0.12);
+  auto cascade_mag = [&](double f) {
+    double mag = 1.0;
+    for (const auto& c : sections) {
+      const double w = 2.0 * std::numbers::pi * f;
+      const std::complex<double> z = std::polar(1.0, w);
+      const std::complex<double> num =
+          c.b0 + c.b1 / z + c.b2 / (z * z);
+      const std::complex<double> den = 1.0 + c.a1 / z + c.a2 / (z * z);
+      mag *= std::abs(num / den);
+    }
+    return mag;
+  };
+  EXPECT_NEAR(cascade_mag(0.001), 1.0, 1e-3);       // Passband.
+  EXPECT_NEAR(cascade_mag(0.12), 1.0 / std::sqrt(2.0), 0.05);  // -3 dB point.
+  EXPECT_LT(cascade_mag(0.3), 1e-3);                // Stopband.
+}
+
+TEST(Biquad, ImpulseResponseMatchesDifferenceEquation) {
+  s::BiquadCoefficients c;
+  c.b0 = 1.0;
+  c.a1 = -0.5;  // y[n] = x[n] + 0.5·y[n-1].
+  s::Biquad bq(c);
+  EXPECT_DOUBLE_EQ(bq.process(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(bq.process(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(bq.process(0.0), 0.25);
+  bq.reset();
+  EXPECT_DOUBLE_EQ(bq.process(1.0), 1.0);
+}
+
+TEST(IirCascade, Validation) {
+  EXPECT_THROW(s::IirCascade({}), std::invalid_argument);
+  s::BiquadCoefficients unstable;
+  unstable.a2 = 1.5;
+  EXPECT_THROW(s::IirCascade({unstable}), std::invalid_argument);
+}
+
+TEST(IirCascade, MatchesSingleBiquadWhenOneSection) {
+  const auto c = s::design_lowpass_biquad(0.15, 0.9);
+  const s::IirCascade cascade({c});
+  s::Biquad bq(c);
+  ace::util::Rng rng(4);
+  const auto input = s::white_noise(rng, 64);
+  const auto out = cascade.filter(input);
+  for (std::size_t i = 0; i < input.size(); ++i)
+    EXPECT_DOUBLE_EQ(out[i], bq.process(input[i]));
+}
+
+TEST(QuantizedIir, ValidationAndVariableCount) {
+  const s::IirCascade iir(s::design_butterworth_lowpass(8, 0.12));
+  ace::util::Rng rng(5);
+  const auto cal = s::noisy_multitone(rng, 256);
+  const s::QuantizedIirCascade q(iir, cal);
+  EXPECT_EQ(q.variable_count(), 5u);  // 4 accumulators + shared data.
+  EXPECT_THROW((void)q.filter(cal, {8, 8, 8, 8}), std::invalid_argument);
+  EXPECT_THROW((void)q.filter(cal, {8, 8, 8, 8, 1}), std::invalid_argument);
+  EXPECT_THROW(s::QuantizedIirCascade(iir, {}), std::invalid_argument);
+}
+
+TEST(QuantizedIir, WideWordsConvergeToReference) {
+  const s::IirCascade iir(s::design_butterworth_lowpass(8, 0.12));
+  ace::util::Rng rng(6);
+  const auto input = s::noisy_multitone(rng, 512);
+  const s::QuantizedIirCascade q(iir, input);
+  const auto ref = iir.filter(input);
+  const auto approx = q.filter(input, {40, 40, 40, 40, 40});
+  EXPECT_LT(ace::metrics::noise_power(approx, ref), 1e-14);
+}
+
+class IirMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IirMonotoneTest, NoiseShrinksWithWiderWords) {
+  const int w = GetParam();
+  const s::IirCascade iir(s::design_butterworth_lowpass(8, 0.12));
+  ace::util::Rng rng(7);
+  const auto input = s::noisy_multitone(rng, 384);
+  const s::QuantizedIirCascade q(iir, input);
+  const auto ref = iir.filter(input);
+  const std::vector<int> narrow(5, w);
+  const std::vector<int> wide(5, w + 4);
+  EXPECT_LT(ace::metrics::noise_power(q.filter(input, wide), ref),
+            ace::metrics::noise_power(q.filter(input, narrow), ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IirMonotoneTest,
+                         ::testing::Values(8, 10, 12, 14));
+
+TEST(QuantizedIir, Deterministic) {
+  const s::IirCascade iir(s::design_butterworth_lowpass(4, 0.2));
+  ace::util::Rng rng(8);
+  const auto input = s::noisy_multitone(rng, 128);
+  const s::QuantizedIirCascade q(iir, input);
+  const std::vector<int> w = {10, 11, 12};
+  EXPECT_EQ(q.filter(input, w), q.filter(input, w));
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using ace::util::CsvWriter;
+using ace::util::TablePrinter;
+
+TEST(TablePrinter, RejectsEmptyHeaderAndRaggedRows) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.add_row({"x", "1.00"});
+  t.add_row({"longer-name", "2.50"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Fmt, FormatsDecimalsAndPercent) {
+  EXPECT_EQ(ace::util::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(ace::util::fmt(3.0, 0), "3");
+  EXPECT_EQ(ace::util::fmt_pct(0.5278, 2), "52.78");
+}
+
+TEST(CsvWriter, WritesAndEscapes) {
+  const std::string path = testing::TempDir() + "/ace_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"a", "b,c", "d\"e"});
+    csv.write_row(std::vector<double>{1.5, 2.25}, 2);
+    csv.close();
+    EXPECT_FALSE(csv.is_open());
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1.50,2.25");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnBadPathAndWriteAfterClose) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+  const std::string path = testing::TempDir() + "/ace_csv_test2.csv";
+  CsvWriter csv(path);
+  csv.close();
+  EXPECT_THROW(csv.write_row({"x"}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  ace::util::Stopwatch w;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double s = w.seconds();
+  EXPECT_GT(s, 0.0);
+  // Unit conversions are consistent (sampled once, so they can't race).
+  EXPECT_GE(w.milliseconds(), s * 1e3);
+  EXPECT_GE(w.microseconds(), s * 1e6);
+  const double before = w.seconds();
+  w.restart();
+  EXPECT_LE(w.seconds(), before + 1.0);
+}
+
+}  // namespace

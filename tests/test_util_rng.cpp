@@ -1,0 +1,101 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using ace::util::Rng;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, IndexBoundsAndError) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) EXPECT_LT(rng.index(10), 10u);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, VectorsHaveRequestedSize) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_vector(17).size(), 17u);
+  EXPECT_EQ(rng.normal_vector(9).size(), 9u);
+  EXPECT_TRUE(rng.uniform_vector(0).empty());
+}
+
+TEST(Rng, ForkStreamsAreDecoupled) {
+  Rng parent(42);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  // Children differ from each other.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (c1.uniform() == c2.uniform()) ++same;
+  EXPECT_LT(same, 5);
+  // Forking is deterministic given the parent seed.
+  Rng parent2(42);
+  Rng c1b = parent2.fork();
+  Rng c1_ref = Rng(42).fork();
+  for (int i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(c1b.uniform(), c1_ref.uniform());
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Golden-model validation: the normalized-double MC dataflow must match
+// the bit-true integer HEVC interpolation to within the integer path's
+// final rounding step (half an 8-bit LSB), modulo clipping.
+#include "video/hevc_mc_int.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace {
+
+namespace v = ace::video;
+
+TEST(LumaFilterInt, TapsSumTo64AndMatchNormalized) {
+  for (int phase = 0; phase < 4; ++phase) {
+    const auto& taps = v::luma_filter_int(phase);
+    int sum = 0;
+    for (int c : taps) sum += c;
+    EXPECT_EQ(sum, 64) << "phase " << phase;
+    const auto& norm = v::luma_filter(phase);
+    for (std::size_t i = 0; i < v::kTaps; ++i)
+      EXPECT_DOUBLE_EQ(norm[i], taps[i] / 64.0);
+  }
+  EXPECT_THROW((void)v::luma_filter_int(4), std::invalid_argument);
+}
+
+TEST(InterpolateInteger, RejectsOffGridSamples) {
+  v::McJob job;
+  job.window.at(0, 0) = 0.001;  // Not k/256.
+  job.frac_x = 2;
+  EXPECT_THROW((void)v::interpolate_integer(job), std::invalid_argument);
+}
+
+TEST(InterpolateInteger, CopyPhaseIsExact) {
+  ace::util::Rng rng(70);
+  v::McJob job;
+  job.window = v::synthetic_patch(rng, v::kWindow, v::kWindow);
+  job.frac_x = 0;
+  job.frac_y = 0;
+  const auto out = v::interpolate_integer(job);
+  for (std::size_t y = 0; y < v::kBlockSize; ++y)
+    for (std::size_t x = 0; x < v::kBlockSize; ++x)
+      EXPECT_EQ(out.samples[x][y],
+                static_cast<int>(std::lround(job.window.at(x + 3, y + 3) *
+                                             256.0)));
+}
+
+class GoldenModelTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(GoldenModelTest, NormalizedReferenceMatchesIntegerPath) {
+  const auto [fx, fy, seed] = GetParam();
+  ace::util::Rng rng(seed);
+  v::McJob job;
+  job.window = v::synthetic_patch(rng, v::kWindow, v::kWindow);
+  job.frac_x = fx;
+  job.frac_y = fy;
+
+  const auto golden = v::interpolate_integer(job);
+  const auto reference = v::interpolate_reference(job);
+  for (std::size_t y = 0; y < v::kBlockSize; ++y)
+    for (std::size_t x = 0; x < v::kBlockSize; ++x) {
+      // The double path carries the exact rational value (clipped); the
+      // integer path rounds it to the 8-bit grid at the very end.
+      const double exact = reference.at(x, y) * 256.0;
+      const double clipped = std::clamp(exact, 0.0, 255.0);
+      EXPECT_LE(std::abs(clipped - golden.samples[x][y]), 0.5 + 1e-9)
+          << "pixel (" << x << ", " << y << ") phases (" << fx << ", " << fy
+          << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PhasesAndContent, GoldenModelTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Values<std::uint64_t>(71, 72, 73)));
+
+}  // namespace
