@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nnmin.dir/ablation_nnmin.cpp.o"
+  "CMakeFiles/ablation_nnmin.dir/ablation_nnmin.cpp.o.d"
+  "ablation_nnmin"
+  "ablation_nnmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nnmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

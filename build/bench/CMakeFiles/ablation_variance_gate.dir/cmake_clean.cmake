@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_variance_gate.dir/ablation_variance_gate.cpp.o"
+  "CMakeFiles/ablation_variance_gate.dir/ablation_variance_gate.cpp.o.d"
+  "ablation_variance_gate"
+  "ablation_variance_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variance_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

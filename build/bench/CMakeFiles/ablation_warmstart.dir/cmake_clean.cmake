@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warmstart.dir/ablation_warmstart.cpp.o"
+  "CMakeFiles/ablation_warmstart.dir/ablation_warmstart.cpp.o.d"
+  "ablation_warmstart"
+  "ablation_warmstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warmstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annealing_kriging.dir/annealing_kriging.cpp.o"
+  "CMakeFiles/annealing_kriging.dir/annealing_kriging.cpp.o.d"
+  "annealing_kriging"
+  "annealing_kriging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annealing_kriging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

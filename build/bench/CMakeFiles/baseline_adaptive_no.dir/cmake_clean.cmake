@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_adaptive_no.dir/baseline_adaptive_no.cpp.o"
+  "CMakeFiles/baseline_adaptive_no.dir/baseline_adaptive_no.cpp.o.d"
+  "baseline_adaptive_no"
+  "baseline_adaptive_no.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_adaptive_no.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

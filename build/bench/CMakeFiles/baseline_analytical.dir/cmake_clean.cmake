@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_analytical.dir/baseline_analytical.cpp.o"
+  "CMakeFiles/baseline_analytical.dir/baseline_analytical.cpp.o.d"
+  "baseline_analytical"
+  "baseline_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_interp1d.dir/baseline_interp1d.cpp.o"
+  "CMakeFiles/baseline_interp1d.dir/baseline_interp1d.cpp.o.d"
+  "baseline_interp1d"
+  "baseline_interp1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_interp1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_ordering.dir/batch_ordering.cpp.o"
+  "CMakeFiles/batch_ordering.dir/batch_ordering.cpp.o.d"
+  "batch_ordering"
+  "batch_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

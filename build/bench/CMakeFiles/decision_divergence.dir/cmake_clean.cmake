@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_divergence.dir/decision_divergence.cpp.o"
+  "CMakeFiles/decision_divergence.dir/decision_divergence.cpp.o.d"
+  "decision_divergence"
+  "decision_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kriging.dir/micro_kriging.cpp.o"
+  "CMakeFiles/micro_kriging.dir/micro_kriging.cpp.o.d"
+  "micro_kriging"
+  "micro_kriging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kriging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_quality_cost.dir/pareto_quality_cost.cpp.o"
+  "CMakeFiles/pareto_quality_cost.dir/pareto_quality_cost.cpp.o.d"
+  "pareto_quality_cost"
+  "pareto_quality_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_quality_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup.dir/speedup.cpp.o"
+  "CMakeFiles/speedup.dir/speedup.cpp.o.d"
+  "speedup"
+  "speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_approx_fir.dir/table1_approx_fir.cpp.o"
+  "CMakeFiles/table1_approx_fir.dir/table1_approx_fir.cpp.o.d"
+  "table1_approx_fir"
+  "table1_approx_fir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_approx_fir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

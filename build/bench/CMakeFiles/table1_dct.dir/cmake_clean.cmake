@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dct.dir/table1_dct.cpp.o"
+  "CMakeFiles/table1_dct.dir/table1_dct.cpp.o.d"
+  "table1_dct"
+  "table1_dct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

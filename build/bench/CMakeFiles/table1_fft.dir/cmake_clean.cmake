@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fft.dir/table1_fft.cpp.o"
+  "CMakeFiles/table1_fft.dir/table1_fft.cpp.o.d"
+  "table1_fft"
+  "table1_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_fir.cpp" "bench/CMakeFiles/table1_fir.dir/table1_fir.cpp.o" "gcc" "bench/CMakeFiles/table1_fir.dir/table1_fir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/ace_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/ace_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/ace_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/ace_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ace_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/ace_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ace_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/kriging/CMakeFiles/ace_kriging.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ace_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fir.dir/table1_fir.cpp.o"
+  "CMakeFiles/table1_fir.dir/table1_fir.cpp.o.d"
+  "table1_fir"
+  "table1_fir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_hevc.dir/table1_hevc.cpp.o"
+  "CMakeFiles/table1_hevc.dir/table1_hevc.cpp.o.d"
+  "table1_hevc"
+  "table1_hevc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hevc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

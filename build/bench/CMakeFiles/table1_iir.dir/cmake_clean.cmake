@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_iir.dir/table1_iir.cpp.o"
+  "CMakeFiles/table1_iir.dir/table1_iir.cpp.o.d"
+  "table1_iir"
+  "table1_iir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_iir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

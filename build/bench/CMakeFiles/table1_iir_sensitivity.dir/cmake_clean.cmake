@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_iir_sensitivity.dir/table1_iir_sensitivity.cpp.o"
+  "CMakeFiles/table1_iir_sensitivity.dir/table1_iir_sensitivity.cpp.o.d"
+  "table1_iir_sensitivity"
+  "table1_iir_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_iir_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

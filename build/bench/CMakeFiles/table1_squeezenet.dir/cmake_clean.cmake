@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_squeezenet.dir/table1_squeezenet.cpp.o"
+  "CMakeFiles/table1_squeezenet.dir/table1_squeezenet.cpp.o.d"
+  "table1_squeezenet"
+  "table1_squeezenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_squeezenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variogram_fit.dir/variogram_fit.cpp.o"
+  "CMakeFiles/variogram_fit.dir/variogram_fit.cpp.o.d"
+  "variogram_fit"
+  "variogram_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variogram_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

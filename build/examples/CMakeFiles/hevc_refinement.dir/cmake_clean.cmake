@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hevc_refinement.dir/hevc_refinement.cpp.o"
+  "CMakeFiles/hevc_refinement.dir/hevc_refinement.cpp.o.d"
+  "hevc_refinement"
+  "hevc_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hevc_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_cnn.dir/sensitivity_cnn.cpp.o"
+  "CMakeFiles/sensitivity_cnn.dir/sensitivity_cnn.cpp.o.d"
+  "sensitivity_cnn"
+  "sensitivity_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_workflow.dir/trajectory_workflow.cpp.o"
+  "CMakeFiles/trajectory_workflow.dir/trajectory_workflow.cpp.o.d"
+  "trajectory_workflow"
+  "trajectory_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

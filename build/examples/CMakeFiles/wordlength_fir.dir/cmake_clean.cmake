@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordlength_fir.dir/wordlength_fir.cpp.o"
+  "CMakeFiles/wordlength_fir.dir/wordlength_fir.cpp.o.d"
+  "wordlength_fir"
+  "wordlength_fir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordlength_fir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wordlength_fir.
+# This may be replaced when dependencies are built.

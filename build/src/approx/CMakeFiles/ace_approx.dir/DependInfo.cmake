@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/approx/adders.cpp" "src/approx/CMakeFiles/ace_approx.dir/adders.cpp.o" "gcc" "src/approx/CMakeFiles/ace_approx.dir/adders.cpp.o.d"
+  "/root/repo/src/approx/characterize.cpp" "src/approx/CMakeFiles/ace_approx.dir/characterize.cpp.o" "gcc" "src/approx/CMakeFiles/ace_approx.dir/characterize.cpp.o.d"
+  "/root/repo/src/approx/multipliers.cpp" "src/approx/CMakeFiles/ace_approx.dir/multipliers.cpp.o" "gcc" "src/approx/CMakeFiles/ace_approx.dir/multipliers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_approx.dir/adders.cpp.o"
+  "CMakeFiles/ace_approx.dir/adders.cpp.o.d"
+  "CMakeFiles/ace_approx.dir/characterize.cpp.o"
+  "CMakeFiles/ace_approx.dir/characterize.cpp.o.d"
+  "CMakeFiles/ace_approx.dir/multipliers.cpp.o"
+  "CMakeFiles/ace_approx.dir/multipliers.cpp.o.d"
+  "libace_approx.a"
+  "libace_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

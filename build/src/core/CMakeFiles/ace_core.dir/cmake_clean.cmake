@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_core.dir/benchmarks.cpp.o"
+  "CMakeFiles/ace_core.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/ace_core.dir/engine.cpp.o"
+  "CMakeFiles/ace_core.dir/engine.cpp.o.d"
+  "CMakeFiles/ace_core.dir/table1.cpp.o"
+  "CMakeFiles/ace_core.dir/table1.cpp.o.d"
+  "libace_core.a"
+  "libace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/adaptive_simulation.cpp" "src/dse/CMakeFiles/ace_dse.dir/adaptive_simulation.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/adaptive_simulation.cpp.o.d"
+  "/root/repo/src/dse/annealing.cpp" "src/dse/CMakeFiles/ace_dse.dir/annealing.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/annealing.cpp.o.d"
+  "/root/repo/src/dse/config.cpp" "src/dse/CMakeFiles/ace_dse.dir/config.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/config.cpp.o.d"
+  "/root/repo/src/dse/cost.cpp" "src/dse/CMakeFiles/ace_dse.dir/cost.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/cost.cpp.o.d"
+  "/root/repo/src/dse/doe.cpp" "src/dse/CMakeFiles/ace_dse.dir/doe.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/doe.cpp.o.d"
+  "/root/repo/src/dse/interp1d.cpp" "src/dse/CMakeFiles/ace_dse.dir/interp1d.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/interp1d.cpp.o.d"
+  "/root/repo/src/dse/kriging_policy.cpp" "src/dse/CMakeFiles/ace_dse.dir/kriging_policy.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/kriging_policy.cpp.o.d"
+  "/root/repo/src/dse/min_plus_one.cpp" "src/dse/CMakeFiles/ace_dse.dir/min_plus_one.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/min_plus_one.cpp.o.d"
+  "/root/repo/src/dse/scheduler.cpp" "src/dse/CMakeFiles/ace_dse.dir/scheduler.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/scheduler.cpp.o.d"
+  "/root/repo/src/dse/sim_store.cpp" "src/dse/CMakeFiles/ace_dse.dir/sim_store.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/sim_store.cpp.o.d"
+  "/root/repo/src/dse/steepest_descent.cpp" "src/dse/CMakeFiles/ace_dse.dir/steepest_descent.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/steepest_descent.cpp.o.d"
+  "/root/repo/src/dse/trajectory.cpp" "src/dse/CMakeFiles/ace_dse.dir/trajectory.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/trajectory.cpp.o.d"
+  "/root/repo/src/dse/trajectory_io.cpp" "src/dse/CMakeFiles/ace_dse.dir/trajectory_io.cpp.o" "gcc" "src/dse/CMakeFiles/ace_dse.dir/trajectory_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kriging/CMakeFiles/ace_kriging.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ace_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ace_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

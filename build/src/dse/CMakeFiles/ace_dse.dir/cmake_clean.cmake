@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_dse.dir/adaptive_simulation.cpp.o"
+  "CMakeFiles/ace_dse.dir/adaptive_simulation.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/annealing.cpp.o"
+  "CMakeFiles/ace_dse.dir/annealing.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/config.cpp.o"
+  "CMakeFiles/ace_dse.dir/config.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/cost.cpp.o"
+  "CMakeFiles/ace_dse.dir/cost.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/doe.cpp.o"
+  "CMakeFiles/ace_dse.dir/doe.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/interp1d.cpp.o"
+  "CMakeFiles/ace_dse.dir/interp1d.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/kriging_policy.cpp.o"
+  "CMakeFiles/ace_dse.dir/kriging_policy.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/min_plus_one.cpp.o"
+  "CMakeFiles/ace_dse.dir/min_plus_one.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/scheduler.cpp.o"
+  "CMakeFiles/ace_dse.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/sim_store.cpp.o"
+  "CMakeFiles/ace_dse.dir/sim_store.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/steepest_descent.cpp.o"
+  "CMakeFiles/ace_dse.dir/steepest_descent.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/trajectory.cpp.o"
+  "CMakeFiles/ace_dse.dir/trajectory.cpp.o.d"
+  "CMakeFiles/ace_dse.dir/trajectory_io.cpp.o"
+  "CMakeFiles/ace_dse.dir/trajectory_io.cpp.o.d"
+  "libace_dse.a"
+  "libace_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

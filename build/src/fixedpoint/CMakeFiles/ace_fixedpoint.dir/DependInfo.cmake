@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fixedpoint/format.cpp" "src/fixedpoint/CMakeFiles/ace_fixedpoint.dir/format.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/ace_fixedpoint.dir/format.cpp.o.d"
+  "/root/repo/src/fixedpoint/noise_model.cpp" "src/fixedpoint/CMakeFiles/ace_fixedpoint.dir/noise_model.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/ace_fixedpoint.dir/noise_model.cpp.o.d"
+  "/root/repo/src/fixedpoint/quantizer.cpp" "src/fixedpoint/CMakeFiles/ace_fixedpoint.dir/quantizer.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/ace_fixedpoint.dir/quantizer.cpp.o.d"
+  "/root/repo/src/fixedpoint/range_tracker.cpp" "src/fixedpoint/CMakeFiles/ace_fixedpoint.dir/range_tracker.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/ace_fixedpoint.dir/range_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

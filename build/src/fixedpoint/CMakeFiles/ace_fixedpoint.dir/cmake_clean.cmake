@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_fixedpoint.dir/format.cpp.o"
+  "CMakeFiles/ace_fixedpoint.dir/format.cpp.o.d"
+  "CMakeFiles/ace_fixedpoint.dir/noise_model.cpp.o"
+  "CMakeFiles/ace_fixedpoint.dir/noise_model.cpp.o.d"
+  "CMakeFiles/ace_fixedpoint.dir/quantizer.cpp.o"
+  "CMakeFiles/ace_fixedpoint.dir/quantizer.cpp.o.d"
+  "CMakeFiles/ace_fixedpoint.dir/range_tracker.cpp.o"
+  "CMakeFiles/ace_fixedpoint.dir/range_tracker.cpp.o.d"
+  "libace_fixedpoint.a"
+  "libace_fixedpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_fixedpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libace_fixedpoint.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kriging/empirical_variogram.cpp" "src/kriging/CMakeFiles/ace_kriging.dir/empirical_variogram.cpp.o" "gcc" "src/kriging/CMakeFiles/ace_kriging.dir/empirical_variogram.cpp.o.d"
+  "/root/repo/src/kriging/fit.cpp" "src/kriging/CMakeFiles/ace_kriging.dir/fit.cpp.o" "gcc" "src/kriging/CMakeFiles/ace_kriging.dir/fit.cpp.o.d"
+  "/root/repo/src/kriging/ordinary_kriging.cpp" "src/kriging/CMakeFiles/ace_kriging.dir/ordinary_kriging.cpp.o" "gcc" "src/kriging/CMakeFiles/ace_kriging.dir/ordinary_kriging.cpp.o.d"
+  "/root/repo/src/kriging/simple_kriging.cpp" "src/kriging/CMakeFiles/ace_kriging.dir/simple_kriging.cpp.o" "gcc" "src/kriging/CMakeFiles/ace_kriging.dir/simple_kriging.cpp.o.d"
+  "/root/repo/src/kriging/universal_kriging.cpp" "src/kriging/CMakeFiles/ace_kriging.dir/universal_kriging.cpp.o" "gcc" "src/kriging/CMakeFiles/ace_kriging.dir/universal_kriging.cpp.o.d"
+  "/root/repo/src/kriging/variogram_model.cpp" "src/kriging/CMakeFiles/ace_kriging.dir/variogram_model.cpp.o" "gcc" "src/kriging/CMakeFiles/ace_kriging.dir/variogram_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ace_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

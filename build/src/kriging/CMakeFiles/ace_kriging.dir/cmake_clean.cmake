@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_kriging.dir/empirical_variogram.cpp.o"
+  "CMakeFiles/ace_kriging.dir/empirical_variogram.cpp.o.d"
+  "CMakeFiles/ace_kriging.dir/fit.cpp.o"
+  "CMakeFiles/ace_kriging.dir/fit.cpp.o.d"
+  "CMakeFiles/ace_kriging.dir/ordinary_kriging.cpp.o"
+  "CMakeFiles/ace_kriging.dir/ordinary_kriging.cpp.o.d"
+  "CMakeFiles/ace_kriging.dir/simple_kriging.cpp.o"
+  "CMakeFiles/ace_kriging.dir/simple_kriging.cpp.o.d"
+  "CMakeFiles/ace_kriging.dir/universal_kriging.cpp.o"
+  "CMakeFiles/ace_kriging.dir/universal_kriging.cpp.o.d"
+  "CMakeFiles/ace_kriging.dir/variogram_model.cpp.o"
+  "CMakeFiles/ace_kriging.dir/variogram_model.cpp.o.d"
+  "libace_kriging.a"
+  "libace_kriging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_kriging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/ace_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/ace_linalg.dir/lu.cpp.o"
+  "CMakeFiles/ace_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/ace_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/ace_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/ace_linalg.dir/qr.cpp.o"
+  "CMakeFiles/ace_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/ace_linalg.dir/solve.cpp.o"
+  "CMakeFiles/ace_linalg.dir/solve.cpp.o.d"
+  "CMakeFiles/ace_linalg.dir/vector.cpp.o"
+  "CMakeFiles/ace_linalg.dir/vector.cpp.o.d"
+  "libace_linalg.a"
+  "libace_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

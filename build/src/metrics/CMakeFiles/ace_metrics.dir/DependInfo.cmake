@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/classification.cpp" "src/metrics/CMakeFiles/ace_metrics.dir/classification.cpp.o" "gcc" "src/metrics/CMakeFiles/ace_metrics.dir/classification.cpp.o.d"
+  "/root/repo/src/metrics/error_metrics.cpp" "src/metrics/CMakeFiles/ace_metrics.dir/error_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/ace_metrics.dir/error_metrics.cpp.o.d"
+  "/root/repo/src/metrics/noise_power.cpp" "src/metrics/CMakeFiles/ace_metrics.dir/noise_power.cpp.o" "gcc" "src/metrics/CMakeFiles/ace_metrics.dir/noise_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_metrics.dir/classification.cpp.o"
+  "CMakeFiles/ace_metrics.dir/classification.cpp.o.d"
+  "CMakeFiles/ace_metrics.dir/error_metrics.cpp.o"
+  "CMakeFiles/ace_metrics.dir/error_metrics.cpp.o.d"
+  "CMakeFiles/ace_metrics.dir/noise_power.cpp.o"
+  "CMakeFiles/ace_metrics.dir/noise_power.cpp.o.d"
+  "libace_metrics.a"
+  "libace_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

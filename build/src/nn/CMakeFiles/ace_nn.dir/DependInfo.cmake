@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/dataset.cpp" "src/nn/CMakeFiles/ace_nn.dir/dataset.cpp.o" "gcc" "src/nn/CMakeFiles/ace_nn.dir/dataset.cpp.o.d"
+  "/root/repo/src/nn/injection.cpp" "src/nn/CMakeFiles/ace_nn.dir/injection.cpp.o" "gcc" "src/nn/CMakeFiles/ace_nn.dir/injection.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/ace_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/ace_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/squeezenet.cpp" "src/nn/CMakeFiles/ace_nn.dir/squeezenet.cpp.o" "gcc" "src/nn/CMakeFiles/ace_nn.dir/squeezenet.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/ace_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/ace_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ace_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_nn.dir/dataset.cpp.o"
+  "CMakeFiles/ace_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/ace_nn.dir/injection.cpp.o"
+  "CMakeFiles/ace_nn.dir/injection.cpp.o.d"
+  "CMakeFiles/ace_nn.dir/layers.cpp.o"
+  "CMakeFiles/ace_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/ace_nn.dir/squeezenet.cpp.o"
+  "CMakeFiles/ace_nn.dir/squeezenet.cpp.o.d"
+  "CMakeFiles/ace_nn.dir/tensor.cpp.o"
+  "CMakeFiles/ace_nn.dir/tensor.cpp.o.d"
+  "libace_nn.a"
+  "libace_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/biquad.cpp" "src/signal/CMakeFiles/ace_signal.dir/biquad.cpp.o" "gcc" "src/signal/CMakeFiles/ace_signal.dir/biquad.cpp.o.d"
+  "/root/repo/src/signal/dct.cpp" "src/signal/CMakeFiles/ace_signal.dir/dct.cpp.o" "gcc" "src/signal/CMakeFiles/ace_signal.dir/dct.cpp.o.d"
+  "/root/repo/src/signal/fft.cpp" "src/signal/CMakeFiles/ace_signal.dir/fft.cpp.o" "gcc" "src/signal/CMakeFiles/ace_signal.dir/fft.cpp.o.d"
+  "/root/repo/src/signal/fir.cpp" "src/signal/CMakeFiles/ace_signal.dir/fir.cpp.o" "gcc" "src/signal/CMakeFiles/ace_signal.dir/fir.cpp.o.d"
+  "/root/repo/src/signal/generator.cpp" "src/signal/CMakeFiles/ace_signal.dir/generator.cpp.o" "gcc" "src/signal/CMakeFiles/ace_signal.dir/generator.cpp.o.d"
+  "/root/repo/src/signal/iir.cpp" "src/signal/CMakeFiles/ace_signal.dir/iir.cpp.o" "gcc" "src/signal/CMakeFiles/ace_signal.dir/iir.cpp.o.d"
+  "/root/repo/src/signal/noise_analysis.cpp" "src/signal/CMakeFiles/ace_signal.dir/noise_analysis.cpp.o" "gcc" "src/signal/CMakeFiles/ace_signal.dir/noise_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixedpoint/CMakeFiles/ace_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

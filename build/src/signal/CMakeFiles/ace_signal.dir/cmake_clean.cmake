@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_signal.dir/biquad.cpp.o"
+  "CMakeFiles/ace_signal.dir/biquad.cpp.o.d"
+  "CMakeFiles/ace_signal.dir/dct.cpp.o"
+  "CMakeFiles/ace_signal.dir/dct.cpp.o.d"
+  "CMakeFiles/ace_signal.dir/fft.cpp.o"
+  "CMakeFiles/ace_signal.dir/fft.cpp.o.d"
+  "CMakeFiles/ace_signal.dir/fir.cpp.o"
+  "CMakeFiles/ace_signal.dir/fir.cpp.o.d"
+  "CMakeFiles/ace_signal.dir/generator.cpp.o"
+  "CMakeFiles/ace_signal.dir/generator.cpp.o.d"
+  "CMakeFiles/ace_signal.dir/iir.cpp.o"
+  "CMakeFiles/ace_signal.dir/iir.cpp.o.d"
+  "CMakeFiles/ace_signal.dir/noise_analysis.cpp.o"
+  "CMakeFiles/ace_signal.dir/noise_analysis.cpp.o.d"
+  "libace_signal.a"
+  "libace_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_util.dir/csv.cpp.o"
+  "CMakeFiles/ace_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ace_util.dir/rng.cpp.o"
+  "CMakeFiles/ace_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ace_util.dir/stats.cpp.o"
+  "CMakeFiles/ace_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ace_util.dir/table.cpp.o"
+  "CMakeFiles/ace_util.dir/table.cpp.o.d"
+  "libace_util.a"
+  "libace_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

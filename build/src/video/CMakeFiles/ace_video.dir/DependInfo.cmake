@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/frame.cpp" "src/video/CMakeFiles/ace_video.dir/frame.cpp.o" "gcc" "src/video/CMakeFiles/ace_video.dir/frame.cpp.o.d"
+  "/root/repo/src/video/hevc_mc.cpp" "src/video/CMakeFiles/ace_video.dir/hevc_mc.cpp.o" "gcc" "src/video/CMakeFiles/ace_video.dir/hevc_mc.cpp.o.d"
+  "/root/repo/src/video/hevc_mc_int.cpp" "src/video/CMakeFiles/ace_video.dir/hevc_mc_int.cpp.o" "gcc" "src/video/CMakeFiles/ace_video.dir/hevc_mc_int.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixedpoint/CMakeFiles/ace_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

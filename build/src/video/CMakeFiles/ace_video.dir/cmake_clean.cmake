@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_video.dir/frame.cpp.o"
+  "CMakeFiles/ace_video.dir/frame.cpp.o.d"
+  "CMakeFiles/ace_video.dir/hevc_mc.cpp.o"
+  "CMakeFiles/ace_video.dir/hevc_mc.cpp.o.d"
+  "CMakeFiles/ace_video.dir/hevc_mc_int.cpp.o"
+  "CMakeFiles/ace_video.dir/hevc_mc_int.cpp.o.d"
+  "libace_video.a"
+  "libace_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_baselines.dir/test_dse_baselines.cpp.o"
+  "CMakeFiles/test_dse_baselines.dir/test_dse_baselines.cpp.o.d"
+  "test_dse_baselines"
+  "test_dse_baselines.pdb"
+  "test_dse_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_config.dir/test_dse_config.cpp.o"
+  "CMakeFiles/test_dse_config.dir/test_dse_config.cpp.o.d"
+  "test_dse_config"
+  "test_dse_config.pdb"
+  "test_dse_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_cost_annealing.dir/test_dse_cost_annealing.cpp.o"
+  "CMakeFiles/test_dse_cost_annealing.dir/test_dse_cost_annealing.cpp.o.d"
+  "test_dse_cost_annealing"
+  "test_dse_cost_annealing.pdb"
+  "test_dse_cost_annealing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_cost_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_doe.dir/test_dse_doe.cpp.o"
+  "CMakeFiles/test_dse_doe.dir/test_dse_doe.cpp.o.d"
+  "test_dse_doe"
+  "test_dse_doe.pdb"
+  "test_dse_doe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_doe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

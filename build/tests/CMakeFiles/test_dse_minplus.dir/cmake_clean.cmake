@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_minplus.dir/test_dse_minplus.cpp.o"
+  "CMakeFiles/test_dse_minplus.dir/test_dse_minplus.cpp.o.d"
+  "test_dse_minplus"
+  "test_dse_minplus.pdb"
+  "test_dse_minplus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_minplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_scheduler.dir/test_dse_scheduler.cpp.o"
+  "CMakeFiles/test_dse_scheduler.dir/test_dse_scheduler.cpp.o.d"
+  "test_dse_scheduler"
+  "test_dse_scheduler.pdb"
+  "test_dse_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

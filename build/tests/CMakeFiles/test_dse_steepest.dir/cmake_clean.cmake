@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_steepest.dir/test_dse_steepest.cpp.o"
+  "CMakeFiles/test_dse_steepest.dir/test_dse_steepest.cpp.o.d"
+  "test_dse_steepest"
+  "test_dse_steepest.pdb"
+  "test_dse_steepest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_steepest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_store.dir/test_dse_store.cpp.o"
+  "CMakeFiles/test_dse_store.dir/test_dse_store.cpp.o.d"
+  "test_dse_store"
+  "test_dse_store.pdb"
+  "test_dse_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

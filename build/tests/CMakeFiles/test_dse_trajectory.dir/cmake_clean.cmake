@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_trajectory.dir/test_dse_trajectory.cpp.o"
+  "CMakeFiles/test_dse_trajectory.dir/test_dse_trajectory.cpp.o.d"
+  "test_dse_trajectory"
+  "test_dse_trajectory.pdb"
+  "test_dse_trajectory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_trajectory_io.dir/test_dse_trajectory_io.cpp.o"
+  "CMakeFiles/test_dse_trajectory_io.dir/test_dse_trajectory_io.cpp.o.d"
+  "test_dse_trajectory_io"
+  "test_dse_trajectory_io.pdb"
+  "test_dse_trajectory_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_trajectory_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixedpoint.dir/test_fixedpoint.cpp.o"
+  "CMakeFiles/test_fixedpoint.dir/test_fixedpoint.cpp.o.d"
+  "test_fixedpoint"
+  "test_fixedpoint.pdb"
+  "test_fixedpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixedpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

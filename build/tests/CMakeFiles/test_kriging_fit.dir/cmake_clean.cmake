@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kriging_fit.dir/test_kriging_fit.cpp.o"
+  "CMakeFiles/test_kriging_fit.dir/test_kriging_fit.cpp.o.d"
+  "test_kriging_fit"
+  "test_kriging_fit.pdb"
+  "test_kriging_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kriging_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kriging_ordinary.dir/test_kriging_ordinary.cpp.o"
+  "CMakeFiles/test_kriging_ordinary.dir/test_kriging_ordinary.cpp.o.d"
+  "test_kriging_ordinary"
+  "test_kriging_ordinary.pdb"
+  "test_kriging_ordinary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kriging_ordinary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kriging_simple.dir/test_kriging_simple.cpp.o"
+  "CMakeFiles/test_kriging_simple.dir/test_kriging_simple.cpp.o.d"
+  "test_kriging_simple"
+  "test_kriging_simple.pdb"
+  "test_kriging_simple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kriging_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

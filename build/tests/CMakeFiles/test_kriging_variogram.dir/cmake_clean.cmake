@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kriging_variogram.dir/test_kriging_variogram.cpp.o"
+  "CMakeFiles/test_kriging_variogram.dir/test_kriging_variogram.cpp.o.d"
+  "test_kriging_variogram"
+  "test_kriging_variogram.pdb"
+  "test_kriging_variogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kriging_variogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_cholesky_qr.dir/test_linalg_cholesky_qr.cpp.o"
+  "CMakeFiles/test_linalg_cholesky_qr.dir/test_linalg_cholesky_qr.cpp.o.d"
+  "test_linalg_cholesky_qr"
+  "test_linalg_cholesky_qr.pdb"
+  "test_linalg_cholesky_qr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_cholesky_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_solve.dir/test_linalg_solve.cpp.o"
+  "CMakeFiles/test_linalg_solve.dir/test_linalg_solve.cpp.o.d"
+  "test_linalg_solve"
+  "test_linalg_solve.pdb"
+  "test_linalg_solve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

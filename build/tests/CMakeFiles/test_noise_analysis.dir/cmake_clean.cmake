@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_analysis.dir/test_noise_analysis.cpp.o"
+  "CMakeFiles/test_noise_analysis.dir/test_noise_analysis.cpp.o.d"
+  "test_noise_analysis"
+  "test_noise_analysis.pdb"
+  "test_noise_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_invariants.dir/test_policy_invariants.cpp.o"
+  "CMakeFiles/test_policy_invariants.dir/test_policy_invariants.cpp.o.d"
+  "test_policy_invariants"
+  "test_policy_invariants.pdb"
+  "test_policy_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_kriging.dir/test_property_kriging.cpp.o"
+  "CMakeFiles/test_property_kriging.dir/test_property_kriging.cpp.o.d"
+  "test_property_kriging"
+  "test_property_kriging.pdb"
+  "test_property_kriging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_kriging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signal_dct.dir/test_signal_dct.cpp.o"
+  "CMakeFiles/test_signal_dct.dir/test_signal_dct.cpp.o.d"
+  "test_signal_dct"
+  "test_signal_dct.pdb"
+  "test_signal_dct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signal_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signal_fft.dir/test_signal_fft.cpp.o"
+  "CMakeFiles/test_signal_fft.dir/test_signal_fft.cpp.o.d"
+  "test_signal_fft"
+  "test_signal_fft.pdb"
+  "test_signal_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signal_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signal_fir.dir/test_signal_fir.cpp.o"
+  "CMakeFiles/test_signal_fir.dir/test_signal_fir.cpp.o.d"
+  "test_signal_fir"
+  "test_signal_fir.pdb"
+  "test_signal_fir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signal_fir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

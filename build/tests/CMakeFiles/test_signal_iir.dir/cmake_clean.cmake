@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signal_iir.dir/test_signal_iir.cpp.o"
+  "CMakeFiles/test_signal_iir.dir/test_signal_iir.cpp.o.d"
+  "test_signal_iir"
+  "test_signal_iir.pdb"
+  "test_signal_iir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signal_iir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

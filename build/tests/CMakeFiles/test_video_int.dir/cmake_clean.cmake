@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_video_int.dir/test_video_int.cpp.o"
+  "CMakeFiles/test_video_int.dir/test_video_int.cpp.o.d"
+  "test_video_int"
+  "test_video_int.pdb"
+  "test_video_int[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_video_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
