@@ -1,13 +1,13 @@
 #include "dse/kriging_policy.hpp"
 
 #include <algorithm>
-
 #include <stdexcept>
+#include <unordered_map>
 
-#include "kriging/empirical_variogram.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/vector.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ace::dse {
 
@@ -57,39 +57,82 @@ double KrigingPolicy::trend_value(const std::vector<double>& x) const {
 }
 
 bool KrigingPolicy::refit_model() {
-  if (store_.size() < 2) return false;
-  std::vector<std::vector<double>> points;
-  points.reserve(store_.size());
-  for (const auto& c : store_.configs()) points.push_back(to_real(c));
-
-  // Regression kriging: identify the global trend first, then model the
-  // spatial structure of the residuals.
-  std::vector<double> field = store_.values();
-  if (options_.drift == kriging::DriftKind::kLinear) {
-    trend_ = fit_linear_trend(points, field);
-    for (std::size_t i = 0; i < field.size(); ++i)
-      field[i] -= trend_value(points[i]);
-  } else {
-    trend_.clear();
+  fit_attempted_ = true;
+  sims_at_last_attempt_ = store_.size();
+  if (store_.size() < 2) {
+    ++stats_.failed_refits;
+    return false;
   }
 
   const auto distance = options_.use_l2_distance ? kriging::l2_distance
                                                  : kriging::l1_distance;
-  kriging::EmpiricalVariogram ev(points, field, distance, 1.0);
-  if (ev.bins().size() < 2) return false;
-  model_ = kriging::fit_best(ev, options_.fit).model;
-  sill_estimate_ = ev.value_variance();
+  const kriging::EmpiricalVariogram* variogram = nullptr;
+  if (options_.drift == kriging::DriftKind::kLinear) {
+    // Regression kriging: identify the global trend first, then model the
+    // spatial structure of the residuals. The residual field changes with
+    // the trend, so this path rebuilds the variogram from scratch.
+    std::vector<std::vector<double>> points;
+    points.reserve(store_.size());
+    for (const auto& c : store_.configs()) points.push_back(to_real(c));
+    std::vector<double> field = store_.values();
+    trend_ = fit_linear_trend(points, field);
+    for (std::size_t i = 0; i < field.size(); ++i)
+      field[i] -= trend_value(points[i]);
+    variogram_ = std::make_unique<kriging::EmpiricalVariogram>(
+        points, field, distance, 1.0);
+    variogram = variogram_.get();
+  } else {
+    // Ordinary kriging: the field is the stored values themselves, so the
+    // variogram only needs the pairs the new simulations introduce —
+    // O(k·N) per refit instead of the O(N²) full rebuild.
+    trend_.clear();
+    if (!variogram_)
+      variogram_ =
+          std::make_unique<kriging::EmpiricalVariogram>(distance, 1.0);
+    std::vector<std::vector<double>> new_points;
+    std::vector<double> new_values;
+    for (std::size_t i = variogram_->sample_count(); i < store_.size(); ++i) {
+      new_points.push_back(to_real(store_.config(i)));
+      new_values.push_back(store_.value(i));
+    }
+    variogram_->extend(new_points, new_values);
+    variogram = variogram_.get();
+  }
+
+  if (variogram->bins().size() < 2) {
+    ++stats_.failed_refits;
+    return false;
+  }
+  model_ = kriging::fit_best(*variogram, options_.fit).model;
+  sill_estimate_ = variogram->value_variance();
   sims_at_last_fit_ = store_.size();
+  ++stats_.refits;
   return true;
+}
+
+Neighborhood KrigingPolicy::neighborhood_of(const Config& config) const {
+  return options_.use_l2_distance
+             ? store_.neighbors_within_l2(
+                   config, static_cast<double>(options_.distance))
+             : store_.neighbors_within(config, options_.distance);
 }
 
 std::optional<double> KrigingPolicy::try_interpolate(
     const Config& config, const Neighborhood& neighborhood,
     EvalOutcome& outcome) {
-  // Identify (or periodically re-identify) the semi-variogram.
-  if (!model_ || store_.size() >= sims_at_last_fit_ + options_.refit_period) {
-    if (store_.size() < options_.min_fit_points && !model_) return std::nullopt;
-    if (!refit_model() && !model_) return std::nullopt;
+  // Identify (or periodically re-identify) the semi-variogram. A failed
+  // attempt resets the refit clock, so the O(N²)-ish work is not retried
+  // until another refit_period of simulations has accumulated.
+  const bool due =
+      !model_ || store_.size() >= sims_at_last_fit_ + options_.refit_period;
+  if (due) {
+    if (!model_ && store_.size() < options_.min_fit_points)
+      return std::nullopt;
+    const bool attempt_allowed =
+        !fit_attempted_ ||
+        store_.size() >= sims_at_last_attempt_ + options_.refit_period;
+    if (attempt_allowed) (void)refit_model();
+    if (!model_) return std::nullopt;
   }
 
   std::vector<std::vector<double>> points;
@@ -142,11 +185,17 @@ EvalOutcome KrigingPolicy::evaluate(const Config& config,
   EvalOutcome outcome;
   ++stats_.total;
 
-  const auto neighborhood =
-      options_.use_l2_distance
-          ? store_.neighbors_within_l2(config,
-                                       static_cast<double>(options_.distance))
-          : store_.neighbors_within(config, options_.distance);
+  // Exact-match memoization: an already-simulated configuration is served
+  // from the store — no re-simulation, and no duplicate support point to
+  // make the kriging system singular.
+  if (const auto hit = store_.find(config)) {
+    outcome.value = store_.value(*hit);
+    outcome.cached = true;
+    ++stats_.exact_hits;
+    return outcome;
+  }
+
+  const auto neighborhood = neighborhood_of(config);
   outcome.neighbors = neighborhood.count();
 
   if (neighborhood.count() > options_.nn_min) {
@@ -167,6 +216,90 @@ EvalOutcome KrigingPolicy::evaluate(const Config& config,
   store_.add(config, outcome.value);
   ++stats_.simulated;
   return outcome;
+}
+
+std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
+    const std::vector<Config>& batch, const SimulatorFn& simulate,
+    util::ThreadPool* pool) {
+  const std::size_t n = batch.size();
+  std::vector<EvalOutcome> outcomes(n);
+  if (n == 0) return outcomes;
+
+  enum class Plan : unsigned char { kStoreHit, kAlias, kInterpolate, kSimulate };
+  std::vector<Plan> plan(n, Plan::kStoreHit);
+  std::vector<std::size_t> slot(n, 0);  ///< Simulation slot (owner or alias).
+  std::vector<unsigned char> interp_failed(n, 0);
+  std::vector<std::size_t> owners;  ///< Batch index owning each slot.
+  std::unordered_map<Config, std::size_t, ConfigHash> pending;
+
+  // Phase 1 (serial): partition against the store as it stands at batch
+  // entry. Decisions are a pure function of (store state, batch order) —
+  // independent of how the simulations will later be scheduled.
+  for (std::size_t i = 0; i < n; ++i) {
+    EvalOutcome& out = outcomes[i];
+    if (const auto hit = store_.find(batch[i])) {
+      out.value = store_.value(*hit);
+      out.cached = true;
+      plan[i] = Plan::kStoreHit;
+      continue;
+    }
+    if (const auto it = pending.find(batch[i]); it != pending.end()) {
+      plan[i] = Plan::kAlias;
+      slot[i] = it->second;
+      continue;
+    }
+    const auto neighborhood = neighborhood_of(batch[i]);
+    out.neighbors = neighborhood.count();
+    if (neighborhood.count() > options_.nn_min) {
+      if (auto estimate = try_interpolate(batch[i], neighborhood, out)) {
+        out.value = *estimate;
+        out.interpolated = true;
+        plan[i] = Plan::kInterpolate;
+        continue;
+      }
+      interp_failed[i] = 1;
+    }
+    plan[i] = Plan::kSimulate;
+    slot[i] = owners.size();
+    pending.emplace(batch[i], owners.size());
+    owners.push_back(i);
+  }
+
+  // Phase 2: run the pending simulations — on the pool when given, inline
+  // otherwise. Each result lands in its own index-addressed slot, so the
+  // execution schedule cannot leak into the results.
+  std::vector<double> sim_values(owners.size());
+  util::parallel_for_indexed(pool, owners.size(), [&](std::size_t s) {
+    sim_values[s] = simulate(batch[owners[s]]);
+  });
+
+  // Phase 3 (serial): fold results into the store and the statistics in
+  // candidate-index order — a deterministic reduction.
+  for (std::size_t i = 0; i < n; ++i) {
+    ++stats_.total;
+    switch (plan[i]) {
+      case Plan::kStoreHit:
+        ++stats_.exact_hits;
+        break;
+      case Plan::kAlias:
+        outcomes[i].value = sim_values[slot[i]];
+        outcomes[i].cached = true;
+        ++stats_.exact_hits;
+        break;
+      case Plan::kInterpolate:
+        ++stats_.interpolated;
+        stats_.neighbors_per_interpolation.add(
+            static_cast<double>(outcomes[i].neighbors));
+        break;
+      case Plan::kSimulate:
+        if (interp_failed[i]) ++stats_.kriging_failures;
+        outcomes[i].value = sim_values[slot[i]];
+        store_.add(batch[i], outcomes[i].value);
+        ++stats_.simulated;
+        break;
+    }
+  }
+  return outcomes;
 }
 
 }  // namespace ace::dse

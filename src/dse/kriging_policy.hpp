@@ -9,24 +9,39 @@
 // The semi-variogram model is identified from the simulated store the
 // first time kriging is attempted (once enough points exist) and refitted
 // every `refit_period` new simulations; the paper notes identification is
-// done "once for a particular metric and application".
+// done "once for a particular metric and application". Refits are
+// incremental for the default (constant-drift) estimator: the empirical
+// variogram folds only the new points' pairs into its bins (O(k·N))
+// instead of rebuilding all O(N²) pairs.
+//
+// Exact re-evaluations are memo hits: a configuration that is already in
+// the store is answered from it without a simulation (and without letting
+// a duplicate support point degenerate the kriging system).
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "dse/config.hpp"
 #include "dse/sim_store.hpp"
+#include "kriging/empirical_variogram.hpp"
 #include "kriging/fit.hpp"
 #include "kriging/universal_kriging.hpp"
 #include "kriging/variogram_model.hpp"
 #include "util/stats.hpp"
 
+namespace ace::util {
+class ThreadPool;
+}
+
 namespace ace::dse {
 
 /// Deterministic application simulator: configuration -> metric value λ.
+/// Batch evaluation may invoke it from worker threads, so it must be safe
+/// to call concurrently (the library's simulators are pure functions).
 using SimulatorFn = std::function<double(const Config&)>;
 
 /// Knobs of the policy (the d and Nn_min of Table I, plus the extensions
@@ -68,10 +83,13 @@ struct PolicyOptions {
 
 /// Outcome of evaluating one configuration through the policy.
 struct EvalOutcome {
-  double value = 0.0;          ///< λ (simulated or interpolated).
+  double value = 0.0;          ///< λ (simulated, interpolated, or stored).
   bool interpolated = false;   ///< True when kriging supplied the value.
+  bool cached = false;         ///< True when served from the exact store.
   std::size_t neighbors = 0;   ///< |N| used (support size when interpolated).
   bool regularized = false;    ///< Kriging system needed the ridge fallback.
+
+  friend bool operator==(const EvalOutcome&, const EvalOutcome&) = default;
 };
 
 /// Aggregate statistics for Table I.
@@ -79,8 +97,11 @@ struct PolicyStats {
   std::size_t total = 0;
   std::size_t simulated = 0;
   std::size_t interpolated = 0;
+  std::size_t exact_hits = 0;           ///< Served from the store verbatim.
   std::size_t kriging_failures = 0;     ///< Unsolvable system: simulated.
   std::size_t variance_rejections = 0;  ///< Gated by kriging variance.
+  std::size_t refits = 0;               ///< Successful variogram (re)fits.
+  std::size_t failed_refits = 0;        ///< Attempts with too little data.
   util::RunningStats neighbors_per_interpolation;
 
   double interpolated_fraction() const {
@@ -96,9 +117,22 @@ class KrigingPolicy {
  public:
   explicit KrigingPolicy(PolicyOptions options = {});
 
-  /// Evaluate one configuration: interpolate if the neighbourhood is rich
-  /// enough, otherwise call `simulate` and record the result in the store.
+  /// Evaluate one configuration: answer from the store on an exact match,
+  /// interpolate if the neighbourhood is rich enough, otherwise call
+  /// `simulate` and record the result in the store.
   EvalOutcome evaluate(const Config& config, const SimulatorFn& simulate);
+
+  /// Evaluate a whole candidate set. The set is partitioned into
+  /// store-hit / interpolate / simulate up front, against the store as it
+  /// stands at batch entry; pending simulations then run on `pool` (or
+  /// inline when null) and are folded into the store and statistics in
+  /// candidate-index order. The partition and the reduction are both pure
+  /// functions of (store state, batch order), so the outcome sequence is
+  /// bit-identical whether or not a pool is supplied. Duplicate candidates
+  /// within the batch simulate once and alias the first occurrence.
+  std::vector<EvalOutcome> evaluate_batch(const std::vector<Config>& batch,
+                                          const SimulatorFn& simulate,
+                                          util::ThreadPool* pool = nullptr);
 
   const SimulationStore& store() const { return store_; }
   const PolicyStats& stats() const { return stats_; }
@@ -113,13 +147,18 @@ class KrigingPolicy {
   const std::vector<double>& trend() const { return trend_; }
 
   /// Force a (re)fit from the current store; returns false when the store
-  /// is still too small to produce a variogram.
+  /// is still too small to produce a variogram. Every attempt — failed or
+  /// not — resets the refit clock, so a failing fit is retried only after
+  /// another `refit_period` of new simulations instead of on every
+  /// evaluation.
   bool refit_model();
 
  private:
   std::optional<double> try_interpolate(const Config& config,
                                         const Neighborhood& neighborhood,
                                         EvalOutcome& outcome);
+
+  Neighborhood neighborhood_of(const Config& config) const;
 
   /// Global trend value at a configuration (0 when no trend is fitted).
   double trend_value(const std::vector<double>& x) const;
@@ -129,7 +168,13 @@ class KrigingPolicy {
   PolicyStats stats_;
   std::unique_ptr<kriging::VariogramModel> model_;
   std::vector<double> trend_;   ///< Regression-kriging trend (may be empty).
+  /// Incrementally extended empirical variogram (constant drift only; the
+  /// linear-drift residual field changes with every trend refit, which
+  /// forces a full rebuild there).
+  std::unique_ptr<kriging::EmpiricalVariogram> variogram_;
   std::size_t sims_at_last_fit_ = 0;
+  std::size_t sims_at_last_attempt_ = 0;
+  bool fit_attempted_ = false;
   double sill_estimate_ = 0.0;  ///< Sample variance of the kriged field.
 };
 

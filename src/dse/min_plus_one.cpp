@@ -17,17 +17,32 @@ void validate(const MinPlusOneOptions& options) {
 }
 }  // namespace
 
+BatchEvaluateFn serialize_evaluator(const EvaluateFn& evaluate) {
+  return [&evaluate](const std::vector<Config>& batch) {
+    std::vector<double> values;
+    values.reserve(batch.size());
+    for (const Config& c : batch) values.push_back(evaluate(c));
+    return values;
+  };
+}
+
 Config determine_min_word_lengths(const EvaluateFn& evaluate,
                                   const MinPlusOneOptions& options) {
   validate(options);
   Config w_min(options.nv, options.w_max);
+
+  // Every per-variable descent starts from the same all-Nmax point, so
+  // λ(Nmax, …, Nmax) is evaluated once — not once per variable, which
+  // previously cost Nv − 1 redundant simulations whose duplicate store
+  // entries then degenerated the kriging support set.
+  const double lambda_at_max = evaluate(Config(options.nv, options.w_max));
 
   for (std::size_t i = 0; i < options.nv; ++i) {
     // All other variables pinned at Nmax; walk variable i down until the
     // accuracy constraint breaks, then back off one bit.
     Config w(options.nv, options.w_max);
     int wi = options.w_max;
-    double lambda = evaluate(w);
+    double lambda = lambda_at_max;
     while (lambda >= options.lambda_min && wi > options.w_min) {
       --wi;
       w[i] = wi;
@@ -41,7 +56,7 @@ Config determine_min_word_lengths(const EvaluateFn& evaluate,
   return w_min;
 }
 
-MinPlusOneResult optimize_word_lengths(const EvaluateFn& evaluate,
+MinPlusOneResult optimize_word_lengths(const BatchEvaluateFn& evaluate,
                                        const MinPlusOneOptions& options,
                                        Config start) {
   validate(options);
@@ -51,25 +66,35 @@ MinPlusOneResult optimize_word_lengths(const EvaluateFn& evaluate,
   MinPlusOneResult result;
   result.w_min = start;
   Config w = std::move(start);
-  double lambda = evaluate(w);
+  double lambda = evaluate({w}).front();
 
   std::size_t steps = 0;
+  std::vector<Config> candidates;
+  std::vector<std::size_t> vars;
   while (lambda < options.lambda_min && steps < options.max_steps) {
-    // Competition between variables: each candidate +1 bit is evaluated and
-    // the most accuracy-improving variable wins.
-    double best_lambda = -std::numeric_limits<double>::infinity();
-    std::size_t best_var = options.nv;  // Sentinel: none.
+    // Competition between variables: all +1-bit candidates are evaluated
+    // as one batch and the most accuracy-improving variable wins; ties go
+    // to the lowest variable index (index-ordered reduction).
+    candidates.clear();
+    vars.clear();
     for (std::size_t i = 0; i < options.nv; ++i) {
       if (w[i] >= options.w_max) continue;
       Config candidate = w;
       ++candidate[i];
-      const double li = evaluate(candidate);
-      if (li > best_lambda) {
-        best_lambda = li;
-        best_var = i;
+      candidates.push_back(std::move(candidate));
+      vars.push_back(i);
+    }
+    if (candidates.empty()) break;  // All variables saturated at Nmax.
+    const std::vector<double> lambdas = evaluate(candidates);
+
+    double best_lambda = -std::numeric_limits<double>::infinity();
+    std::size_t best_var = options.nv;  // Sentinel: none.
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (lambdas[j] > best_lambda) {
+        best_lambda = lambdas[j];
+        best_var = vars[j];
       }
     }
-    if (best_var == options.nv) break;  // All variables saturated at Nmax.
     ++w[best_var];
     lambda = best_lambda;
     result.decisions.push_back(best_var);
@@ -82,9 +107,31 @@ MinPlusOneResult optimize_word_lengths(const EvaluateFn& evaluate,
   return result;
 }
 
+MinPlusOneResult optimize_word_lengths(const EvaluateFn& evaluate,
+                                       const MinPlusOneOptions& options,
+                                       Config start) {
+  // The serial reference path: candidates are evaluated left-to-right in
+  // index order, exactly as the historical per-candidate loop did.
+  return optimize_word_lengths(serialize_evaluator(evaluate), options,
+                               std::move(start));
+}
+
 MinPlusOneResult min_plus_one(const EvaluateFn& evaluate,
                               const MinPlusOneOptions& options) {
   Config w_min = determine_min_word_lengths(evaluate, options);
+  MinPlusOneResult result = optimize_word_lengths(evaluate, options, w_min);
+  result.w_min = std::move(w_min);
+  return result;
+}
+
+MinPlusOneResult min_plus_one(const BatchEvaluateFn& evaluate,
+                              const MinPlusOneOptions& options) {
+  // Phase 1 is inherently sequential (each step depends on the previous
+  // λ), so it runs through a batch-of-one adapter.
+  const EvaluateFn single = [&evaluate](const Config& c) {
+    return evaluate(std::vector<Config>{c}).front();
+  };
+  Config w_min = determine_min_word_lengths(single, options);
   MinPlusOneResult result = optimize_word_lengths(evaluate, options, w_min);
   result.w_min = std::move(w_min);
   return result;

@@ -8,6 +8,10 @@
 //
 // The algorithms are agnostic to how λ is produced: pass an exhaustive
 // simulator, a TrajectoryRecorder, or a KrigingPolicy-backed evaluator.
+// Phase 2's candidate competition — Nv independent +1-bit evaluations per
+// greedy step — can additionally be driven through a BatchEvaluateFn,
+// which may fan the underlying simulations out to a thread pool (see
+// KrigingPolicy::evaluate_batch / policy_batch_evaluator).
 #pragma once
 
 #include <cstddef>
@@ -20,6 +24,18 @@ namespace ace::dse {
 
 /// Metric evaluation callable (λ = evaluateAccuracy in the paper).
 using EvaluateFn = std::function<double(const Config&)>;
+
+/// Batched metric evaluation: values[i] must correspond to batch[i]. A
+/// batch implementation may execute the underlying simulations in
+/// parallel, but must return the same values a serial left-to-right
+/// evaluation of the batch would produce.
+using BatchEvaluateFn =
+    std::function<std::vector<double>(const std::vector<Config>&)>;
+
+/// Adapt a scalar evaluator into a batch evaluator that evaluates the
+/// candidates serially in index order (the serial reference semantics).
+/// The returned callable references `evaluate` — do not outlive it.
+BatchEvaluateFn serialize_evaluator(const EvaluateFn& evaluate);
 
 struct MinPlusOneOptions {
   double lambda_min = 0.0;  ///< Accuracy constraint λm (λ >= λm feasible).
@@ -37,8 +53,9 @@ struct MinPlusOneResult {
   bool constraint_met = false;        ///< λ(w_res) >= λm.
 };
 
-/// Phase 1: per-variable minimum word lengths (Algorithm 1).
-/// Throws std::invalid_argument on nv == 0 or w_min > w_max.
+/// Phase 1: per-variable minimum word lengths (Algorithm 1). The shared
+/// all-Nmax warm-up configuration is evaluated exactly once, not once per
+/// variable. Throws std::invalid_argument on nv == 0 or w_min > w_max.
 Config determine_min_word_lengths(const EvaluateFn& evaluate,
                                   const MinPlusOneOptions& options);
 
@@ -47,8 +64,19 @@ MinPlusOneResult optimize_word_lengths(const EvaluateFn& evaluate,
                                        const MinPlusOneOptions& options,
                                        Config start);
 
+/// Phase 2 with batched candidate competitions: each greedy step submits
+/// all +1-bit candidates as one batch; ties resolve to the lowest variable
+/// index, exactly as the scalar overload does.
+MinPlusOneResult optimize_word_lengths(const BatchEvaluateFn& evaluate,
+                                       const MinPlusOneOptions& options,
+                                       Config start);
+
 /// Both phases chained — the full min+1 bit algorithm.
 MinPlusOneResult min_plus_one(const EvaluateFn& evaluate,
+                              const MinPlusOneOptions& options);
+
+/// Full algorithm with batched phase-2 competitions.
+MinPlusOneResult min_plus_one(const BatchEvaluateFn& evaluate,
                               const MinPlusOneOptions& options);
 
 }  // namespace ace::dse

@@ -60,4 +60,18 @@ std::size_t evaluate_batch(KrigingPolicy& policy, const SimulatorFn& simulate,
   return interpolated;
 }
 
+BatchEvaluateFn policy_batch_evaluator(KrigingPolicy& policy,
+                                       SimulatorFn simulate,
+                                       util::ThreadPool* pool) {
+  return [&policy, simulate = std::move(simulate),
+          pool](const std::vector<Config>& batch) {
+    const std::vector<EvalOutcome> outcomes =
+        policy.evaluate_batch(batch, simulate, pool);
+    std::vector<double> values;
+    values.reserve(outcomes.size());
+    for (const EvalOutcome& o : outcomes) values.push_back(o.value);
+    return values;
+  };
+}
+
 }  // namespace ace::dse

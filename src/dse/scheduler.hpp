@@ -14,6 +14,11 @@
 
 #include "dse/config.hpp"
 #include "dse/kriging_policy.hpp"
+#include "dse/min_plus_one.hpp"  // BatchEvaluateFn
+
+namespace ace::util {
+class ThreadPool;
+}
 
 namespace ace::dse {
 
@@ -24,8 +29,20 @@ namespace ace::dse {
 std::vector<Config> maximin_order(std::vector<Config> batch);
 
 /// Evaluate a batch through a policy in the given order; returns how many
-/// were interpolated.
+/// were interpolated. Sequential by design: each configuration sees a
+/// store already enriched by its predecessors in the batch, which is what
+/// makes a maximin ordering pay off.
 std::size_t evaluate_batch(KrigingPolicy& policy, const SimulatorFn& simulate,
                            const std::vector<Config>& batch);
+
+/// Glue for the optimizers' batched candidate competitions: a
+/// BatchEvaluateFn that feeds each candidate set through
+/// KrigingPolicy::evaluate_batch, fanning pending simulations out to
+/// `pool` (inline when null). The returned callable references `policy`
+/// and copies `simulate`; it must not outlive either the policy or the
+/// pool.
+BatchEvaluateFn policy_batch_evaluator(KrigingPolicy& policy,
+                                       SimulatorFn simulate,
+                                       util::ThreadPool* pool = nullptr);
 
 }  // namespace ace::dse

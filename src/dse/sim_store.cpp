@@ -1,29 +1,82 @@
 #include "dse/sim_store.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace ace::dse {
 
-void SimulationStore::add(Config config, double value) {
-  if (!configs_.empty() && config.size() != configs_.front().size())
-    throw std::invalid_argument("SimulationStore::add: dimension mismatch");
+namespace {
+
+int coordinate_sum(const Config& c) {
+  return std::accumulate(c.begin(), c.end(), 0);
+}
+
+}  // namespace
+
+void SimulationStore::check_dimensions(const Config& c,
+                                       const char* what) const {
+  if (!configs_.empty() && c.size() != configs_.front().size())
+    throw std::invalid_argument(std::string("SimulationStore::") + what +
+                                ": dimension mismatch");
+}
+
+std::size_t SimulationStore::add(Config config, double value) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  check_dimensions(config, "add");
+  if (const auto it = exact_.find(config); it != exact_.end()) {
+    values_[it->second] = value;
+    return it->second;
+  }
+  const std::size_t index = configs_.size();
+  const int sum = coordinate_sum(config);
   configs_.push_back(std::move(config));
   values_.push_back(value);
+  exact_.emplace(configs_.back(), index);
+  sum_buckets_[sum].push_back(index);
+  return index;
+}
+
+std::optional<std::size_t> SimulationStore::find(const Config& config) const {
+  const auto it = exact_.find(config);
+  if (it == exact_.end()) return std::nullopt;
+  return it->second;
 }
 
 Neighborhood SimulationStore::neighbors_within(const Config& query,
                                                int radius) const {
   Neighborhood n;
-  for (std::size_t i = 0; i < configs_.size(); ++i)
-    if (l1_distance(configs_[i], query) <= radius) n.indices.push_back(i);
+  if (configs_.empty()) return n;
+  check_dimensions(query, "neighbors_within");
+  const int qsum = coordinate_sum(query);
+  const auto first = sum_buckets_.lower_bound(qsum - radius);
+  const auto last = sum_buckets_.upper_bound(qsum + radius);
+  for (auto it = first; it != last; ++it)
+    for (const std::size_t i : it->second)
+      if (l1_distance(configs_[i], query) <= radius) n.indices.push_back(i);
+  // Buckets are ordered by coordinate sum, not insertion: restore the
+  // ascending index order the linear scan produced.
+  std::sort(n.indices.begin(), n.indices.end());
   return n;
 }
 
 Neighborhood SimulationStore::neighbors_within_l2(const Config& query,
                                                   double radius) const {
   Neighborhood n;
-  for (std::size_t i = 0; i < configs_.size(); ++i)
-    if (l2_distance(configs_[i], query) <= radius) n.indices.push_back(i);
+  if (configs_.empty()) return n;
+  check_dimensions(query, "neighbors_within_l2");
+  // ||a − q||₁ <= √Nv · ||a − q||₂, so an L2 ball of radius r only reaches
+  // buckets within ±⌈√Nv·r⌉ of the query's coordinate sum.
+  const int band = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(query.size())) * radius));
+  const int qsum = coordinate_sum(query);
+  const auto first = sum_buckets_.lower_bound(qsum - band);
+  const auto last = sum_buckets_.upper_bound(qsum + band);
+  for (auto it = first; it != last; ++it)
+    for (const std::size_t i : it->second)
+      if (l2_distance(configs_[i], query) <= radius) n.indices.push_back(i);
+  std::sort(n.indices.begin(), n.indices.end());
   return n;
 }
 

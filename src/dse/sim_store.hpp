@@ -3,9 +3,29 @@
 // Only *simulated* configurations enter the store — interpolated points are
 // never reused as kriging support ("If the configuration is interpolated,
 // it is not used for kriging other configurations", Sec. III-B1).
+//
+// The store is indexed two ways:
+//   * an exact-match hash map, so re-evaluations of an already-simulated
+//     configuration are O(1) memo lookups instead of fresh simulations;
+//   * a coordinate-sum bucket index for radius queries: for any two
+//     configurations |Σa − Σb| <= ||a − b||₁, so only buckets whose sum
+//     falls in [Σq − r, Σq + r] can hold L1 neighbours of query q (and
+//     within ±⌈√Nv·r⌉ for L2 queries, since ||·||₁ <= √Nv·||·||₂). This
+//     replaces the O(N) linear scan per neighbourhood lookup with a scan
+//     of the few populated buckets in the band.
+//
+// Thread-safety: add() is mutex-guarded, so a worker pool may enrich the
+// store concurrently. Read paths are lock-free and must not race with
+// writers — the batch evaluation engine guarantees this by partitioning
+// up front and folding simulation results in serially (see
+// KrigingPolicy::evaluate_batch).
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "dse/config.hpp"
@@ -18,12 +38,18 @@ struct Neighborhood {
   std::size_t count() const { return indices.size(); }
 };
 
-/// Append-only store of (configuration, metric value) pairs.
+/// Indexed store of (configuration, metric value) pairs.
 class SimulationStore {
  public:
-  /// Add a simulated configuration. Throws std::invalid_argument if the
-  /// dimensionality differs from previously stored entries.
-  void add(Config config, double value);
+  /// Add a simulated configuration and return its index. An exact
+  /// duplicate updates the stored value in place instead of creating a
+  /// second support point — duplicate support points make the kriging Γ
+  /// matrix singular. Throws std::invalid_argument if the dimensionality
+  /// differs from previously stored entries.
+  std::size_t add(Config config, double value);
+
+  /// Index of an exactly matching stored configuration, if any.
+  std::optional<std::size_t> find(const Config& config) const;
 
   std::size_t size() const { return configs_.size(); }
   bool empty() const { return configs_.empty(); }
@@ -35,7 +61,7 @@ class SimulationStore {
   const std::vector<double>& values() const { return values_; }
 
   /// All stored entries with L1 distance <= radius from the query
-  /// (Algorithms 1-2, lines 7-16).
+  /// (Algorithms 1-2, lines 7-16), in ascending index order.
   Neighborhood neighbors_within(const Config& query, int radius) const;
 
   /// Same with Euclidean distance (extension ablation).
@@ -47,8 +73,15 @@ class SimulationStore {
               std::vector<double>& values) const;
 
  private:
+  void check_dimensions(const Config& c, const char* what) const;
+
   std::vector<Config> configs_;
   std::vector<double> values_;
+  /// Exact-match index: configuration -> position in configs_.
+  std::unordered_map<Config, std::size_t, ConfigHash> exact_;
+  /// Radius-query index: coordinate sum -> positions with that sum.
+  std::map<int, std::vector<std::size_t>> sum_buckets_;
+  std::mutex write_mutex_;
 };
 
 }  // namespace ace::dse

@@ -6,7 +6,7 @@
 namespace ace::dse {
 
 SensitivityResult steepest_descent_budgeting(
-    const EvaluateFn& evaluate, const SensitivityOptions& options) {
+    const BatchEvaluateFn& evaluate, const SensitivityOptions& options) {
   if (options.nv == 0)
     throw std::invalid_argument("steepest_descent: nv must be positive");
   if (options.level_min > options.level_max)
@@ -14,7 +14,7 @@ SensitivityResult steepest_descent_budgeting(
 
   SensitivityResult result;
   Config levels(options.nv, options.level_max);
-  double lambda = evaluate(levels);
+  double lambda = evaluate({levels}).front();
   result.feasible = lambda >= options.lambda_min;
   if (!result.feasible) {
     // Even near-silent error sources break the constraint: nothing to budget.
@@ -24,22 +24,32 @@ SensitivityResult steepest_descent_budgeting(
   }
 
   std::size_t steps = 0;
+  std::vector<Config> candidates;
+  std::vector<std::size_t> vars;
   while (steps < options.max_steps) {
-    // Try relaxing each source one level; keep the least harmful move.
-    double best_lambda = -std::numeric_limits<double>::infinity();
-    std::size_t best_var = options.nv;  // Sentinel: none.
+    // Try relaxing each source one level as a single candidate batch; keep
+    // the least harmful move, ties going to the lowest source index.
+    candidates.clear();
+    vars.clear();
     for (std::size_t i = 0; i < options.nv; ++i) {
       if (levels[i] <= options.level_min) continue;
       Config candidate = levels;
       --candidate[i];
-      const double li = evaluate(candidate);
-      if (li > best_lambda) {
-        best_lambda = li;
-        best_var = i;
+      candidates.push_back(std::move(candidate));
+      vars.push_back(i);
+    }
+    if (candidates.empty()) break;  // Fully relaxed.
+    const std::vector<double> lambdas = evaluate(candidates);
+
+    double best_lambda = -std::numeric_limits<double>::infinity();
+    std::size_t best_var = options.nv;  // Sentinel: none.
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (lambdas[j] > best_lambda) {
+        best_lambda = lambdas[j];
+        best_var = vars[j];
       }
     }
-    if (best_var == options.nv) break;           // Fully relaxed.
-    if (best_lambda < options.lambda_min) break; // Next move breaks quality.
+    if (best_lambda < options.lambda_min) break;  // Next move breaks quality.
     --levels[best_var];
     lambda = best_lambda;
     result.decisions.push_back(best_var);
@@ -49,6 +59,13 @@ SensitivityResult steepest_descent_budgeting(
   result.levels = std::move(levels);
   result.final_lambda = lambda;
   return result;
+}
+
+SensitivityResult steepest_descent_budgeting(
+    const EvaluateFn& evaluate, const SensitivityOptions& options) {
+  // Serial reference path: candidates evaluated left-to-right in index
+  // order, exactly as the historical per-candidate loop did.
+  return steepest_descent_budgeting(serialize_evaluator(evaluate), options);
 }
 
 }  // namespace ace::dse

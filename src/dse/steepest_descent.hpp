@@ -37,4 +37,10 @@ struct SensitivityResult {
 SensitivityResult steepest_descent_budgeting(const EvaluateFn& evaluate,
                                              const SensitivityOptions& options);
 
+/// Batched variant: each relaxation step submits all candidate -1-level
+/// moves as one batch (parallelizable); ties resolve to the lowest source
+/// index, exactly as the scalar overload does.
+SensitivityResult steepest_descent_budgeting(const BatchEvaluateFn& evaluate,
+                                             const SensitivityOptions& options);
+
 }  // namespace ace::dse

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 
 namespace ace::kriging {
@@ -28,48 +27,61 @@ double l2_distance(const std::vector<double>& a,
   return std::sqrt(acc);
 }
 
+EmpiricalVariogram::EmpiricalVariogram(DistanceFn distance, double bin_width)
+    : distance_(std::move(distance)), bin_width_(bin_width) {
+  if (bin_width_ <= 0.0)
+    throw std::invalid_argument("EmpiricalVariogram: bin_width must be > 0");
+}
+
 EmpiricalVariogram::EmpiricalVariogram(
     const std::vector<std::vector<double>>& points,
-    const std::vector<double>& values, DistanceFn distance, double bin_width) {
+    const std::vector<double>& values, DistanceFn distance, double bin_width)
+    : EmpiricalVariogram(std::move(distance), bin_width) {
   if (points.size() != values.size())
     throw std::invalid_argument("EmpiricalVariogram: size mismatch");
   if (points.size() < 2)
     throw std::invalid_argument("EmpiricalVariogram: need >= 2 points");
-  if (bin_width <= 0.0)
-    throw std::invalid_argument("EmpiricalVariogram: bin_width must be > 0");
+  extend(points, values);
+}
 
-  // Value variance (sill estimate).
-  double mean = 0.0;
-  for (double v : values) mean += v;
-  mean /= static_cast<double>(values.size());
-  double var = 0.0;
-  for (double v : values) var += (v - mean) * (v - mean);
-  value_variance_ =
-      values.size() > 1 ? var / static_cast<double>(values.size() - 1) : 0.0;
+void EmpiricalVariogram::extend(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<double>& values) {
+  if (points.size() != values.size())
+    throw std::invalid_argument("EmpiricalVariogram::extend: size mismatch");
 
-  struct BinAccum {
-    double sum_sq_diff = 0.0;  // Σ (λj − λk)²
-    double sum_distance = 0.0;
-    std::size_t pairs = 0;
-  };
-  std::map<long long, BinAccum> accum;
-
-  for (std::size_t j = 0; j < points.size(); ++j) {
-    for (std::size_t k = j + 1; k < points.size(); ++k) {
-      const double d = distance(points[j], points[k]);
+  for (std::size_t s = 0; s < points.size(); ++s) {
+    // Pair the new sample k against every sample already held — the same
+    // (j < k) enumeration a full rebuild performs, just arriving in
+    // chronological blocks.
+    for (std::size_t j = 0; j < points_.size(); ++j) {
+      const double d = distance_(points_[j], points[s]);
       max_distance_ = std::max(max_distance_, d);
-      const auto bin = static_cast<long long>(std::floor(d / bin_width));
-      auto& slot = accum[bin];
-      const double diff = values[j] - values[k];
+      const auto bin = static_cast<long long>(std::floor(d / bin_width_));
+      auto& slot = accum_[bin];
+      const double diff = values_[j] - values[s];
       slot.sum_sq_diff += diff * diff;
       slot.sum_distance += d;
       ++slot.pairs;
       ++total_pairs_;
     }
-  }
+    points_.push_back(points[s]);
+    values_.push_back(values[s]);
 
-  bins_.reserve(accum.size());
-  for (const auto& [bin, slot] : accum) {
+    // Welford update of the running sample variance (sill estimate).
+    const double n = static_cast<double>(values_.size());
+    const double delta = values[s] - value_mean_;
+    value_mean_ += delta / n;
+    value_m2_ += delta * (values[s] - value_mean_);
+    value_variance_ = values_.size() > 1 ? value_m2_ / (n - 1.0) : 0.0;
+  }
+  rebuild_view();
+}
+
+void EmpiricalVariogram::rebuild_view() {
+  bins_.clear();
+  bins_.reserve(accum_.size());
+  for (const auto& [bin, slot] : accum_) {
     VariogramBin out;
     out.distance = slot.sum_distance / static_cast<double>(slot.pairs);
     out.gamma = slot.sum_sq_diff / (2.0 * static_cast<double>(slot.pairs));

@@ -5,10 +5,17 @@
 // Configurations live on an integer lattice and distances are L1, so with
 // bin_width = 1 the binning is exact, matching the paper's discrete
 // hypercube setting.
+//
+// The variogram is *extendable*: extend() folds only the new samples'
+// pairs into the existing bins — O(k·N) for k new points over N existing
+// ones — so a periodically refitted model does not pay the O(N²) full
+// rebuild on every refit (cf. fast cross-validation for sequential
+// designs, Le Gratiet & Cannamela, arXiv:1210.6187).
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <vector>
 
 namespace ace::kriging {
@@ -30,17 +37,31 @@ struct VariogramBin {
   std::size_t pair_count = 0; ///< |N(d)| — used as fit weight.
 };
 
-/// Empirical semi-variogram over a sample set.
+/// Empirical semi-variogram over a growing sample set.
 class EmpiricalVariogram {
  public:
-  /// Compute from points/values. bin_width groups pairwise distances into
-  /// [k·w, (k+1)·w) bins represented by their mean distance.
-  /// Throws std::invalid_argument on size mismatch, < 2 points, or
-  /// non-positive bin width.
+  /// Empty, extendable variogram. bin_width groups pairwise distances into
+  /// [k·w, (k+1)·w) bins represented by their mean distance. Throws
+  /// std::invalid_argument on non-positive bin width.
+  explicit EmpiricalVariogram(DistanceFn distance = l1_distance,
+                              double bin_width = 1.0);
+
+  /// Compute from points/values in one shot. Throws std::invalid_argument
+  /// on size mismatch, < 2 points, or non-positive bin width.
   EmpiricalVariogram(const std::vector<std::vector<double>>& points,
                      const std::vector<double>& values,
                      DistanceFn distance = l1_distance,
                      double bin_width = 1.0);
+
+  /// Fold new samples into the variogram: each new point is paired against
+  /// every already-held point and against the earlier new points, updating
+  /// the existing bins in place. Throws std::invalid_argument on
+  /// points/values size mismatch.
+  void extend(const std::vector<std::vector<double>>& points,
+              const std::vector<double>& values);
+
+  /// Number of samples folded in so far.
+  std::size_t sample_count() const { return points_.size(); }
 
   const std::vector<VariogramBin>& bins() const { return bins_; }
   std::size_t total_pairs() const { return total_pairs_; }
@@ -52,9 +73,26 @@ class EmpiricalVariogram {
   double value_variance() const { return value_variance_; }
 
  private:
+  struct BinAccum {
+    double sum_sq_diff = 0.0;  // Σ (λj − λk)²
+    double sum_distance = 0.0;
+    std::size_t pairs = 0;
+  };
+
+  /// Materialize bins_ from accum_ (cheap: the bin count is small).
+  void rebuild_view();
+
+  DistanceFn distance_;
+  double bin_width_;
+  std::vector<std::vector<double>> points_;
+  std::vector<double> values_;
+  std::map<long long, BinAccum> accum_;
   std::vector<VariogramBin> bins_;
   std::size_t total_pairs_ = 0;
   double max_distance_ = 0.0;
+  // Welford running variance of the sample values.
+  double value_mean_ = 0.0;
+  double value_m2_ = 0.0;
   double value_variance_ = 0.0;
 };
 

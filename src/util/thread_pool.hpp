@@ -1,0 +1,137 @@
+// Fixed-size worker pool for fanning out independent simulations.
+//
+// The DSE optimizers evaluate Nv independent candidate configurations per
+// greedy step; the policy's batch engine partitions a candidate set into
+// interpolate-vs-simulate up front and runs only the *simulations* here.
+// Because every result is written to a caller-owned slot addressed by
+// index, the execution schedule cannot influence the outcome: a batch run
+// on the pool is bit-identical to the same batch run inline.
+//
+// One batch is active at a time (run_indexed() serializes callers); the
+// calling thread participates in draining the batch, so a pool of W
+// workers executes with W+1 threads and never deadlocks on itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ace::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` threads (clamped to >= 1).
+  explicit ThreadPool(std::size_t workers) {
+    if (workers == 0) workers = 1;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Run task(i) for every i in [0, count) across the pool and block until
+  /// all have finished. The first exception thrown by any task is rethrown
+  /// here after the batch drains; the pool stays usable afterwards.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& task) {
+    if (count == 0) return;
+    const std::lock_guard<std::mutex> serialize(run_mutex_);
+    Batch batch;
+    batch.task = &task;
+    batch.count = count;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_ = &batch;
+    wake_.notify_all();
+    // The caller helps drain its own batch.
+    while (batch.next < batch.count) {
+      const std::size_t i = batch.next++;
+      lock.unlock();
+      execute(batch, i);
+      lock.lock();
+      ++batch.done;
+    }
+    done_.wait(lock, [&] { return batch.done == batch.count; });
+    batch_ = nullptr;
+    lock.unlock();
+    if (batch.error) std::rethrow_exception(batch.error);
+  }
+
+ private:
+  struct Batch {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t count = 0;
+    std::size_t next = 0;  ///< Next index to claim (guarded by mutex_).
+    std::size_t done = 0;  ///< Completed tasks (guarded by mutex_).
+    std::exception_ptr error;
+  };
+
+  /// Run one task outside the lock; record the first failure.
+  void execute(Batch& batch, std::size_t i) {
+    std::exception_ptr error;
+    try {
+      (*batch.task)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    if (error) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!batch.error) batch.error = error;
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      wake_.wait(lock, [this] {
+        return stopping_ || (batch_ && batch_->next < batch_->count);
+      });
+      if (stopping_) return;
+      Batch& batch = *batch_;
+      const std::size_t i = batch.next++;
+      lock.unlock();
+      execute(batch, i);
+      lock.lock();
+      if (++batch.done == batch.count) done_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mutex_;  ///< One run_indexed() at a time.
+  std::mutex mutex_;
+  std::condition_variable wake_;  ///< Workers wait here for a batch.
+  std::condition_variable done_;  ///< run_indexed() waits here for drain.
+  Batch* batch_ = nullptr;
+  bool stopping_ = false;
+};
+
+/// Run fn(i) for i in [0, n): inline in index order when `pool` is null
+/// (the serial reference path), on the pool otherwise. Callers write
+/// results into index-addressed slots, so both paths yield identical data.
+inline void parallel_for_indexed(ThreadPool* pool, std::size_t n,
+                                 const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->run_indexed(n, fn);
+}
+
+}  // namespace ace::util

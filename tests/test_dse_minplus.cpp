@@ -139,6 +139,73 @@ TEST(MinPlusOne, FullAlgorithmEndsFeasibleAndRecordsPhases) {
   EXPECT_GE(result.final_lambda, o.lambda_min);
 }
 
+TEST(MinPlusOnePhase1, AllMaxConfigIsEvaluatedExactlyOnce) {
+  // Regression: every per-variable descent starts from the same all-Nmax
+  // configuration; it used to be re-evaluated once per variable, costing
+  // Nv − 1 redundant simulations before the descent even started.
+  d::MinPlusOneOptions o;
+  o.nv = 6;
+  o.w_max = 16;
+  o.w_min = 2;
+  // With all six at 16, λ = 432; each variable's descent breaks the
+  // constraint at wi = 11 (λ = 414), so every descent takes 5 evaluations.
+  o.lambda_min = 416.0;
+  const d::Config all_max(o.nv, o.w_max);
+  std::size_t all_max_evals = 0;
+  std::size_t total_evals = 0;
+  const auto counted = [&](const d::Config& w) {
+    ++total_evals;
+    if (w == all_max) ++all_max_evals;
+    return SeparableSurface{}(w);
+  };
+  const auto w_min = d::determine_min_word_lengths(counted, o);
+  EXPECT_EQ(all_max_evals, 1u);
+  // The hoisted warm-up is the only evaluation besides the descents.
+  EXPECT_EQ(total_evals, 1u + 6u * 5u);  // 5 decrements per variable.
+  EXPECT_EQ(w_min, d::determine_min_word_lengths(SeparableSurface{}, o));
+}
+
+TEST(MinPlusOne, BatchOverloadMatchesScalar) {
+  auto surface = [](const d::Config& w) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      acc += (4.0 + static_cast<double>(i)) * (w[i] - 2);
+    return acc;
+  };
+  d::MinPlusOneOptions o;
+  o.nv = 4;
+  o.w_max = 14;
+  o.w_min = 2;
+  o.lambda_min = 180.0;
+
+  const auto scalar = d::min_plus_one(surface, o);
+  const d::BatchEvaluateFn batched = [&](const std::vector<d::Config>& b) {
+    std::vector<double> values;
+    for (const auto& w : b) values.push_back(surface(w));
+    return values;
+  };
+  const auto batch = d::min_plus_one(batched, o);
+
+  EXPECT_EQ(batch.w_min, scalar.w_min);
+  EXPECT_EQ(batch.w_res, scalar.w_res);
+  EXPECT_EQ(batch.decisions, scalar.decisions);
+  EXPECT_DOUBLE_EQ(batch.final_lambda, scalar.final_lambda);
+  EXPECT_EQ(batch.constraint_met, scalar.constraint_met);
+}
+
+TEST(MinPlusOne, SerializeEvaluatorPreservesIndexOrder) {
+  std::vector<d::Config> seen;
+  const d::EvaluateFn record = [&](const d::Config& w) {
+    seen.push_back(w);
+    return 0.0;
+  };
+  const auto batched = d::serialize_evaluator(record);
+  const std::vector<d::Config> batch = {{1, 1}, {2, 2}, {3, 3}};
+  const auto values = batched(batch);
+  EXPECT_EQ(values, std::vector<double>(3, 0.0));
+  EXPECT_EQ(seen, batch);
+}
+
 TEST(MinPlusOne, MaxStepsCapIsHonoured) {
   d::MinPlusOneOptions o;
   o.nv = 2;

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -176,11 +180,16 @@ TEST(KrigingPolicy, TrendFallsBackToMeanOnDegenerateDesign) {
   d::PolicyOptions o = small_fit_options(3);
   o.drift = ace::kriging::DriftKind::kLinear;
   o.min_fit_points = 4;
+  // Off-axis queries against a collinear support extrapolate wildly, which
+  // the sanity guard would veto; this test is about the degenerate-trend
+  // path, so let the interpolation through.
+  o.sanity_span = 0.0;
   d::KrigingPolicy policy(o);
   for (int x = 0; x < 6; ++x) (void)policy.evaluate({x, 7}, surface);
   ASSERT_TRUE(policy.refit_model());
   EXPECT_EQ(policy.trend().size(), 1u);  // Mean fallback.
-  const auto r = policy.evaluate({2, 7}, surface);
+  // A stored configuration would be an exact hit; query just off the axis.
+  const auto r = policy.evaluate({2, 8}, surface);
   EXPECT_TRUE(r.interpolated);
 }
 
@@ -249,6 +258,125 @@ TEST(KrigingPolicy, SanityGuardCanBeDisabled) {
   d::PolicyOptions o = small_fit_options(3);
   o.sanity_span = 0.0;
   EXPECT_NO_THROW(d::KrigingPolicy{o});
+}
+
+TEST(KrigingPolicy, ExactRepeatIsServedFromTheStore) {
+  d::KrigingPolicy policy(small_fit_options(2));
+  std::size_t calls = 0;
+  auto sim = [&](const d::Config& c) {
+    ++calls;
+    return linear_surface(c);
+  };
+  const auto first = policy.evaluate({3, 3}, sim);
+  const auto repeat = policy.evaluate({3, 3}, sim);
+  EXPECT_EQ(calls, 1u);  // No re-simulation of a stored configuration.
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(repeat.cached);
+  EXPECT_FALSE(repeat.interpolated);
+  EXPECT_DOUBLE_EQ(repeat.value, first.value);
+  EXPECT_EQ(policy.store().size(), 1u);
+  EXPECT_EQ(policy.stats().exact_hits, 1u);
+  EXPECT_EQ(policy.stats().simulated, 1u);
+  EXPECT_EQ(policy.stats().total, 2u);
+}
+
+TEST(KrigingPolicy, FailedRefitBacksOffUntilPeriodElapses) {
+  // A fit attempt that fails (all stored pairs in one distance bin) must
+  // not be retried on every subsequent evaluation — only after another
+  // refit_period of new simulations.
+  d::PolicyOptions o;
+  o.distance = 2;
+  o.nn_min = 1;
+  o.min_fit_points = 2;
+  o.refit_period = 4;
+  d::KrigingPolicy policy(o);
+  auto sim = [](const d::Config& c) { return linear_surface(c); };
+
+  (void)policy.evaluate({0, 0}, sim);
+  (void)policy.evaluate({1, 0}, sim);
+  // Rich neighbourhood triggers the first fit attempt: two stored points
+  // give a single variogram bin, so the fit fails.
+  (void)policy.evaluate({0, 1}, sim);
+  EXPECT_EQ(policy.stats().failed_refits, 1u);
+  EXPECT_EQ(policy.model(), nullptr);
+
+  // The next evaluations are still below the backoff threshold: no new
+  // attempts pile up even though every one of them would like a model.
+  (void)policy.evaluate({1, 1}, sim);
+  (void)policy.evaluate({2, 1}, sim);
+  (void)policy.evaluate({2, 0}, sim);
+  EXPECT_EQ(policy.stats().failed_refits, 1u);
+
+  // Enough new simulations accumulated: the retry happens and succeeds.
+  (void)policy.evaluate({1, 2}, sim);
+  EXPECT_EQ(policy.stats().failed_refits, 1u);
+  EXPECT_EQ(policy.stats().refits, 1u);
+  EXPECT_NE(policy.model(), nullptr);
+}
+
+TEST(KrigingPolicyBatch, ParallelIsBitIdenticalToSerial) {
+  // The batch engine partitions against the store at entry and folds in
+  // index order, so a pool must not change a single bit of the outcomes.
+  const std::vector<std::vector<d::Config>> batches = {
+      {{0, 0}, {1, 0}, {0, 1}, {2, 0}, {1, 1}, {0, 2}},
+      {{1, 2}, {2, 1}, {2, 2}, {1, 2}, {3, 1}},  // Includes a duplicate.
+      {{3, 2}, {2, 3}, {3, 3}, {4, 2}, {0, 0}},  // Includes a store hit.
+  };
+  auto run = [&](ace::util::ThreadPool* pool) {
+    d::KrigingPolicy policy(small_fit_options(3));
+    auto sim = [](const d::Config& c) { return linear_surface(c); };
+    std::vector<d::EvalOutcome> outcomes;
+    for (const auto& batch : batches) {
+      const auto out = policy.evaluate_batch(batch, sim, pool);
+      outcomes.insert(outcomes.end(), out.begin(), out.end());
+    }
+    return std::make_tuple(outcomes, policy.stats().simulated,
+                           policy.stats().interpolated,
+                           policy.stats().exact_hits,
+                           policy.store().values());
+  };
+  const auto serial = run(nullptr);
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    ace::util::ThreadPool pool(workers);
+    EXPECT_EQ(run(&pool), serial);
+  }
+}
+
+TEST(KrigingPolicyBatch, DuplicateCandidatesSimulateOnce) {
+  d::KrigingPolicy policy(small_fit_options(2));
+  std::atomic<std::size_t> calls{0};
+  auto sim = [&](const d::Config& c) {
+    ++calls;
+    return linear_surface(c);
+  };
+  const auto out =
+      policy.evaluate_batch({{5, 5}, {9, 9}, {5, 5}}, sim, nullptr);
+  EXPECT_EQ(calls.load(), 2u);  // The duplicate aliases the first result.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[2].cached);
+  EXPECT_DOUBLE_EQ(out[2].value, out[0].value);
+  EXPECT_EQ(policy.stats().simulated, 2u);
+  EXPECT_EQ(policy.stats().exact_hits, 1u);
+  EXPECT_EQ(policy.stats().total, 3u);
+  EXPECT_EQ(policy.store().size(), 2u);
+}
+
+TEST(KrigingPolicyBatch, PartitionSeesTheStoreAtEntryOnly) {
+  // Sequential evaluation would let late batch members interpolate off
+  // early ones; the batch engine decides everything up front, so a tight
+  // cluster hitting an empty store is fully simulated.
+  d::KrigingPolicy policy(small_fit_options(3));
+  auto sim = [](const d::Config& c) { return linear_surface(c); };
+  const auto out = policy.evaluate_batch(
+      {{0, 0}, {1, 0}, {0, 1}, {2, 0}, {1, 1}, {0, 2}, {1, 2}, {2, 1}}, sim,
+      nullptr);
+  EXPECT_EQ(policy.stats().simulated, 8u);
+  EXPECT_EQ(policy.stats().interpolated, 0u);
+  for (const auto& o : out) EXPECT_FALSE(o.interpolated);
+  // A follow-up batch does see the enriched store.
+  (void)policy.evaluate_batch({{1, 1}, {2, 2}}, sim, nullptr);
+  EXPECT_EQ(policy.stats().exact_hits, 1u);   // {1,1} is stored.
+  EXPECT_GT(policy.stats().interpolated, 0u); // {2,2} interpolates.
 }
 
 TEST(KrigingPolicy, ConstantSurfaceInterpolatesToConstant) {

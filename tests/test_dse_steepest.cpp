@@ -104,6 +104,28 @@ TEST(SteepestDescent, MaxStepsCap) {
   EXPECT_EQ(r.levels[0], 93);
 }
 
+TEST(SteepestDescent, BatchOverloadMatchesScalar) {
+  QualitySurface q{{0.8, 0.1, 0.3}};
+  d::SensitivityOptions o;
+  o.nv = 3;
+  o.level_max = 9;
+  o.level_min = 0;
+  o.lambda_min = 0.95;
+
+  const auto scalar = d::steepest_descent_budgeting(q, o);
+  const d::BatchEvaluateFn batched = [&](const std::vector<d::Config>& b) {
+    std::vector<double> values;
+    for (const auto& levels : b) values.push_back(q(levels));
+    return values;
+  };
+  const auto batch = d::steepest_descent_budgeting(batched, o);
+
+  EXPECT_EQ(batch.levels, scalar.levels);
+  EXPECT_EQ(batch.decisions, scalar.decisions);
+  EXPECT_DOUBLE_EQ(batch.final_lambda, scalar.final_lambda);
+  EXPECT_EQ(batch.feasible, scalar.feasible);
+}
+
 TEST(SteepestDescent, NeverCommitsAnInfeasibleMove) {
   QualitySurface q{{0.5, 0.5}};
   d::SensitivityOptions o;

@@ -4,6 +4,10 @@
 
 #include <stdexcept>
 
+#include "kriging/ordinary_kriging.hpp"
+#include "kriging/variogram_model.hpp"
+#include "util/rng.hpp"
+
 namespace {
 
 namespace d = ace::dse;
@@ -62,6 +66,85 @@ TEST(SimulationStore, GatherProducesAlignedPointsAndValues) {
 TEST(SimulationStore, EmptyStoreHasNoNeighbors) {
   d::SimulationStore store;
   EXPECT_EQ(store.neighbors_within({0, 0}, 100).count(), 0u);
+}
+
+TEST(SimulationStore, ExactDuplicateUpdatesInPlace) {
+  d::SimulationStore store;
+  EXPECT_EQ(store.add({4, 4}, -10.0), 0u);
+  EXPECT_EQ(store.add({4, 5}, -20.0), 1u);
+  // Re-adding an existing configuration must not create a second support
+  // point; it returns the original index and refreshes the value.
+  EXPECT_EQ(store.add({4, 4}, -11.0), 0u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_DOUBLE_EQ(store.value(0), -11.0);
+  ASSERT_TRUE(store.find({4, 4}).has_value());
+  EXPECT_EQ(*store.find({4, 4}), 0u);
+  EXPECT_FALSE(store.find({9, 9}).has_value());
+  // The radius index holds it once.
+  EXPECT_EQ(store.neighbors_within({4, 4}, 0).count(), 1u);
+}
+
+TEST(SimulationStore, IndexedRadiusQueriesMatchBruteForce) {
+  ace::util::Rng rng(77);
+  d::SimulationStore store;
+  std::vector<d::Config> configs;
+  for (int k = 0; k < 200; ++k) {
+    d::Config c(5);
+    for (auto& v : c) v = rng.uniform_int(0, 8);
+    if (store.find(c).has_value()) continue;
+    configs.push_back(c);
+    store.add(std::move(c), static_cast<double>(k));
+  }
+  for (int q = 0; q < 30; ++q) {
+    d::Config query(5);
+    for (auto& v : query) v = rng.uniform_int(0, 8);
+    for (const int radius : {0, 1, 2, 3, 6}) {
+      std::vector<std::size_t> expected;
+      for (std::size_t i = 0; i < configs.size(); ++i)
+        if (d::l1_distance(configs[i], query) <= radius)
+          expected.push_back(i);
+      EXPECT_EQ(store.neighbors_within(query, radius).indices, expected);
+    }
+    for (const double radius : {0.5, 1.5, 2.5, 4.0}) {
+      std::vector<std::size_t> expected;
+      for (std::size_t i = 0; i < configs.size(); ++i)
+        if (d::l2_distance(configs[i], query) <= radius)
+          expected.push_back(i);
+      EXPECT_EQ(store.neighbors_within_l2(query, radius).indices, expected);
+    }
+  }
+}
+
+TEST(SimulationStore, NeighborQueryRejectsDimensionMismatch) {
+  d::SimulationStore store;
+  store.add({1, 2, 3}, 0.0);
+  EXPECT_THROW((void)store.neighbors_within({1, 2}, 3), std::invalid_argument);
+  EXPECT_THROW((void)store.neighbors_within_l2({1, 2}, 3.0),
+               std::invalid_argument);
+}
+
+TEST(SimulationStore, DeduplicationKeepsKrigingWellPosed) {
+  // A duplicated support point makes two rows of the kriging Γ identical,
+  // forcing the ridge fallback. With update-in-place deduplication the
+  // gathered support stays distinct and the system solves cleanly.
+  d::SimulationStore store;
+  store.add({0, 0}, 0.0);
+  store.add({1, 0}, 1.0);
+  store.add({0, 1}, 2.0);
+  store.add({1, 0}, 1.0);  // Duplicate: must not enter twice.
+  ASSERT_EQ(store.size(), 3u);
+
+  const auto n = store.neighbors_within({1, 1}, 2);
+  ASSERT_EQ(n.count(), 3u);
+  std::vector<std::vector<double>> points;
+  std::vector<double> values;
+  store.gather(n, points, values);
+
+  const ace::kriging::LinearVariogram model(0.0, 1.0);
+  const auto result =
+      ace::kriging::krige(points, values, {1.0, 1.0}, model);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->regularized);
 }
 
 }  // namespace

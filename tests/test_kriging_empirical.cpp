@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
 
 namespace {
 
@@ -87,6 +90,69 @@ TEST(EmpiricalVariogram, L2DistanceOption) {
   k::EmpiricalVariogram ev(pts, vals, k::l2_distance);
   ASSERT_EQ(ev.bins().size(), 1u);
   EXPECT_DOUBLE_EQ(ev.bins()[0].distance, 5.0);
+}
+
+TEST(EmpiricalVariogram, ExtendFromEmptyAccumulates) {
+  k::EmpiricalVariogram ev;
+  EXPECT_EQ(ev.sample_count(), 0u);
+  EXPECT_TRUE(ev.bins().empty());
+
+  ev.extend({{0.0}, {1.0}}, {0.0, 1.0});
+  EXPECT_EQ(ev.sample_count(), 2u);
+  EXPECT_EQ(ev.total_pairs(), 1u);
+
+  ev.extend({{2.0}}, {4.0});
+  EXPECT_EQ(ev.sample_count(), 3u);
+  EXPECT_EQ(ev.total_pairs(), 3u);
+  // Matches the hand-computed three-collinear-points case exactly.
+  ASSERT_EQ(ev.bins().size(), 2u);
+  EXPECT_DOUBLE_EQ(ev.bins()[0].gamma, 2.5);
+  EXPECT_DOUBLE_EQ(ev.bins()[1].gamma, 8.0);
+  EXPECT_DOUBLE_EQ(ev.max_distance(), 2.0);
+}
+
+TEST(EmpiricalVariogram, ExtendInChunksMatchesOneShotBuild) {
+  // 40 random 3-d points folded in as 7 + 13 + 20 must produce the same
+  // variogram as the one-shot constructor over all 40.
+  ace::util::Rng rng(2024);
+  std::vector<std::vector<double>> pts;
+  std::vector<double> vals;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({static_cast<double>(rng.uniform_int(0, 12)),
+                   static_cast<double>(rng.uniform_int(0, 12)),
+                   static_cast<double>(rng.uniform_int(0, 12))});
+    vals.push_back(rng.uniform(-5.0, 5.0));
+  }
+  const k::EmpiricalVariogram oneshot(pts, vals);
+
+  k::EmpiricalVariogram chunked;
+  std::size_t at = 0;
+  for (const std::size_t chunk : {7u, 13u, 20u}) {
+    chunked.extend(
+        std::vector<std::vector<double>>(pts.begin() + static_cast<long>(at),
+                                         pts.begin() +
+                                             static_cast<long>(at + chunk)),
+        std::vector<double>(vals.begin() + static_cast<long>(at),
+                            vals.begin() + static_cast<long>(at + chunk)));
+    at += chunk;
+  }
+
+  EXPECT_EQ(chunked.sample_count(), oneshot.sample_count());
+  EXPECT_EQ(chunked.total_pairs(), oneshot.total_pairs());
+  EXPECT_DOUBLE_EQ(chunked.max_distance(), oneshot.max_distance());
+  EXPECT_NEAR(chunked.value_variance(), oneshot.value_variance(), 1e-12);
+  ASSERT_EQ(chunked.bins().size(), oneshot.bins().size());
+  for (std::size_t b = 0; b < oneshot.bins().size(); ++b) {
+    EXPECT_EQ(chunked.bins()[b].pair_count, oneshot.bins()[b].pair_count);
+    EXPECT_NEAR(chunked.bins()[b].distance, oneshot.bins()[b].distance,
+                1e-12);
+    EXPECT_NEAR(chunked.bins()[b].gamma, oneshot.bins()[b].gamma, 1e-12);
+  }
+}
+
+TEST(EmpiricalVariogram, ExtendValidatesSizes) {
+  k::EmpiricalVariogram ev;
+  EXPECT_THROW(ev.extend({{0.0}, {1.0}}, {1.0}), std::invalid_argument);
 }
 
 }  // namespace

@@ -56,6 +56,13 @@ TEST_P(PolicyInvariantTest, BookkeepingAndStructuralRulesHold) {
     // Invariant: interpolation never happens below the neighbour gate.
     if (outcome.interpolated) EXPECT_GT(outcome.neighbors, param.nn_min);
 
+    // Invariant: an exact store hit is never also an interpolation, and
+    // it reproduces the simulated surface value exactly.
+    if (outcome.cached) {
+      EXPECT_FALSE(outcome.interpolated);
+      EXPECT_DOUBLE_EQ(outcome.value, surface(current));
+    }
+
     // Invariant: value is finite.
     EXPECT_TRUE(std::isfinite(outcome.value));
 
@@ -64,8 +71,10 @@ TEST_P(PolicyInvariantTest, BookkeepingAndStructuralRulesHold) {
   }
 
   const auto& stats = policy.stats();
-  // Identity: every evaluation is either simulated or interpolated.
-  EXPECT_EQ(stats.total, stats.simulated + stats.interpolated);
+  // Identity: every evaluation is simulated, interpolated, or an exact
+  // store hit (the random walk does revisit configurations).
+  EXPECT_EQ(stats.total,
+            stats.simulated + stats.interpolated + stats.exact_hits);
   EXPECT_EQ(stats.total, 120u);
   // Identity: the store holds exactly the simulated configurations.
   EXPECT_EQ(policy.store().size(), stats.simulated);

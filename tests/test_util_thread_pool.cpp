@@ -1,0 +1,97 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+namespace u = ace::util;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  u::ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.run_indexed(kCount, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  u::ThreadPool pool(3);
+  std::vector<double> out(64, 0.0);
+  for (int round = 1; round <= 5; ++round) {
+    pool.run_indexed(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(round) * static_cast<double>(i);
+    });
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_DOUBLE_EQ(out[i],
+                       static_cast<double>(round) * static_cast<double>(i));
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  u::ThreadPool pool(2);
+  bool touched = false;
+  pool.run_indexed(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, WorkerCountClampsToAtLeastOne) {
+  u::ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::atomic<int> ran{0};
+  pool.run_indexed(8, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAndStaysUsable) {
+  u::ThreadPool pool(4);
+  EXPECT_THROW(pool.run_indexed(100,
+                                [&](std::size_t i) {
+                                  if (i == 37)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The failed batch drained fully; the pool accepts new work.
+  std::atomic<int> ran{0};
+  pool.run_indexed(16, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, ResultsIdenticalAcrossPoolSizes) {
+  // Index-addressed slots make the result independent of scheduling.
+  auto fill = [](u::ThreadPool* pool) {
+    std::vector<double> out(257, 0.0);
+    u::parallel_for_indexed(pool, out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(i * i) + 0.5;
+    });
+    return out;
+  };
+  const std::vector<double> serial = fill(nullptr);
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    u::ThreadPool pool(workers);
+    EXPECT_EQ(fill(&pool), serial);
+  }
+}
+
+TEST(ParallelForIndexed, NullPoolRunsInlineInIndexOrder) {
+  std::vector<std::size_t> order;
+  u::parallel_for_indexed(nullptr, 6,
+                          [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(6);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForIndexed, SingleElementRunsInlineEvenWithPool) {
+  // n <= 1 short-circuits: no pool dispatch overhead for singletons.
+  u::ThreadPool pool(2);
+  std::size_t seen = 99;
+  u::parallel_for_indexed(&pool, 1, [&](std::size_t i) { seen = i; });
+  EXPECT_EQ(seen, 0u);
+}
+
+}  // namespace
