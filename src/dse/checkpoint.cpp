@@ -1,0 +1,414 @@
+#include "dse/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dse/scheduler.hpp"
+
+namespace ace::dse {
+
+namespace {
+
+constexpr const char* kMagic = "ACE-CHECKPOINT";
+constexpr int kVersion = 1;
+
+// --- writing ---------------------------------------------------------------
+
+void put(std::string& out, std::size_t v) {
+  out += std::to_string(v);
+  out += ' ';
+}
+
+void put(std::string& out, int v) {
+  out += std::to_string(v);
+  out += ' ';
+}
+
+void put(std::string& out, bool v) { put(out, v ? 1 : 0); }
+
+/// Hexfloat ("%a") so the double round-trips exactly; glibc also prints
+/// inf/-inf/nan here, which strtod parses back.
+void put(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  out += buf;
+  out += ' ';
+}
+
+void put_config(std::string& out, const Config& c) {
+  for (int v : c) put(out, v);
+}
+
+void put_sized(std::string& out, const std::vector<std::size_t>& xs) {
+  put(out, xs.size());
+  for (std::size_t v : xs) put(out, v);
+  out += '\n';
+}
+
+void put_sized(std::string& out, const Config& c) {
+  put(out, c.size());
+  put_config(out, c);
+  out += '\n';
+}
+
+void put_stats(std::string& out, const PolicyStats& s) {
+  out += "stats ";
+  put(out, s.total);
+  put(out, s.simulated);
+  put(out, s.interpolated);
+  put(out, s.exact_hits);
+  put(out, s.kriging_failures);
+  put(out, s.variance_rejections);
+  put(out, s.refits);
+  put(out, s.failed_refits);
+  put(out, s.simulator_faults);
+  put(out, s.retries);
+  put(out, s.timeouts);
+  put(out, s.quarantined);
+  put(out, s.checkpoints_written);
+  const util::RunningStats::State rs = s.neighbors_per_interpolation.state();
+  put(out, rs.n);
+  put(out, rs.mean);
+  put(out, rs.m2);
+  put(out, rs.min);
+  put(out, rs.max);
+  out += '\n';
+}
+
+std::string serialize(const Checkpoint& ck) {
+  std::string out;
+  out += kMagic;
+  out += ' ';
+  out += std::to_string(kVersion);
+  out += '\n';
+  out += "optimizer ";
+  out += ck.optimizer;
+  out += '\n';
+
+  const PolicySnapshot& p = ck.policy;
+  out += "store ";
+  put(out, p.configs.size());
+  put(out, p.configs.empty() ? std::size_t{0} : p.configs.front().size());
+  out += '\n';
+  for (std::size_t i = 0; i < p.configs.size(); ++i) {
+    put_config(out, p.configs[i]);
+    put(out, p.values[i]);
+    out += '\n';
+  }
+  out += "quarantine ";
+  put(out, p.quarantine.size());
+  put(out,
+      p.quarantine.empty() ? std::size_t{0} : p.quarantine.front().first.size());
+  out += '\n';
+  for (const auto& [config, code] : p.quarantine) {
+    put(out, static_cast<int>(code));
+    put_config(out, config);
+    out += '\n';
+  }
+  out += "fit_events ";
+  put_sized(out, p.fit_events);
+  put_stats(out, p.stats);
+
+  const MinPlusOneCursor& m = ck.min_plus;
+  out += "cursor_min_plus ";
+  put(out, m.phase);
+  put(out, m.var);
+  put(out, m.steps);
+  put(out, m.have_lambda_at_max);
+  put(out, m.have_lambda);
+  put(out, m.lambda_at_max);
+  put(out, m.lambda);
+  out += '\n';
+  out += "w_min ";
+  put_sized(out, m.w_min);
+  out += "w ";
+  put_sized(out, m.w);
+  out += "decisions ";
+  put_sized(out, m.decisions);
+
+  const SensitivityCursor& s = ck.sensitivity;
+  out += "cursor_sensitivity ";
+  put(out, s.started);
+  put(out, s.done);
+  put(out, s.feasible);
+  put(out, s.steps);
+  put(out, s.lambda);
+  out += '\n';
+  out += "levels ";
+  put_sized(out, s.levels);
+  out += "decisions ";
+  put_sized(out, s.decisions);
+
+  out += "end\n";
+  return out;
+}
+
+// --- reading ---------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  std::string token() {
+    std::string t;
+    if (!(in_ >> t))
+      throw std::runtime_error("checkpoint: unexpected end of file");
+    return t;
+  }
+
+  void expect(const char* keyword) {
+    const std::string t = token();
+    if (t != keyword)
+      throw std::runtime_error(std::string("checkpoint: expected '") +
+                               keyword + "', got '" + t + "'");
+  }
+
+  std::size_t size() {
+    const std::string t = token();
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+    if (end == t.c_str() || *end != '\0')
+      throw std::runtime_error("checkpoint: bad count '" + t + "'");
+    return static_cast<std::size_t>(v);
+  }
+
+  int integer() {
+    const std::string t = token();
+    char* end = nullptr;
+    const long v = std::strtol(t.c_str(), &end, 10);
+    if (end == t.c_str() || *end != '\0')
+      throw std::runtime_error("checkpoint: bad integer '" + t + "'");
+    return static_cast<int>(v);
+  }
+
+  bool boolean() { return integer() != 0; }
+
+  double real() {
+    const std::string t = token();
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0')
+      throw std::runtime_error("checkpoint: bad double '" + t + "'");
+    return v;
+  }
+
+ private:
+  std::istream& in_;
+};
+
+Config read_config(Reader& r, std::size_t dim) {
+  Config c(dim);
+  for (std::size_t i = 0; i < dim; ++i) c[i] = r.integer();
+  return c;
+}
+
+std::vector<std::size_t> read_sized(Reader& r) {
+  std::vector<std::size_t> xs(r.size());
+  for (std::size_t& v : xs) v = r.size();
+  return xs;
+}
+
+Config read_sized_config(Reader& r) {
+  const std::size_t n = r.size();
+  return read_config(r, n);
+}
+
+PolicyStats read_stats(Reader& r) {
+  r.expect("stats");
+  PolicyStats s;
+  s.total = r.size();
+  s.simulated = r.size();
+  s.interpolated = r.size();
+  s.exact_hits = r.size();
+  s.kriging_failures = r.size();
+  s.variance_rejections = r.size();
+  s.refits = r.size();
+  s.failed_refits = r.size();
+  s.simulator_faults = r.size();
+  s.retries = r.size();
+  s.timeouts = r.size();
+  s.quarantined = r.size();
+  s.checkpoints_written = r.size();
+  util::RunningStats::State rs;
+  rs.n = r.size();
+  rs.mean = r.real();
+  rs.m2 = r.real();
+  rs.min = r.real();
+  rs.max = r.real();
+  s.neighbors_per_interpolation = util::RunningStats(rs);
+  return s;
+}
+
+Checkpoint parse(std::istream& in) {
+  Reader r(in);
+  r.expect(kMagic);
+  const int version = r.integer();
+  if (version != kVersion)
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
+  Checkpoint ck;
+  r.expect("optimizer");
+  ck.optimizer = r.token();
+
+  r.expect("store");
+  const std::size_t n = r.size();
+  const std::size_t dim = r.size();
+  ck.policy.configs.reserve(n);
+  ck.policy.values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ck.policy.configs.push_back(read_config(r, dim));
+    ck.policy.values.push_back(r.real());
+  }
+  r.expect("quarantine");
+  const std::size_t m = r.size();
+  const std::size_t qdim = r.size();
+  ck.policy.quarantine.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto code = static_cast<FaultCode>(r.integer());
+    ck.policy.quarantine.emplace_back(read_config(r, qdim), code);
+  }
+  r.expect("fit_events");
+  ck.policy.fit_events = read_sized(r);
+  ck.policy.stats = read_stats(r);
+
+  r.expect("cursor_min_plus");
+  ck.min_plus.phase = r.integer();
+  ck.min_plus.var = r.size();
+  ck.min_plus.steps = r.size();
+  ck.min_plus.have_lambda_at_max = r.boolean();
+  ck.min_plus.have_lambda = r.boolean();
+  ck.min_plus.lambda_at_max = r.real();
+  ck.min_plus.lambda = r.real();
+  r.expect("w_min");
+  ck.min_plus.w_min = read_sized_config(r);
+  r.expect("w");
+  ck.min_plus.w = read_sized_config(r);
+  r.expect("decisions");
+  ck.min_plus.decisions = read_sized(r);
+
+  r.expect("cursor_sensitivity");
+  ck.sensitivity.started = r.boolean();
+  ck.sensitivity.done = r.boolean();
+  ck.sensitivity.feasible = r.boolean();
+  ck.sensitivity.steps = r.size();
+  ck.sensitivity.lambda = r.real();
+  r.expect("levels");
+  ck.sensitivity.levels = read_sized_config(r);
+  r.expect("decisions");
+  ck.sensitivity.decisions = read_sized(r);
+
+  r.expect("end");
+  return ck;
+}
+
+/// record_checkpoint() runs *before* snapshot(), so the on-disk statistics
+/// count the checkpoint that carries them — a resumed run's
+/// checkpoints_written lines up with the uninterrupted run's.
+void write_policy_checkpoint(KrigingPolicy& policy, Checkpoint& ck,
+                             const std::string& path) {
+  policy.record_checkpoint();
+  ck.policy = policy.snapshot();
+  save_checkpoint(path, ck);
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  const std::string payload = serialize(checkpoint);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    out << payload;
+    if (!out.good())
+      throw std::runtime_error("checkpoint: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("checkpoint: rename to " + path + " failed");
+}
+
+std::optional<Checkpoint> load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return parse(in);
+}
+
+MinPlusOneResult checkpointed_min_plus_one(KrigingPolicy& policy,
+                                           const SimulatorFn& simulate,
+                                           const MinPlusOneOptions& options,
+                                           const CheckpointOptions& checkpoint,
+                                           util::ThreadPool* pool) {
+  if (checkpoint.path.empty())
+    throw std::invalid_argument("checkpointed_min_plus_one: empty path");
+  MinPlusOneCursor cursor = make_min_plus_one_cursor(options);
+  if (std::optional<Checkpoint> loaded = load_checkpoint(checkpoint.path)) {
+    if (loaded->optimizer != "min_plus_one")
+      throw std::runtime_error("checkpoint: file at " + checkpoint.path +
+                               " belongs to optimizer '" + loaded->optimizer +
+                               "'");
+    policy.restore(loaded->policy);
+    cursor = loaded->min_plus;
+  }
+  const BatchEvaluateFn evaluate = policy_batch_evaluator(policy, simulate, pool);
+
+  Checkpoint ck;
+  ck.optimizer = "min_plus_one";
+  std::size_t steps_this_run = 0;
+  std::size_t since_write = 0;
+  while (!cursor.finished()) {
+    const bool more = min_plus_one_step(evaluate, options, cursor);
+    ++steps_this_run;
+    ++since_write;
+    const bool pause = checkpoint.step_limit > 0 &&
+                       steps_this_run >= checkpoint.step_limit && more;
+    if (!more || pause || since_write >= checkpoint.period) {
+      ck.min_plus = cursor;
+      write_policy_checkpoint(policy, ck, checkpoint.path);
+      since_write = 0;
+    }
+    if (pause) break;
+  }
+  return min_plus_one_result(cursor, options);
+}
+
+SensitivityResult checkpointed_steepest_descent(
+    KrigingPolicy& policy, const SimulatorFn& simulate,
+    const SensitivityOptions& options, const CheckpointOptions& checkpoint,
+    util::ThreadPool* pool) {
+  if (checkpoint.path.empty())
+    throw std::invalid_argument("checkpointed_steepest_descent: empty path");
+  SensitivityCursor cursor = make_sensitivity_cursor(options);
+  if (std::optional<Checkpoint> loaded = load_checkpoint(checkpoint.path)) {
+    if (loaded->optimizer != "steepest_descent")
+      throw std::runtime_error("checkpoint: file at " + checkpoint.path +
+                               " belongs to optimizer '" + loaded->optimizer +
+                               "'");
+    policy.restore(loaded->policy);
+    cursor = loaded->sensitivity;
+  }
+  const BatchEvaluateFn evaluate = policy_batch_evaluator(policy, simulate, pool);
+
+  Checkpoint ck;
+  ck.optimizer = "steepest_descent";
+  std::size_t steps_this_run = 0;
+  std::size_t since_write = 0;
+  while (!cursor.finished()) {
+    const bool more = steepest_descent_step(evaluate, options, cursor);
+    ++steps_this_run;
+    ++since_write;
+    const bool pause = checkpoint.step_limit > 0 &&
+                       steps_this_run >= checkpoint.step_limit && more;
+    if (!more || pause || since_write >= checkpoint.period) {
+      ck.sensitivity = cursor;
+      write_policy_checkpoint(policy, ck, checkpoint.path);
+      since_write = 0;
+    }
+    if (pause) break;
+  }
+  return sensitivity_result(cursor);
+}
+
+}  // namespace ace::dse

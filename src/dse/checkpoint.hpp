@@ -1,0 +1,73 @@
+// Checkpoint/resume for long DSE runs.
+//
+// A checkpoint is (policy snapshot, optimizer cursor) serialized to a
+// versioned text file. Doubles are written as C99 hexfloats ("%a"), so the
+// round trip is exact; the policy snapshot is restored by *replay*
+// (KrigingPolicy::restore), so the rebuilt store, variogram bins, fitted
+// model, trend and refit clocks are bit-identical to the snapshotted
+// policy. A run resumed from a checkpoint therefore makes exactly the
+// decisions the uninterrupted run would have made.
+//
+// Files are written atomically (temp file + rename): a crash mid-write
+// leaves the previous checkpoint intact.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dse/kriging_policy.hpp"
+#include "dse/min_plus_one.hpp"
+#include "dse/steepest_descent.hpp"
+
+namespace ace::util {
+class ThreadPool;
+}
+
+namespace ace::dse {
+
+struct CheckpointOptions {
+  std::string path;        ///< Checkpoint file location.
+  std::size_t period = 1;  ///< Write every this many optimizer steps.
+  /// Pause after this many steps in this invocation (0 = run to
+  /// completion). A paused run writes a checkpoint and returns its partial
+  /// result; calling the same entry point again resumes it. This is how
+  /// session-budgeted runs — and the kill/resume tests — stop cleanly.
+  std::size_t step_limit = 0;
+};
+
+/// On-disk checkpoint payload. Exactly one of the cursors is meaningful,
+/// selected by `optimizer` ("min_plus_one" or "steepest_descent").
+struct Checkpoint {
+  PolicySnapshot policy;
+  std::string optimizer;
+  MinPlusOneCursor min_plus;
+  SensitivityCursor sensitivity;
+};
+
+/// Serialize to `path` atomically. Throws std::runtime_error on I/O error.
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+
+/// Load a checkpoint; std::nullopt when the file does not exist. Throws
+/// std::runtime_error on a malformed file or unsupported version.
+std::optional<Checkpoint> load_checkpoint(const std::string& path);
+
+/// min+1 with periodic checkpointing. If `options.path` holds a checkpoint
+/// (from a previous killed/paused run with the same optimizer options and
+/// a policy constructed with the same PolicyOptions), the run resumes from
+/// it: `policy` must then be freshly constructed, and the combined
+/// interrupted-plus-resumed run produces bit-identical results and
+/// PolicyStats to an uninterrupted one.
+MinPlusOneResult checkpointed_min_plus_one(KrigingPolicy& policy,
+                                           const SimulatorFn& simulate,
+                                           const MinPlusOneOptions& options,
+                                           const CheckpointOptions& checkpoint,
+                                           util::ThreadPool* pool = nullptr);
+
+/// Steepest-descent budgeting with periodic checkpointing; same resume
+/// contract as checkpointed_min_plus_one.
+SensitivityResult checkpointed_steepest_descent(
+    KrigingPolicy& policy, const SimulatorFn& simulate,
+    const SensitivityOptions& options, const CheckpointOptions& checkpoint,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace ace::dse

@@ -1,0 +1,26 @@
+#include "dse/fault.hpp"
+
+namespace ace::dse {
+
+const char* to_string(EvalSource source) {
+  switch (source) {
+    case EvalSource::kSimulated: return "simulated";
+    case EvalSource::kInterpolated: return "interpolated";
+    case EvalSource::kExactHit: return "exact-hit";
+    case EvalSource::kFaulted: return "faulted";
+  }
+  return "unknown";
+}
+
+const char* to_string(FaultCode code) {
+  switch (code) {
+    case FaultCode::kNone: return "none";
+    case FaultCode::kNonFinite: return "non-finite";
+    case FaultCode::kSimulatorThrow: return "simulator-throw";
+    case FaultCode::kTimeout: return "timeout";
+    case FaultCode::kKrigingUnsolvable: return "kriging-unsolvable";
+  }
+  return "unknown";
+}
+
+}  // namespace ace::dse

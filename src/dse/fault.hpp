@@ -1,0 +1,33 @@
+// Error taxonomy of the fault-tolerant evaluation subsystem.
+//
+// Every evaluation the policy performs ends in exactly one of the typed
+// outcomes below instead of a silent double: long optimization campaigns
+// (the paper's SqueezeNet run simulated for 98 hours) must survive
+// simulator faults, and the optimizers must be able to tell a real metric
+// value from a placeholder produced by a faulted candidate.
+#pragma once
+
+namespace ace::dse {
+
+/// Where an evaluation's value came from.
+enum class EvalSource : unsigned char {
+  kSimulated = 0,   ///< Fresh simulator call (recorded in the store).
+  kInterpolated,    ///< Kriging estimate from neighbouring simulations.
+  kExactHit,        ///< Served verbatim from the simulation store.
+  kFaulted,         ///< No value could be produced; see EvalOutcome::fault.
+};
+
+/// Terminal fault classification of a failed evaluation.
+enum class FaultCode : unsigned char {
+  kNone = 0,           ///< No fault — the evaluation produced a value.
+  kNonFinite,          ///< Simulator returned NaN/Inf on every attempt.
+  kSimulatorThrow,     ///< Simulator threw on every attempt.
+  kTimeout,            ///< Simulation exceeded the per-call deadline.
+  kKrigingUnsolvable,  ///< Quarantined configuration whose interpolation
+                       ///< fallback could not be solved either.
+};
+
+const char* to_string(EvalSource source);
+const char* to_string(FaultCode code);
+
+}  // namespace ace::dse

@@ -1,0 +1,73 @@
+// Deterministic fault injection for robustness testing and benchmarking.
+//
+// FaultInjectingSimulator decorates a SimulatorFn with seeded, *per-
+// configuration* faults: thrown exceptions, NaN results, and latency
+// spikes. Whether (and how) a configuration faults is a pure function of
+// (seed, configuration) — never of thread scheduling or call order across
+// configurations — so a fault-injected run is reproducible under any pool
+// size, and the quarantine/decision behaviour it provokes can be asserted
+// exactly in tests and benchmarks (bench/fault_recovery).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "dse/config.hpp"
+#include "dse/kriging_policy.hpp"  // SimulatorFn
+
+namespace ace::dse {
+
+/// The exception an injected throw raises.
+class SimulatorFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultInjectionOptions {
+  std::uint64_t seed = 1;  ///< Selects *which* configurations fault.
+
+  // Probabilities are evaluated per configuration (not per call) against a
+  // hash of (seed, configuration), tried in this order; their sum should
+  // be <= 1.
+  double throw_probability = 0.0;    ///< Simulator throws SimulatorFault.
+  double nan_probability = 0.0;      ///< Simulator returns quiet NaN.
+  double latency_probability = 0.0;  ///< Simulator sleeps, then answers.
+
+  std::size_t latency_ms = 5;  ///< Injected latency spike duration.
+
+  /// Transient-fault model: a hash-selected faulty configuration faults on
+  /// its first `faulty_calls` simulator calls and then recovers — so a
+  /// retry budget > faulty_calls rescues it. Configurations listed in
+  /// `always_fault` never recover (persistent faults: exercised by the
+  /// quarantine and decision-identity tests).
+  std::size_t faulty_calls = 1;
+  std::vector<Config> always_fault;
+};
+
+/// Copyable decorator (state shared across copies, so counters survive the
+/// copy into a std::function). Safe to call from pool workers.
+class FaultInjectingSimulator {
+ public:
+  enum class Kind : unsigned char { kNone, kThrow, kNan, kLatency };
+
+  FaultInjectingSimulator(SimulatorFn inner, FaultInjectionOptions options);
+
+  double operator()(const Config& config) const;
+
+  /// The fault scheduled for a configuration — pure in (seed, config).
+  Kind scheduled_fault(const Config& config) const;
+
+  std::size_t calls() const;
+  std::size_t injected_throws() const;
+  std::size_t injected_nans() const;
+  std::size_t injected_latency_spikes() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ace::dse

@@ -1,6 +1,7 @@
 #include "dse/kriging_policy.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -12,6 +13,18 @@
 namespace ace::dse {
 
 namespace {
+
+constexpr double kFaultedValue = -std::numeric_limits<double>::infinity();
+
+FaultCode fault_code_of(util::CallFault fault) {
+  switch (fault) {
+    case util::CallFault::kThrew: return FaultCode::kSimulatorThrow;
+    case util::CallFault::kNonFinite: return FaultCode::kNonFinite;
+    case util::CallFault::kOverDeadline: return FaultCode::kTimeout;
+    case util::CallFault::kNone: break;
+  }
+  return FaultCode::kNone;
+}
 
 /// Least-squares fit of λ ≈ β0 + Σ β_i x_i over the store. Returns the
 /// mean-only coefficient vector {mean} when the design is rank deficient
@@ -57,6 +70,11 @@ double KrigingPolicy::trend_value(const std::vector<double>& x) const {
 }
 
 bool KrigingPolicy::refit_model() {
+  // Record the attempt for checkpoint replay: re-running the same attempts
+  // at the same store sizes against the rebuilt store reproduces the model,
+  // trend and refit clocks exactly (store values are immutable once added
+  // on every policy path — exact-match memoization prevents duplicates).
+  fit_events_.push_back(store_.size());
   fit_attempted_ = true;
   sims_at_last_attempt_ = store_.size();
   if (store_.size() < 2) {
@@ -180,6 +198,35 @@ std::optional<double> KrigingPolicy::try_interpolate(
   return result->estimate + trend_value(query);
 }
 
+util::GuardedCall KrigingPolicy::run_simulation(
+    const Config& config, const SimulatorFn& simulate) const {
+  // The task key is a pure function of the configuration, so the backoff
+  // jitter (and thus the whole retry schedule) is identical whether the
+  // call runs inline or on any worker thread.
+  return util::call_with_retry(options_.retry, ConfigHash{}(config),
+                               [&] { return simulate(config); });
+}
+
+void KrigingPolicy::fold_simulation(const Config& config,
+                                    const util::GuardedCall& sim,
+                                    EvalOutcome& outcome) {
+  outcome.attempts = sim.attempts;
+  stats_.simulator_faults += sim.faulted_attempts;
+  if (sim.attempts > 1) stats_.retries += sim.attempts - 1;
+  stats_.timeouts += sim.timeouts;
+  if (sim.ok()) {
+    outcome.value = sim.value;
+    outcome.source = EvalSource::kSimulated;
+    store_.add(config, outcome.value);
+    ++stats_.simulated;
+    return;
+  }
+  outcome.value = kFaultedValue;
+  outcome.source = EvalSource::kFaulted;
+  outcome.fault = fault_code_of(sim.fault);
+  if (store_.quarantine(config, outcome.fault)) ++stats_.quarantined;
+}
+
 EvalOutcome KrigingPolicy::evaluate(const Config& config,
                                     const SimulatorFn& simulate) {
   EvalOutcome outcome;
@@ -191,6 +238,7 @@ EvalOutcome KrigingPolicy::evaluate(const Config& config,
   if (const auto hit = store_.find(config)) {
     outcome.value = store_.value(*hit);
     outcome.cached = true;
+    outcome.source = EvalSource::kExactHit;
     ++stats_.exact_hits;
     return outcome;
   }
@@ -198,24 +246,84 @@ EvalOutcome KrigingPolicy::evaluate(const Config& config,
   const auto neighborhood = neighborhood_of(config);
   outcome.neighbors = neighborhood.count();
 
+  bool interpolation_failed = false;
   if (neighborhood.count() > options_.nn_min) {
     if (auto estimate = try_interpolate(config, neighborhood, outcome)) {
       outcome.value = *estimate;
       outcome.interpolated = true;
+      outcome.source = EvalSource::kInterpolated;
       ++stats_.interpolated;
       stats_.neighbors_per_interpolation.add(
           static_cast<double>(neighborhood.count()));
       return outcome;
     }
+    interpolation_failed = true;
     ++stats_.kriging_failures;
   }
 
-  // Simulation path (lines 19-23): evaluate and enrich the store.
-  outcome.value = simulate(config);
-  outcome.interpolated = false;
-  store_.add(config, outcome.value);
-  ++stats_.simulated;
+  // A quarantined configuration spent its simulation retry budget in an
+  // earlier evaluation; interpolation (above) was its only remaining
+  // path, so failing that the evaluation terminates faulted.
+  if (const auto code = store_.quarantined(config)) {
+    outcome.value = kFaultedValue;
+    outcome.source = EvalSource::kFaulted;
+    outcome.fault =
+        interpolation_failed ? FaultCode::kKrigingUnsolvable : *code;
+    return outcome;
+  }
+
+  // Simulation path (lines 19-23): evaluate under the fault guard and
+  // enrich the store (or the quarantine list) with the result.
+  fold_simulation(config, run_simulation(config, simulate), outcome);
   return outcome;
+}
+
+PolicySnapshot KrigingPolicy::snapshot() const {
+  PolicySnapshot snap;
+  snap.configs = store_.configs();
+  snap.values = store_.values();
+  snap.quarantine = store_.quarantine_log();
+  snap.fit_events = fit_events_;
+  snap.stats = stats_;
+  return snap;
+}
+
+void KrigingPolicy::restore(const PolicySnapshot& snapshot) {
+  if (!store_.empty() || store_.quarantine_count() != 0 || fit_attempted_ ||
+      stats_.total != 0)
+    throw std::logic_error(
+        "KrigingPolicy::restore: policy must be freshly constructed");
+  if (snapshot.configs.size() != snapshot.values.size())
+    throw std::invalid_argument(
+        "KrigingPolicy::restore: configs/values size mismatch");
+
+  // Replay: grow the store in insertion order and re-run each recorded fit
+  // attempt at the store size it originally happened at. The empirical
+  // variogram folds pairs in the same order as the original run, the fit
+  // sees the same bins, and the refit clocks land on the same values — so
+  // every subsequent evaluation behaves bit-identically.
+  std::size_t next_event = 0;
+  const auto replay_fits = [&] {
+    while (next_event < snapshot.fit_events.size() &&
+           snapshot.fit_events[next_event] == store_.size()) {
+      ++next_event;
+      (void)refit_model();
+    }
+  };
+  replay_fits();
+  for (std::size_t i = 0; i < snapshot.configs.size(); ++i) {
+    store_.add(snapshot.configs[i], snapshot.values[i]);
+    replay_fits();
+  }
+  if (next_event != snapshot.fit_events.size())
+    throw std::invalid_argument(
+        "KrigingPolicy::restore: fit events inconsistent with store size");
+  for (const auto& [config, code] : snapshot.quarantine)
+    (void)store_.quarantine(config, code);
+  // The replayed refits bumped counters and re-recorded fit events; the
+  // snapshot's accounting is authoritative.
+  stats_ = snapshot.stats;
+  fit_events_ = snapshot.fit_events;
 }
 
 std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
@@ -225,10 +333,13 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
   std::vector<EvalOutcome> outcomes(n);
   if (n == 0) return outcomes;
 
-  enum class Plan : unsigned char { kStoreHit, kAlias, kInterpolate, kSimulate };
+  enum class Plan : unsigned char {
+    kStoreHit, kAlias, kInterpolate, kSimulate, kFault
+  };
   std::vector<Plan> plan(n, Plan::kStoreHit);
   std::vector<std::size_t> slot(n, 0);  ///< Simulation slot (owner or alias).
   std::vector<unsigned char> interp_failed(n, 0);
+  std::vector<FaultCode> fault(n, FaultCode::kNone);  ///< For kFault plans.
   std::vector<std::size_t> owners;  ///< Batch index owning each slot.
   std::unordered_map<Config, std::size_t, ConfigHash> pending;
 
@@ -240,6 +351,7 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
     if (const auto hit = store_.find(batch[i])) {
       out.value = store_.value(*hit);
       out.cached = true;
+      out.source = EvalSource::kExactHit;
       plan[i] = Plan::kStoreHit;
       continue;
     }
@@ -254,10 +366,18 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
       if (auto estimate = try_interpolate(batch[i], neighborhood, out)) {
         out.value = *estimate;
         out.interpolated = true;
+        out.source = EvalSource::kInterpolated;
         plan[i] = Plan::kInterpolate;
         continue;
       }
       interp_failed[i] = 1;
+    }
+    // Quarantined candidates never re-simulate: their retry budget is
+    // spent, and interpolation (above) was their only remaining path.
+    if (const auto code = store_.quarantined(batch[i])) {
+      plan[i] = Plan::kFault;
+      fault[i] = interp_failed[i] ? FaultCode::kKrigingUnsolvable : *code;
+      continue;
     }
     plan[i] = Plan::kSimulate;
     slot[i] = owners.size();
@@ -266,36 +386,71 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
   }
 
   // Phase 2: run the pending simulations — on the pool when given, inline
-  // otherwise. Each result lands in its own index-addressed slot, so the
-  // execution schedule cannot leak into the results.
-  std::vector<double> sim_values(owners.size());
-  util::parallel_for_indexed(pool, owners.size(), [&](std::size_t s) {
-    sim_values[s] = simulate(batch[owners[s]]);
-  });
+  // otherwise. Each guarded result lands in its own index-addressed slot,
+  // so the execution schedule cannot leak into the results, and a faulted
+  // candidate cannot abort its siblings: the retry guard captures
+  // simulator faults, and the collecting pool run captures anything that
+  // still escapes (folded below as a thrown-simulator fault).
+  std::vector<util::GuardedCall> sims(owners.size());
+  const std::vector<util::TaskError> errors = util::parallel_for_indexed_collect(
+      pool, owners.size(), [&](std::size_t s) {
+        sims[s] = run_simulation(batch[owners[s]], simulate);
+      });
+  for (const util::TaskError& err : errors) {
+    util::GuardedCall& g = sims[err.index];
+    g = {};
+    g.fault = util::CallFault::kThrew;
+    g.attempts = 1;
+    g.faulted_attempts = 1;
+    try {
+      std::rethrow_exception(err.error);
+    } catch (const std::exception& e) {
+      g.message = e.what();
+    } catch (...) {
+      g.message = "non-standard exception";
+    }
+  }
 
   // Phase 3 (serial): fold results into the store and the statistics in
-  // candidate-index order — a deterministic reduction.
+  // candidate-index order — a deterministic reduction. Faulted candidates
+  // degrade individually (quarantine + -inf value); healthy siblings are
+  // folded exactly as in a fault-free batch.
   for (std::size_t i = 0; i < n; ++i) {
     ++stats_.total;
     switch (plan[i]) {
       case Plan::kStoreHit:
         ++stats_.exact_hits;
         break;
-      case Plan::kAlias:
-        outcomes[i].value = sim_values[slot[i]];
-        outcomes[i].cached = true;
-        ++stats_.exact_hits;
+      case Plan::kAlias: {
+        const util::GuardedCall& sim = sims[slot[i]];
+        if (sim.ok()) {
+          outcomes[i].value = sim.value;
+          outcomes[i].cached = true;
+          outcomes[i].source = EvalSource::kExactHit;
+          ++stats_.exact_hits;
+        } else {
+          // The owning candidate faulted; the alias shares the outcome,
+          // but quarantine and fault accounting belong to the owner.
+          outcomes[i].value = kFaultedValue;
+          outcomes[i].source = EvalSource::kFaulted;
+          outcomes[i].fault = fault_code_of(sim.fault);
+        }
         break;
+      }
       case Plan::kInterpolate:
         ++stats_.interpolated;
         stats_.neighbors_per_interpolation.add(
             static_cast<double>(outcomes[i].neighbors));
         break;
+      case Plan::kFault:
+        if (interp_failed[i]) ++stats_.kriging_failures;
+        outcomes[i].value = kFaultedValue;
+        outcomes[i].source = EvalSource::kFaulted;
+        outcomes[i].fault = fault[i];
+        break;
       case Plan::kSimulate:
         if (interp_failed[i]) ++stats_.kriging_failures;
-        outcomes[i].value = sim_values[slot[i]];
-        store_.add(batch[i], outcomes[i].value);
-        ++stats_.simulated;
+        fold_simulation(batch[i], sims[slot[i]], outcomes[i]);
         break;
     }
   }

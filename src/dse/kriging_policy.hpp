@@ -26,11 +26,13 @@
 #include <vector>
 
 #include "dse/config.hpp"
+#include "dse/fault.hpp"
 #include "dse/sim_store.hpp"
 #include "kriging/empirical_variogram.hpp"
 #include "kriging/fit.hpp"
 #include "kriging/universal_kriging.hpp"
 #include "kriging/variogram_model.hpp"
+#include "util/retry.hpp"
 #include "util/stats.hpp"
 
 namespace ace::util {
@@ -79,20 +81,36 @@ struct PolicyOptions {
   /// moderate-looking weights still amplify into a wild estimate. The
   /// rejected configuration is simulated instead. 0 disables the guard.
   double sanity_span = 3.0;
+
+  /// Fault model for simulator calls: bounded retries with deterministic
+  /// backoff, plus the per-call deadline watchdog. The default (one
+  /// attempt, no deadline) adds no retries, but faults are still captured
+  /// into typed outcomes and quarantined instead of propagating.
+  util::RetryOptions retry;
 };
 
-/// Outcome of evaluating one configuration through the policy.
+/// Outcome of evaluating one configuration through the policy. A faulted
+/// evaluation (source == kFaulted) carries value = -infinity so that in
+/// the optimizers' "higher λ is better" competitions a faulted candidate
+/// can never win — a fault off the decision path leaves the decisions of a
+/// fault-free run unchanged.
 struct EvalOutcome {
   double value = 0.0;          ///< λ (simulated, interpolated, or stored).
   bool interpolated = false;   ///< True when kriging supplied the value.
   bool cached = false;         ///< True when served from the exact store.
   std::size_t neighbors = 0;   ///< |N| used (support size when interpolated).
   bool regularized = false;    ///< Kriging system needed the ridge fallback.
+  EvalSource source = EvalSource::kSimulated;  ///< Provenance of `value`.
+  FaultCode fault = FaultCode::kNone;  ///< Terminal fault classification.
+  std::size_t attempts = 0;    ///< Simulator calls made for this outcome.
+
+  bool faulted() const { return fault != FaultCode::kNone; }
 
   friend bool operator==(const EvalOutcome&, const EvalOutcome&) = default;
 };
 
-/// Aggregate statistics for Table I.
+/// Aggregate statistics for Table I, plus the fault counters of the
+/// robustness subsystem.
 struct PolicyStats {
   std::size_t total = 0;
   std::size_t simulated = 0;
@@ -102,13 +120,34 @@ struct PolicyStats {
   std::size_t variance_rejections = 0;  ///< Gated by kriging variance.
   std::size_t refits = 0;               ///< Successful variogram (re)fits.
   std::size_t failed_refits = 0;        ///< Attempts with too little data.
+  std::size_t simulator_faults = 0;     ///< Faulted simulator attempts.
+  std::size_t retries = 0;              ///< Attempts beyond each first try.
+  std::size_t timeouts = 0;             ///< Attempts over the deadline.
+  std::size_t quarantined = 0;          ///< Configurations quarantined.
+  std::size_t checkpoints_written = 0;  ///< By dse::checkpoint entry points.
   util::RunningStats neighbors_per_interpolation;
+
+  friend bool operator==(const PolicyStats&, const PolicyStats&) = default;
 
   double interpolated_fraction() const {
     return total == 0 ? 0.0
                       : static_cast<double>(interpolated) /
                             static_cast<double>(total);
   }
+};
+
+/// Everything needed to reconstruct a KrigingPolicy mid-run, bit-exactly:
+/// the store contents in insertion order, the quarantine log, the store
+/// sizes at which variogram (re)fits were attempted — replaying those
+/// attempts against the rebuilt store reproduces the fitted model, trend
+/// and refit clocks exactly — and the statistics. See dse/checkpoint for
+/// the on-disk format.
+struct PolicySnapshot {
+  std::vector<Config> configs;
+  std::vector<double> values;
+  std::vector<std::pair<Config, FaultCode>> quarantine;
+  std::vector<std::size_t> fit_events;  ///< store size at each refit call.
+  PolicyStats stats;
 };
 
 /// The policy object: owns the simulated-configuration store and the
@@ -153,6 +192,22 @@ class KrigingPolicy {
   /// evaluation.
   bool refit_model();
 
+  /// Capture the policy's full mid-run state for checkpointing.
+  PolicySnapshot snapshot() const;
+
+  /// Rebuild this policy from a snapshot. Must be called on a freshly
+  /// constructed policy (same options as the snapshotting one); throws
+  /// std::logic_error otherwise. Restoring replays the store in insertion
+  /// order and re-runs the recorded fit attempts, so the fitted model,
+  /// trend, variogram bins and refit clocks all match the snapshotted
+  /// policy bit-for-bit.
+  void restore(const PolicySnapshot& snapshot);
+
+  /// Bump the checkpoints_written counter (called by the dse::checkpoint
+  /// entry points just before serializing a snapshot, so the on-disk
+  /// statistics count the checkpoint that carries them).
+  void record_checkpoint() { ++stats_.checkpoints_written; }
+
  private:
   std::optional<double> try_interpolate(const Config& config,
                                         const Neighborhood& neighborhood,
@@ -162,6 +217,16 @@ class KrigingPolicy {
 
   /// Global trend value at a configuration (0 when no trend is fitted).
   double trend_value(const std::vector<double>& x) const;
+
+  /// Guarded simulator call: retry/backoff/deadline per options_.retry.
+  util::GuardedCall run_simulation(const Config& config,
+                                   const SimulatorFn& simulate) const;
+
+  /// Fold a guarded simulation result into outcome/store/stats (the
+  /// shared terminal step of the scalar and batch paths). Quarantines on
+  /// fault. `config` is the evaluated configuration.
+  void fold_simulation(const Config& config, const util::GuardedCall& sim,
+                       EvalOutcome& outcome);
 
   PolicyOptions options_;
   SimulationStore store_;
@@ -176,6 +241,9 @@ class KrigingPolicy {
   std::size_t sims_at_last_attempt_ = 0;
   bool fit_attempted_ = false;
   double sill_estimate_ = 0.0;  ///< Sample variance of the kriged field.
+  /// Store size at every refit_model() entry, in call order — the replay
+  /// script that makes snapshot()/restore() bit-exact.
+  std::vector<std::size_t> fit_events_;
 };
 
 }  // namespace ace::dse

@@ -79,4 +79,56 @@ MinPlusOneResult min_plus_one(const EvaluateFn& evaluate,
 MinPlusOneResult min_plus_one(const BatchEvaluateFn& evaluate,
                               const MinPlusOneOptions& options);
 
+// ---------------------------------------------------------------------------
+// Resumable execution (the substrate of dse/checkpoint).
+//
+// The full algorithm is re-expressed as a cursor plus a step function; the
+// batch overloads above run the cursor to completion, so there is exactly
+// one implementation of the optimizer semantics. A cursor captured between
+// steps, persisted, and stepped again continues bit-identically: each step
+// is a pure function of (cursor, evaluator state), and the checkpoint
+// module persists both.
+// ---------------------------------------------------------------------------
+
+/// Mid-run position of a min+1 execution. Phase 1 advances one variable's
+/// full descent per step; phase 2 advances one greedy candidate
+/// competition per step.
+struct MinPlusOneCursor {
+  int phase = 1;              ///< 1 = descents, 2 = greedy ascent, 3 = done.
+  std::size_t var = 0;        ///< Phase 1: next variable to descend.
+  Config w_min;               ///< Phase-1 result (final for indices < var).
+  double lambda_at_max = 0.0; ///< λ(Nmax, …, Nmax), shared by all descents.
+  bool have_lambda_at_max = false;
+  Config w;                   ///< Phase-2 iterate.
+  double lambda = 0.0;        ///< λ(w) once have_lambda.
+  bool have_lambda = false;   ///< Phase-2 starting λ evaluated yet?
+  std::vector<std::size_t> decisions;
+  std::size_t steps = 0;
+
+  bool finished() const { return phase >= 3; }
+
+  friend bool operator==(const MinPlusOneCursor&,
+                         const MinPlusOneCursor&) = default;
+};
+
+/// Cursor for a full run (phase 1 then phase 2). Validates options.
+MinPlusOneCursor make_min_plus_one_cursor(const MinPlusOneOptions& options);
+
+/// Cursor for a phase-2-only run from an explicit start (the
+/// optimize_word_lengths semantics). Validates options and start size.
+MinPlusOneCursor make_phase2_cursor(const MinPlusOneOptions& options,
+                                    Config start);
+
+/// Advance the cursor by one resumable unit. Returns true while the run is
+/// unfinished. The evaluation sequence is identical to the historical
+/// monolithic loops, so stepping a cursor to completion reproduces their
+/// results exactly.
+bool min_plus_one_step(const BatchEvaluateFn& evaluate,
+                       const MinPlusOneOptions& options,
+                       MinPlusOneCursor& cursor);
+
+/// Package a finished (or abandoned) cursor as a result.
+MinPlusOneResult min_plus_one_result(const MinPlusOneCursor& cursor,
+                                     const MinPlusOneOptions& options);
+
 }  // namespace ace::dse

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/errors.hpp"
+
 namespace ace::dse {
 
 namespace {
@@ -23,6 +25,9 @@ void SimulationStore::check_dimensions(const Config& c,
 }
 
 std::size_t SimulationStore::add(Config config, double value) {
+  if (!std::isfinite(value))
+    throw util::NonFiniteError(
+        "SimulationStore::add: non-finite value for " + to_string(config));
   const std::lock_guard<std::mutex> lock(write_mutex_);
   check_dimensions(config, "add");
   if (const auto it = exact_.find(config); it != exact_.end()) {
@@ -41,6 +46,22 @@ std::size_t SimulationStore::add(Config config, double value) {
 std::optional<std::size_t> SimulationStore::find(const Config& config) const {
   const auto it = exact_.find(config);
   if (it == exact_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SimulationStore::quarantine(Config config, FaultCode code) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  check_dimensions(config, "quarantine");
+  if (quarantine_.contains(config)) return false;
+  quarantine_.emplace(config, code);
+  quarantine_log_.emplace_back(std::move(config), code);
+  return true;
+}
+
+std::optional<FaultCode> SimulationStore::quarantined(
+    const Config& config) const {
+  const auto it = quarantine_.find(config);
+  if (it == quarantine_.end()) return std::nullopt;
   return it->second;
 }
 

@@ -14,11 +14,18 @@
 //     replaces the O(N) linear scan per neighbourhood lookup with a scan
 //     of the few populated buckets in the band.
 //
-// Thread-safety: add() is mutex-guarded, so a worker pool may enrich the
-// store concurrently. Read paths are lock-free and must not race with
-// writers — the batch evaluation engine guarantees this by partitioning
-// up front and folding simulation results in serially (see
-// KrigingPolicy::evaluate_batch).
+// Faulted configurations are *quarantined*: a configuration whose
+// simulation exhausted its retry budget (threw, returned NaN/Inf, or blew
+// its deadline) is recorded with its fault code so it is never admitted as
+// kriging support and never re-simulated beyond that budget. Non-finite λ
+// values are rejected at add() with a typed error — a single NaN support
+// point silently poisons every kriging estimate that draws on it.
+//
+// Thread-safety: add() and quarantine() are mutex-guarded, so a worker
+// pool may enrich the store concurrently. Read paths are lock-free and
+// must not race with writers — the batch evaluation engine guarantees
+// this by partitioning up front and folding simulation results in
+// serially (see KrigingPolicy::evaluate_batch).
 #pragma once
 
 #include <cstddef>
@@ -26,9 +33,11 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dse/config.hpp"
+#include "dse/fault.hpp"
 
 namespace ace::dse {
 
@@ -45,7 +54,9 @@ class SimulationStore {
   /// duplicate updates the stored value in place instead of creating a
   /// second support point — duplicate support points make the kriging Γ
   /// matrix singular. Throws std::invalid_argument if the dimensionality
-  /// differs from previously stored entries.
+  /// differs from previously stored entries and util::NonFiniteError if
+  /// the value is NaN/Inf (a non-finite support point corrupts every
+  /// estimate drawing on it).
   std::size_t add(Config config, double value);
 
   /// Index of an exactly matching stored configuration, if any.
@@ -72,6 +83,23 @@ class SimulationStore {
   void gather(const Neighborhood& n, std::vector<std::vector<double>>& points,
               std::vector<double>& values) const;
 
+  /// Quarantine a configuration whose simulation exhausted its retry
+  /// budget. Returns true when newly quarantined, false when the
+  /// configuration was already on the list (the original fault code is
+  /// kept). Mutex-guarded like add().
+  bool quarantine(Config config, FaultCode code);
+
+  /// The fault code a configuration was quarantined with, if any.
+  std::optional<FaultCode> quarantined(const Config& config) const;
+
+  std::size_t quarantine_count() const { return quarantine_log_.size(); }
+
+  /// Quarantined configurations in quarantine order (deterministic, unlike
+  /// hash-map iteration — checkpoint files depend on this).
+  const std::vector<std::pair<Config, FaultCode>>& quarantine_log() const {
+    return quarantine_log_;
+  }
+
  private:
   void check_dimensions(const Config& c, const char* what) const;
 
@@ -81,6 +109,9 @@ class SimulationStore {
   std::unordered_map<Config, std::size_t, ConfigHash> exact_;
   /// Radius-query index: coordinate sum -> positions with that sum.
   std::map<int, std::vector<std::size_t>> sum_buckets_;
+  /// Faulted configurations: lookup map + insertion-ordered log.
+  std::unordered_map<Config, FaultCode, ConfigHash> quarantine_;
+  std::vector<std::pair<Config, FaultCode>> quarantine_log_;
   std::mutex write_mutex_;
 };
 

@@ -5,60 +5,94 @@
 
 namespace ace::dse {
 
-SensitivityResult steepest_descent_budgeting(
-    const BatchEvaluateFn& evaluate, const SensitivityOptions& options) {
+namespace {
+void validate(const SensitivityOptions& options) {
   if (options.nv == 0)
     throw std::invalid_argument("steepest_descent: nv must be positive");
   if (options.level_min > options.level_max)
     throw std::invalid_argument("steepest_descent: level_min > level_max");
+}
+}  // namespace
 
-  SensitivityResult result;
-  Config levels(options.nv, options.level_max);
-  double lambda = evaluate({levels}).front();
-  result.feasible = lambda >= options.lambda_min;
-  if (!result.feasible) {
+SensitivityCursor make_sensitivity_cursor(const SensitivityOptions& options) {
+  validate(options);
+  SensitivityCursor cursor;
+  cursor.levels = Config(options.nv, options.level_max);
+  return cursor;
+}
+
+bool steepest_descent_step(const BatchEvaluateFn& evaluate,
+                           const SensitivityOptions& options,
+                           SensitivityCursor& cursor) {
+  if (cursor.finished()) return false;
+
+  if (!cursor.started) {
+    cursor.lambda = evaluate({cursor.levels}).front();
+    cursor.started = true;
+    cursor.feasible = cursor.lambda >= options.lambda_min;
     // Even near-silent error sources break the constraint: nothing to budget.
-    result.levels = std::move(levels);
-    result.final_lambda = lambda;
-    return result;
+    if (!cursor.feasible) cursor.done = true;
+    return !cursor.finished();
   }
 
-  std::size_t steps = 0;
+  if (cursor.steps >= options.max_steps) {
+    cursor.done = true;
+    return false;
+  }
+
+  // Try relaxing each source one level as a single candidate batch; keep
+  // the least harmful move, ties going to the lowest source index.
   std::vector<Config> candidates;
   std::vector<std::size_t> vars;
-  while (steps < options.max_steps) {
-    // Try relaxing each source one level as a single candidate batch; keep
-    // the least harmful move, ties going to the lowest source index.
-    candidates.clear();
-    vars.clear();
-    for (std::size_t i = 0; i < options.nv; ++i) {
-      if (levels[i] <= options.level_min) continue;
-      Config candidate = levels;
-      --candidate[i];
-      candidates.push_back(std::move(candidate));
-      vars.push_back(i);
-    }
-    if (candidates.empty()) break;  // Fully relaxed.
-    const std::vector<double> lambdas = evaluate(candidates);
-
-    double best_lambda = -std::numeric_limits<double>::infinity();
-    std::size_t best_var = options.nv;  // Sentinel: none.
-    for (std::size_t j = 0; j < candidates.size(); ++j) {
-      if (lambdas[j] > best_lambda) {
-        best_lambda = lambdas[j];
-        best_var = vars[j];
-      }
-    }
-    if (best_lambda < options.lambda_min) break;  // Next move breaks quality.
-    --levels[best_var];
-    lambda = best_lambda;
-    result.decisions.push_back(best_var);
-    ++steps;
+  for (std::size_t i = 0; i < options.nv; ++i) {
+    if (cursor.levels[i] <= options.level_min) continue;
+    Config candidate = cursor.levels;
+    --candidate[i];
+    candidates.push_back(std::move(candidate));
+    vars.push_back(i);
   }
+  if (candidates.empty()) {  // Fully relaxed.
+    cursor.done = true;
+    return false;
+  }
+  const std::vector<double> lambdas = evaluate(candidates);
 
-  result.levels = std::move(levels);
-  result.final_lambda = lambda;
+  double best_lambda = -std::numeric_limits<double>::infinity();
+  std::size_t best_var = options.nv;  // Sentinel: none.
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    if (lambdas[j] > best_lambda) {
+      best_lambda = lambdas[j];
+      best_var = vars[j];
+    }
+  }
+  // Next move breaks quality — or every candidate faulted (-inf/NaN), in
+  // which case best_var is still the sentinel and must not be indexed.
+  if (best_lambda < options.lambda_min || best_var == options.nv) {
+    cursor.done = true;
+    return false;
+  }
+  --cursor.levels[best_var];
+  cursor.lambda = best_lambda;
+  cursor.decisions.push_back(best_var);
+  ++cursor.steps;
+  return true;
+}
+
+SensitivityResult sensitivity_result(const SensitivityCursor& cursor) {
+  SensitivityResult result;
+  result.levels = cursor.levels;
+  result.final_lambda = cursor.lambda;
+  result.decisions = cursor.decisions;
+  result.feasible = cursor.feasible;
   return result;
+}
+
+SensitivityResult steepest_descent_budgeting(
+    const BatchEvaluateFn& evaluate, const SensitivityOptions& options) {
+  SensitivityCursor cursor = make_sensitivity_cursor(options);
+  while (steepest_descent_step(evaluate, options, cursor)) {
+  }
+  return sensitivity_result(cursor);
 }
 
 SensitivityResult steepest_descent_budgeting(

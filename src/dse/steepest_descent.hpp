@@ -43,4 +43,41 @@ SensitivityResult steepest_descent_budgeting(const EvaluateFn& evaluate,
 SensitivityResult steepest_descent_budgeting(const BatchEvaluateFn& evaluate,
                                              const SensitivityOptions& options);
 
+// ---------------------------------------------------------------------------
+// Resumable execution (the substrate of dse/checkpoint). Mirrors the
+// MinPlusOneCursor contract: the overloads above run the cursor to
+// completion, so there is exactly one implementation of the descent.
+// ---------------------------------------------------------------------------
+
+/// Mid-run position of a budgeting descent. The first step evaluates the
+/// starting configuration; each later step runs one relaxation
+/// competition.
+struct SensitivityCursor {
+  bool started = false;  ///< Starting λ evaluated yet?
+  bool done = false;
+  Config levels;             ///< Current iterate.
+  double lambda = 0.0;       ///< λ(levels) once started.
+  bool feasible = false;     ///< Start met the constraint.
+  std::vector<std::size_t> decisions;
+  std::size_t steps = 0;
+
+  bool finished() const { return done; }
+
+  friend bool operator==(const SensitivityCursor&,
+                         const SensitivityCursor&) = default;
+};
+
+/// Fresh cursor at the all-level_max start. Validates options.
+SensitivityCursor make_sensitivity_cursor(const SensitivityOptions& options);
+
+/// Advance the cursor by one resumable unit. Returns true while the run is
+/// unfinished. The evaluation sequence is identical to the monolithic
+/// loop, so stepping a cursor to completion reproduces its result exactly.
+bool steepest_descent_step(const BatchEvaluateFn& evaluate,
+                           const SensitivityOptions& options,
+                           SensitivityCursor& cursor);
+
+/// Package a finished (or abandoned) cursor as a result.
+SensitivityResult sensitivity_result(const SensitivityCursor& cursor);
+
 }  // namespace ace::dse

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/errors.hpp"
+
 namespace ace::kriging {
 
 double l1_distance(const std::vector<double>& a,
@@ -49,6 +51,18 @@ void EmpiricalVariogram::extend(
     const std::vector<double>& values) {
   if (points.size() != values.size())
     throw std::invalid_argument("EmpiricalVariogram::extend: size mismatch");
+
+  // Validate the whole block before folding anything in: one NaN pair
+  // would silently poison every bin it touches, and rejecting mid-fold
+  // would leave the accumulators half-updated.
+  for (std::size_t s = 0; s < points.size(); ++s) {
+    if (!std::isfinite(values[s]))
+      throw util::NonFiniteError("EmpiricalVariogram::extend: non-finite value");
+    for (const double c : points[s])
+      if (!std::isfinite(c))
+        throw util::NonFiniteError(
+            "EmpiricalVariogram::extend: non-finite coordinate");
+  }
 
   for (std::size_t s = 0; s < points.size(); ++s) {
     // Pair the new sample k against every sample already held — the same

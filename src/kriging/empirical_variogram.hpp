@@ -56,7 +56,9 @@ class EmpiricalVariogram {
   /// Fold new samples into the variogram: each new point is paired against
   /// every already-held point and against the earlier new points, updating
   /// the existing bins in place. Throws std::invalid_argument on
-  /// points/values size mismatch.
+  /// points/values size mismatch and util::NonFiniteError when any value
+  /// or coordinate is NaN/Inf (checked up front — the bins are untouched
+  /// on rejection).
   void extend(const std::vector<std::vector<double>>& points,
               const std::vector<double>& values);
 

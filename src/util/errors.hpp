@@ -1,0 +1,24 @@
+// Typed errors shared across modules.
+//
+// The evaluation pipeline's containers (simulation store, empirical
+// variogram) must never admit a non-finite sample: a single NaN folded
+// into the variogram bins poisons every γ̂(d) it touches, and a NaN
+// support point makes every kriging estimate drawing on it NaN. Rejecting
+// at ingestion with a dedicated exception type lets the fault-tolerant
+// evaluation path distinguish "bad sample" from programming errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ace::util {
+
+/// A non-finite (NaN/Inf) value reached a container that feeds the
+/// kriging estimator.
+class NonFiniteError : public std::invalid_argument {
+ public:
+  explicit NonFiniteError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+}  // namespace ace::util

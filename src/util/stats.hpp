@@ -11,6 +11,25 @@ namespace ace::util {
 /// variance / min / max. Suitable for millions of samples.
 class RunningStats {
  public:
+  /// Raw accumulator state, exposed for exact persistence (checkpointing):
+  /// restoring it and continuing to add() is bit-identical to never having
+  /// paused.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  RunningStats() = default;
+  explicit RunningStats(const State& s)
+      : n_(s.n), mean_(s.mean), m2_(s.m2), min_(s.min), max_(s.max) {}
+
+  State state() const { return {n_, mean_, m2_, min_, max_}; }
+
+  friend bool operator==(const RunningStats&, const RunningStats&) = default;
+
   void add(double x);
 
   /// Merge another accumulator into this one (parallel reduction).

@@ -12,6 +12,7 @@
 // workers executes with W+1 threads and never deadlocks on itself.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -21,6 +22,12 @@
 #include <vector>
 
 namespace ace::util {
+
+/// One failed task from a collecting batch run.
+struct TaskError {
+  std::size_t index = 0;       ///< Task index passed to the callable.
+  std::exception_ptr error;    ///< What it threw.
+};
 
 class ThreadPool {
  public:
@@ -47,11 +54,13 @@ class ThreadPool {
   std::size_t worker_count() const { return workers_.size(); }
 
   /// Run task(i) for every i in [0, count) across the pool and block until
-  /// all have finished. The first exception thrown by any task is rethrown
-  /// here after the batch drains; the pool stays usable afterwards.
-  void run_indexed(std::size_t count,
-                   const std::function<void(std::size_t)>& task) {
-    if (count == 0) return;
+  /// all have finished. Every task runs regardless of sibling failures —
+  /// one throwing task never aborts the batch, and the side effects of the
+  /// surviving tasks are retained. All captured errors are returned, sorted
+  /// by task index; the pool stays usable afterwards.
+  std::vector<TaskError> run_indexed_collect(
+      std::size_t count, const std::function<void(std::size_t)>& task) {
+    if (count == 0) return {};
     const std::lock_guard<std::mutex> serialize(run_mutex_);
     Batch batch;
     batch.task = &task;
@@ -71,7 +80,23 @@ class ThreadPool {
     done_.wait(lock, [&] { return batch.done == batch.count; });
     batch_ = nullptr;
     lock.unlock();
-    if (batch.error) std::rethrow_exception(batch.error);
+    // Scheduling determines arrival order; sort so callers see a
+    // reproducible, index-ordered error list.
+    std::sort(batch.errors.begin(), batch.errors.end(),
+              [](const TaskError& a, const TaskError& b) {
+                return a.index < b.index;
+              });
+    return std::move(batch.errors);
+  }
+
+  /// Historical rethrow semantics, layered over the collecting primitive:
+  /// the batch always drains fully, then the error of the *lowest-indexed*
+  /// failed task (a deterministic choice, unlike first-to-occur) is
+  /// rethrown. Surviving tasks' side effects are retained.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& task) {
+    const std::vector<TaskError> errors = run_indexed_collect(count, task);
+    if (!errors.empty()) std::rethrow_exception(errors.front().error);
   }
 
  private:
@@ -80,10 +105,10 @@ class ThreadPool {
     std::size_t count = 0;
     std::size_t next = 0;  ///< Next index to claim (guarded by mutex_).
     std::size_t done = 0;  ///< Completed tasks (guarded by mutex_).
-    std::exception_ptr error;
+    std::vector<TaskError> errors;  ///< All failures (guarded by mutex_).
   };
 
-  /// Run one task outside the lock; record the first failure.
+  /// Run one task outside the lock; record any failure.
   void execute(Batch& batch, std::size_t i) {
     std::exception_ptr error;
     try {
@@ -93,7 +118,7 @@ class ThreadPool {
     }
     if (error) {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (!batch.error) batch.error = error;
+      batch.errors.push_back({i, error});
     }
   }
 
@@ -132,6 +157,26 @@ inline void parallel_for_indexed(ThreadPool* pool, std::size_t n,
     return;
   }
   pool->run_indexed(n, fn);
+}
+
+/// Collecting variant of parallel_for_indexed: every index runs, all
+/// failures are returned sorted by index, and the serial path mirrors the
+/// pool path exactly (a thrown fn(i) does not stop the remaining indices).
+inline std::vector<TaskError> parallel_for_indexed_collect(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    std::vector<TaskError> errors;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors.push_back({i, std::current_exception()});
+      }
+    }
+    return errors;
+  }
+  return pool->run_indexed_collect(n, fn);
 }
 
 }  // namespace ace::util

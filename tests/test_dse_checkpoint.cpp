@@ -1,0 +1,303 @@
+#include "dse/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dse/scheduler.hpp"
+
+namespace {
+
+namespace d = ace::dse;
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());  // No stale state from earlier runs.
+  return path;
+}
+
+double smooth(const d::Config& c) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i)
+    acc += 0.5 * static_cast<double>(c[i]) +
+           0.01 * static_cast<double>(c[i] * c[i]) +
+           0.02 * static_cast<double>(i + 1) * static_cast<double>(c[i]);
+  return acc;
+}
+
+d::PolicyOptions kriging_options() {
+  d::PolicyOptions options;
+  options.distance = 3;
+  options.nn_min = 1;
+  options.min_fit_points = 6;
+  options.refit_period = 5;
+  return options;
+}
+
+void expect_snapshots_equal(const d::PolicySnapshot& a,
+                            const d::PolicySnapshot& b) {
+  EXPECT_EQ(a.configs, b.configs);
+  EXPECT_EQ(a.values, b.values);  // Bitwise: hexfloat round trip is exact.
+  EXPECT_EQ(a.quarantine, b.quarantine);
+  EXPECT_EQ(a.fit_events, b.fit_events);
+  EXPECT_TRUE(a.stats == b.stats);
+}
+
+TEST(CheckpointFile, RoundTripIsExact) {
+  d::Checkpoint ck;
+  ck.optimizer = "min_plus_one";
+  ck.policy.configs = {{8, 8}, {7, 8}, {8, 7}};
+  // Deliberately awkward doubles: non-terminating binary fractions, huge,
+  // and denormal magnitudes all survive the hexfloat round trip exactly.
+  ck.policy.values = {0.1, 1.0 / 3.0, -1e300};
+  ck.policy.quarantine = {{{2, 2}, d::FaultCode::kSimulatorThrow},
+                          {{5, 5}, d::FaultCode::kTimeout}};
+  ck.policy.fit_events = {6, 11};
+  ck.policy.stats.total = 17;
+  ck.policy.stats.simulated = 3;
+  ck.policy.stats.interpolated = 9;
+  ck.policy.stats.quarantined = 2;
+  ck.policy.stats.checkpoints_written = 4;
+  ck.policy.stats.neighbors_per_interpolation.add(3.0);
+  ck.policy.stats.neighbors_per_interpolation.add(5.0);
+  ck.min_plus.phase = 2;
+  ck.min_plus.var = 3;
+  ck.min_plus.w_min = {6, 6, 6};
+  ck.min_plus.lambda_at_max = 5e-324;  // Smallest positive denormal.
+  ck.min_plus.have_lambda_at_max = true;
+  ck.min_plus.w = {7, 6, 6};
+  ck.min_plus.lambda = -9.25;
+  ck.min_plus.have_lambda = true;
+  ck.min_plus.decisions = {0, 1};
+  ck.min_plus.steps = 2;
+  ck.sensitivity.started = true;
+  ck.sensitivity.levels = {4, 5, 5};
+  ck.sensitivity.lambda = 0.90625;
+  ck.sensitivity.feasible = true;
+  ck.sensitivity.decisions = {0, 0, 1, 2};
+  ck.sensitivity.steps = 4;
+
+  const std::string path = temp_path("ace_ckpt_roundtrip.txt");
+  d::save_checkpoint(path, ck);
+  const auto loaded = d::load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->optimizer, ck.optimizer);
+  expect_snapshots_equal(loaded->policy, ck.policy);
+  EXPECT_EQ(loaded->min_plus, ck.min_plus);
+  EXPECT_EQ(loaded->sensitivity, ck.sensitivity);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, MissingFileIsNullopt) {
+  EXPECT_FALSE(
+      d::load_checkpoint(temp_path("ace_ckpt_missing.txt")).has_value());
+}
+
+TEST(CheckpointFile, RejectsGarbageAndUnsupportedVersion) {
+  const std::string garbage = temp_path("ace_ckpt_garbage.txt");
+  {
+    std::ofstream out(garbage);
+    out << "hello world\n";
+  }
+  EXPECT_THROW((void)d::load_checkpoint(garbage), std::runtime_error);
+  std::remove(garbage.c_str());
+
+  const std::string future = temp_path("ace_ckpt_future.txt");
+  {
+    std::ofstream out(future);
+    out << "ACE-CHECKPOINT 99\noptimizer min_plus_one\n";
+  }
+  EXPECT_THROW((void)d::load_checkpoint(future), std::runtime_error);
+  std::remove(future.c_str());
+
+  const std::string truncated = temp_path("ace_ckpt_truncated.txt");
+  {
+    std::ofstream out(truncated);
+    out << "ACE-CHECKPOINT 1\noptimizer min_plus_one\nstore 3 2\n";
+  }
+  EXPECT_THROW((void)d::load_checkpoint(truncated), std::runtime_error);
+  std::remove(truncated.c_str());
+}
+
+TEST(PolicySnapshot, RestoreContinuesBitIdentically) {
+  // Drive a policy through a workload rich enough to fit and refit the
+  // variogram, snapshot halfway, restore into a fresh policy, and continue
+  // both on the same tail: every outcome and statistic must match exactly.
+  const d::SimulatorFn sim = smooth;
+  std::vector<d::Config> work;
+  for (int x = 0; x < 8; ++x)
+    for (int y = 0; y < 8; ++y) work.push_back({(x * 3 + y) % 8, y});
+
+  d::KrigingPolicy original(kriging_options());
+  const std::size_t half = work.size() / 2;
+  for (std::size_t i = 0; i < half; ++i)
+    (void)original.evaluate(work[i], sim);
+
+  d::KrigingPolicy resumed(kriging_options());
+  resumed.restore(original.snapshot());
+  expect_snapshots_equal(resumed.snapshot(), original.snapshot());
+
+  for (std::size_t i = half; i < work.size(); ++i) {
+    const d::EvalOutcome a = original.evaluate(work[i], sim);
+    const d::EvalOutcome b = resumed.evaluate(work[i], sim);
+    EXPECT_EQ(a, b) << "diverged at work item " << i;
+  }
+  EXPECT_TRUE(original.stats() == resumed.stats());
+  expect_snapshots_equal(resumed.snapshot(), original.snapshot());
+}
+
+TEST(PolicySnapshot, RestoreRequiresFreshPolicy) {
+  d::KrigingPolicy used(kriging_options());
+  (void)used.evaluate({1, 1}, smooth);
+  const d::PolicySnapshot snap = used.snapshot();
+  EXPECT_THROW(used.restore(snap), std::logic_error);
+}
+
+TEST(CheckpointedRuns, KilledMinPlusOneResumesBitIdentically) {
+  d::MinPlusOneOptions mpo;
+  mpo.nv = 3;
+  mpo.w_max = 8;
+  mpo.w_min = 2;
+  mpo.lambda_min = 5.5;
+  const d::SimulatorFn sim = smooth;
+
+  // Uninterrupted reference run.
+  const std::string ref_path = temp_path("ace_ckpt_mp_ref.txt");
+  d::KrigingPolicy reference(kriging_options());
+  const d::MinPlusOneResult expected =
+      d::checkpointed_min_plus_one(reference, sim, mpo, {ref_path, 1});
+  ASSERT_TRUE(d::load_checkpoint(ref_path).has_value());
+
+  // Kill after each possible number of steps; resume must reconverge.
+  for (std::size_t kill = 1; kill <= 5; ++kill) {
+    const std::string path =
+        temp_path("ace_ckpt_mp_kill" + std::to_string(kill) + ".txt");
+
+    d::KrigingPolicy before(kriging_options());
+    (void)d::checkpointed_min_plus_one(before, sim, mpo, {path, 1, kill});
+    const auto mid = d::load_checkpoint(path);
+    ASSERT_TRUE(mid.has_value());
+
+    d::KrigingPolicy after(kriging_options());
+    const d::MinPlusOneResult resumed =
+        d::checkpointed_min_plus_one(after, sim, mpo, {path, 1});
+
+    EXPECT_EQ(resumed.w_min, expected.w_min) << "kill=" << kill;
+    EXPECT_EQ(resumed.w_res, expected.w_res) << "kill=" << kill;
+    EXPECT_EQ(resumed.decisions, expected.decisions) << "kill=" << kill;
+    EXPECT_DOUBLE_EQ(resumed.final_lambda, expected.final_lambda);
+    EXPECT_EQ(resumed.constraint_met, expected.constraint_met);
+    // The whole policy state — store, quarantine, fit history, statistics
+    // (including checkpoints_written) — matches the uninterrupted run.
+    expect_snapshots_equal(after.snapshot(), reference.snapshot());
+    std::remove(path.c_str());
+  }
+  std::remove(ref_path.c_str());
+}
+
+TEST(CheckpointedRuns, KilledSteepestDescentResumesBitIdentically) {
+  d::SensitivityOptions so;
+  so.nv = 3;
+  so.level_max = 8;
+  so.level_min = 0;
+  so.lambda_min = 0.9;
+  // Quality in (0, 1]: relaxing a level doubles its noise contribution.
+  const d::SimulatorFn sim = [](const d::Config& c) {
+    double noise = 0.0;
+    for (std::size_t i = 0; i < c.size(); ++i)
+      noise += (1.0 + 0.01 * static_cast<double>(i)) *
+               std::pow(2.0, -static_cast<double>(c[i]));
+    return 1.0 - noise;
+  };
+
+  const std::string ref_path = temp_path("ace_ckpt_sd_ref.txt");
+  d::KrigingPolicy reference(kriging_options());
+  const d::SensitivityResult expected =
+      d::checkpointed_steepest_descent(reference, sim, so, {ref_path, 1});
+  EXPECT_TRUE(expected.feasible);
+  EXPECT_FALSE(expected.decisions.empty());
+
+  for (const std::size_t kill : {1u, 3u, 6u}) {
+    const std::string path =
+        temp_path("ace_ckpt_sd_kill" + std::to_string(kill) + ".txt");
+    d::KrigingPolicy before(kriging_options());
+    (void)d::checkpointed_steepest_descent(before, sim, so, {path, 1, kill});
+
+    d::KrigingPolicy after(kriging_options());
+    const d::SensitivityResult resumed =
+        d::checkpointed_steepest_descent(after, sim, so, {path, 1});
+
+    EXPECT_EQ(resumed.levels, expected.levels) << "kill=" << kill;
+    EXPECT_EQ(resumed.decisions, expected.decisions) << "kill=" << kill;
+    EXPECT_DOUBLE_EQ(resumed.final_lambda, expected.final_lambda);
+    EXPECT_EQ(resumed.feasible, expected.feasible);
+    expect_snapshots_equal(after.snapshot(), reference.snapshot());
+    std::remove(path.c_str());
+  }
+  std::remove(ref_path.c_str());
+}
+
+TEST(CheckpointedRuns, RerunAfterCompletionIsAnIdleResume) {
+  d::MinPlusOneOptions mpo;
+  mpo.nv = 2;
+  mpo.w_max = 6;
+  mpo.w_min = 2;
+  mpo.lambda_min = 3.0;
+  std::size_t sim_calls = 0;
+  const d::SimulatorFn sim = [&sim_calls](const d::Config& c) {
+    ++sim_calls;
+    return smooth(c);
+  };
+  const std::string path = temp_path("ace_ckpt_idem.txt");
+
+  d::KrigingPolicy first(kriging_options());
+  const d::MinPlusOneResult res =
+      d::checkpointed_min_plus_one(first, sim, mpo, {path, 1});
+  const std::size_t calls_after_first = sim_calls;
+
+  // The cursor on disk is finished: a rerun restores the policy, runs no
+  // steps, simulates nothing, and reproduces the result.
+  d::KrigingPolicy second(kriging_options());
+  const d::MinPlusOneResult rerun =
+      d::checkpointed_min_plus_one(second, sim, mpo, {path, 1});
+  EXPECT_EQ(sim_calls, calls_after_first);
+  EXPECT_EQ(rerun.w_res, res.w_res);
+  EXPECT_EQ(rerun.decisions, res.decisions);
+  EXPECT_TRUE(first.stats() == second.stats());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointedRuns, OptimizerMismatchIsRejected) {
+  d::MinPlusOneOptions mpo;
+  mpo.nv = 2;
+  mpo.w_max = 4;
+  mpo.w_min = 2;
+  mpo.lambda_min = 2.0;
+  const std::string path = temp_path("ace_ckpt_mismatch.txt");
+  d::KrigingPolicy policy(kriging_options());
+  (void)d::checkpointed_min_plus_one(policy, smooth, mpo, {path, 1});
+
+  d::SensitivityOptions so;
+  so.nv = 2;
+  d::KrigingPolicy other(kriging_options());
+  EXPECT_THROW((void)d::checkpointed_steepest_descent(other, smooth, so,
+                                                      {path, 1}),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointedRuns, EmptyPathIsRejected) {
+  d::MinPlusOneOptions mpo;
+  mpo.nv = 2;
+  d::KrigingPolicy policy(kriging_options());
+  EXPECT_THROW(
+      (void)d::checkpointed_min_plus_one(policy, smooth, mpo, {"", 1}),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 #include "kriging/ordinary_kriging.hpp"
 #include "kriging/variogram_model.hpp"
+#include "util/errors.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -145,6 +147,51 @@ TEST(SimulationStore, DeduplicationKeepsKrigingWellPosed) {
       ace::kriging::krige(points, values, {1.0, 1.0}, model);
   ASSERT_TRUE(result.has_value());
   EXPECT_FALSE(result->regularized);
+}
+
+TEST(SimulationStore, AddRejectsNonFiniteValues) {
+  // Regression guard: a NaN slipping into the store used to poison every
+  // variogram bin it touched and every kriging system that gathered it.
+  // Now the store is the hard boundary: non-finite λ never enters.
+  d::SimulationStore store;
+  store.add({1, 1}, 0.5);
+  EXPECT_THROW(store.add({2, 1}, std::numeric_limits<double>::quiet_NaN()),
+               ace::util::NonFiniteError);
+  EXPECT_THROW(store.add({2, 2}, std::numeric_limits<double>::infinity()),
+               ace::util::NonFiniteError);
+  EXPECT_THROW(store.add({2, 3}, -std::numeric_limits<double>::infinity()),
+               ace::util::NonFiniteError);
+  // NonFiniteError is an invalid_argument, so legacy catch sites still work.
+  EXPECT_THROW(store.add({2, 1}, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.find({2, 1}).has_value());
+}
+
+TEST(SimulationStore, QuarantineTracksFirstFaultCode) {
+  d::SimulationStore store;
+  EXPECT_EQ(store.quarantine_count(), 0u);
+  EXPECT_FALSE(store.quarantined({3, 3}).has_value());
+
+  EXPECT_TRUE(store.quarantine({3, 3}, d::FaultCode::kSimulatorThrow));
+  // Re-quarantining is not a new quarantine and keeps the original code.
+  EXPECT_FALSE(store.quarantine({3, 3}, d::FaultCode::kTimeout));
+  EXPECT_TRUE(store.quarantine({4, 4}, d::FaultCode::kNonFinite));
+
+  ASSERT_TRUE(store.quarantined({3, 3}).has_value());
+  EXPECT_EQ(*store.quarantined({3, 3}), d::FaultCode::kSimulatorThrow);
+  ASSERT_TRUE(store.quarantined({4, 4}).has_value());
+  EXPECT_EQ(*store.quarantined({4, 4}), d::FaultCode::kNonFinite);
+  EXPECT_EQ(store.quarantine_count(), 2u);
+
+  // The log is insertion-ordered (what checkpoints serialize).
+  ASSERT_EQ(store.quarantine_log().size(), 2u);
+  EXPECT_EQ(store.quarantine_log()[0].first, (d::Config{3, 3}));
+  EXPECT_EQ(store.quarantine_log()[0].second, d::FaultCode::kSimulatorThrow);
+  EXPECT_EQ(store.quarantine_log()[1].first, (d::Config{4, 4}));
+
+  // Quarantine is bookkeeping, not storage: the store itself is untouched.
+  EXPECT_TRUE(store.empty());
 }
 
 }  // namespace

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include "util/errors.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -153,6 +155,35 @@ TEST(EmpiricalVariogram, ExtendInChunksMatchesOneShotBuild) {
 TEST(EmpiricalVariogram, ExtendValidatesSizes) {
   k::EmpiricalVariogram ev;
   EXPECT_THROW(ev.extend({{0.0}, {1.0}}, {1.0}), std::invalid_argument);
+}
+
+TEST(EmpiricalVariogram, ExtendRejectsNonFiniteWithoutTouchingBins) {
+  // Regression guard: one NaN sample used to poison every bin its pairs
+  // fell into, silently degrading krige() from then on. Now the batch is
+  // validated up front and a bad batch leaves the accumulators untouched.
+  k::EmpiricalVariogram ev({{0.0}, {1.0}, {2.0}}, {0.0, 1.0, 4.0});
+  const auto bins_before = ev.bins();
+  const std::size_t pairs_before = ev.total_pairs();
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(ev.extend({{3.0}, {4.0}}, {2.0, nan}),
+               ace::util::NonFiniteError);
+  EXPECT_THROW(ev.extend({{3.0}}, {std::numeric_limits<double>::infinity()}),
+               ace::util::NonFiniteError);
+  EXPECT_THROW(ev.extend({{nan}}, {1.0}), ace::util::NonFiniteError);
+
+  // Nothing was folded — not even the finite samples of the bad batch.
+  EXPECT_EQ(ev.sample_count(), 3u);
+  EXPECT_EQ(ev.total_pairs(), pairs_before);
+  ASSERT_EQ(ev.bins().size(), bins_before.size());
+  for (std::size_t b = 0; b < bins_before.size(); ++b) {
+    EXPECT_DOUBLE_EQ(ev.bins()[b].gamma, bins_before[b].gamma);
+    EXPECT_EQ(ev.bins()[b].pair_count, bins_before[b].pair_count);
+  }
+
+  // A clean batch afterwards still folds normally.
+  ev.extend({{3.0}}, {9.0});
+  EXPECT_EQ(ev.sample_count(), 4u);
 }
 
 }  // namespace
