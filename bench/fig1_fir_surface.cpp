@@ -2,7 +2,10 @@
 // as a function of the adder and multiplier output word-lengths.
 //
 // Prints the surface as a grid (rows: adder WL, columns: multiplier WL) and
-// writes fig1_surface.csv next to the binary for external plotting.
+// writes out/fig1_surface.csv (relative to the working directory) for
+// external plotting. Generated output stays out of the source tree: out/
+// is git-ignored.
+#include <filesystem>
 #include <iostream>
 
 #include "metrics/noise_power.hpp"
@@ -33,7 +36,8 @@ int main() {
     headers.push_back(std::to_string(w0));
   util::TablePrinter table(headers);
 
-  util::CsvWriter csv("fig1_surface.csv");
+  std::filesystem::create_directories("out");
+  util::CsvWriter csv("out/fig1_surface.csv");
   csv.write_row(std::vector<std::string>{"w_add", "w_mpy", "noise_power_db"});
 
   for (int w1 = kWMin; w1 <= kWMax; ++w1) {
@@ -49,7 +53,7 @@ int main() {
     table.add_row(std::move(row));
   }
   table.print(std::cout);
-  std::cout << "\nsurface written to fig1_surface.csv\n";
+  std::cout << "\nsurface written to out/fig1_surface.csv\n";
   std::cout << "expected shape: monotone decrease along both axes with an\n"
                "L-shaped plateau where one word length dominates the error\n";
   return 0;

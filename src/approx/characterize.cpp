@@ -18,7 +18,8 @@ struct Accumulator {
     ++pairs;
     const double diff =
         static_cast<double>(approx_v) - static_cast<double>(exact_v);
-    if (diff != 0.0) ++errors;
+    // diff is an exact integer difference widened to double.
+    if (diff != 0.0) ++errors;  // ace-lint: allow(float-equality)
     const double mag = std::abs(diff);
     sum_abs += mag;
     sum_sq += diff * diff;

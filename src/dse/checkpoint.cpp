@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "dse/scheduler.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ace::dse {
 
@@ -14,6 +16,13 @@ namespace {
 
 constexpr const char* kMagic = "ACE-CHECKPOINT";
 constexpr int kVersion = 1;
+
+/// Serializes the write-tmp-then-rename sequence of save_checkpoint():
+/// two concurrent writers to the same path would otherwise interleave on
+/// the shared ".tmp" staging file and rename a half-written payload into
+/// place — exactly the torn checkpoint the atomic rename is meant to
+/// prevent.
+util::Mutex g_checkpoint_io_mutex;
 
 // --- writing ---------------------------------------------------------------
 
@@ -319,6 +328,7 @@ void write_policy_checkpoint(KrigingPolicy& policy, Checkpoint& ck,
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
   const std::string payload = serialize(checkpoint);
   const std::string tmp = path + ".tmp";
+  const util::LockGuard io_lock(g_checkpoint_io_mutex);
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);

@@ -19,6 +19,7 @@ const char* to_string(FaultCode code) {
     case FaultCode::kSimulatorThrow: return "simulator-throw";
     case FaultCode::kTimeout: return "timeout";
     case FaultCode::kKrigingUnsolvable: return "kriging-unsolvable";
+    case FaultCode::kContractViolation: return "contract-violation";
   }
   return "unknown";
 }

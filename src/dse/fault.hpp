@@ -25,6 +25,9 @@ enum class FaultCode : unsigned char {
   kTimeout,            ///< Simulation exceeded the per-call deadline.
   kKrigingUnsolvable,  ///< Quarantined configuration whose interpolation
                        ///< fallback could not be solved either.
+  kContractViolation,  ///< Simulator tripped a numerical contract
+                       ///< (util::ContractViolation) — deterministic,
+                       ///< never retried.
 };
 
 const char* to_string(EvalSource source);

@@ -3,10 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ace::dse {
 
@@ -34,8 +36,9 @@ struct FaultInjectingSimulator::State {
 
   // Per-configuration faulted-call counts for the transient-recovery
   // model. Guarded: pool workers call concurrently.
-  std::mutex mutex;
-  std::unordered_map<Config, std::size_t, ConfigHash> fault_calls;
+  util::Mutex mutex;
+  std::unordered_map<Config, std::size_t, ConfigHash> fault_calls
+      ACE_GUARDED_BY(mutex);
 };
 
 FaultInjectingSimulator::FaultInjectingSimulator(SimulatorFn inner,
@@ -73,7 +76,7 @@ double FaultInjectingSimulator::operator()(const Config& config) const {
     if (!persistent) {
       std::size_t faulted_so_far;
       {
-        const std::lock_guard<std::mutex> lock(s.mutex);
+        const util::LockGuard lock(s.mutex);
         faulted_so_far = s.fault_calls[config]++;
       }
       // Transient fault already exhausted: the configuration recovered.

@@ -1,6 +1,7 @@
 #include "dse/kriging_policy.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <unordered_map>
@@ -8,6 +9,7 @@
 #include "linalg/matrix.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/vector.hpp"
+#include "util/contract.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ace::dse {
@@ -21,6 +23,8 @@ FaultCode fault_code_of(util::CallFault fault) {
     case util::CallFault::kThrew: return FaultCode::kSimulatorThrow;
     case util::CallFault::kNonFinite: return FaultCode::kNonFinite;
     case util::CallFault::kOverDeadline: return FaultCode::kTimeout;
+    case util::CallFault::kContractViolation:
+      return FaultCode::kContractViolation;
     case util::CallFault::kNone: break;
   }
   return FaultCode::kNone;
@@ -70,6 +74,11 @@ double KrigingPolicy::trend_value(const std::vector<double>& x) const {
 }
 
 bool KrigingPolicy::refit_model() {
+  const util::LockGuard lock(mutex_);
+  return refit_model_locked();
+}
+
+bool KrigingPolicy::refit_model_locked() {
   // Record the attempt for checkpoint replay: re-running the same attempts
   // at the same store sizes against the rebuilt store reproduces the model,
   // trend and refit clocks exactly (store values are immutable once added
@@ -149,7 +158,7 @@ std::optional<double> KrigingPolicy::try_interpolate(
     const bool attempt_allowed =
         !fit_attempted_ ||
         store_.size() >= sims_at_last_attempt_ + options_.refit_period;
-    if (attempt_allowed) (void)refit_model();
+    if (attempt_allowed) (void)refit_model_locked();
     if (!model_) return std::nullopt;
   }
 
@@ -195,7 +204,10 @@ std::optional<double> KrigingPolicy::try_interpolate(
   }
 
   outcome.regularized = result->regularized;
-  return result->estimate + trend_value(query);
+  const double estimate = result->estimate + trend_value(query);
+  ACE_ENSURE(std::isfinite(estimate),
+             "kriging interpolation must yield a finite estimate");
+  return estimate;
 }
 
 util::GuardedCall KrigingPolicy::run_simulation(
@@ -229,6 +241,7 @@ void KrigingPolicy::fold_simulation(const Config& config,
 
 EvalOutcome KrigingPolicy::evaluate(const Config& config,
                                     const SimulatorFn& simulate) {
+  const util::LockGuard lock(mutex_);
   EvalOutcome outcome;
   ++stats_.total;
 
@@ -279,6 +292,7 @@ EvalOutcome KrigingPolicy::evaluate(const Config& config,
 }
 
 PolicySnapshot KrigingPolicy::snapshot() const {
+  const util::LockGuard lock(mutex_);
   PolicySnapshot snap;
   snap.configs = store_.configs();
   snap.values = store_.values();
@@ -289,6 +303,7 @@ PolicySnapshot KrigingPolicy::snapshot() const {
 }
 
 void KrigingPolicy::restore(const PolicySnapshot& snapshot) {
+  const util::LockGuard lock(mutex_);
   if (!store_.empty() || store_.quarantine_count() != 0 || fit_attempted_ ||
       stats_.total != 0)
     throw std::logic_error(
@@ -307,7 +322,7 @@ void KrigingPolicy::restore(const PolicySnapshot& snapshot) {
     while (next_event < snapshot.fit_events.size() &&
            snapshot.fit_events[next_event] == store_.size()) {
       ++next_event;
-      (void)refit_model();
+      (void)refit_model_locked();
     }
   };
   replay_fits();
@@ -329,6 +344,11 @@ void KrigingPolicy::restore(const PolicySnapshot& snapshot) {
 std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
     const std::vector<Config>& batch, const SimulatorFn& simulate,
     util::ThreadPool* pool) {
+  // Held across all three phases, including the pooled simulations of
+  // phase 2: the workers only call run_simulation (no guarded state), so
+  // holding the policy lock is deadlock-free and keeps the partition,
+  // simulate and fold steps one atomic policy transition.
+  const util::LockGuard lock(mutex_);
   const std::size_t n = batch.size();
   std::vector<EvalOutcome> outcomes(n);
   if (n == 0) return outcomes;

@@ -32,8 +32,10 @@
 #include "kriging/fit.hpp"
 #include "kriging/universal_kriging.hpp"
 #include "kriging/variogram_model.hpp"
+#include "util/mutex.hpp"
 #include "util/retry.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ace::util {
 class ThreadPool;
@@ -152,6 +154,14 @@ struct PolicySnapshot {
 
 /// The policy object: owns the simulated-configuration store and the
 /// fitted variogram model.
+///
+/// Thread-safety: the fitted model, trend, refit clocks and statistics are
+/// guarded by an annotated policy mutex; every public entry point takes it,
+/// so concurrent callers are serialized and the lock discipline is proven
+/// by the Clang capability analysis. During evaluate_batch the mutex stays
+/// held across the pooled phase-2 simulations — worker threads only invoke
+/// the simulator (which therefore must not call back into this policy) and
+/// write index-addressed slots, never policy state.
 class KrigingPolicy {
  public:
   explicit KrigingPolicy(PolicyOptions options = {});
@@ -159,7 +169,8 @@ class KrigingPolicy {
   /// Evaluate one configuration: answer from the store on an exact match,
   /// interpolate if the neighbourhood is rich enough, otherwise call
   /// `simulate` and record the result in the store.
-  EvalOutcome evaluate(const Config& config, const SimulatorFn& simulate);
+  EvalOutcome evaluate(const Config& config, const SimulatorFn& simulate)
+      ACE_EXCLUDES(mutex_);
 
   /// Evaluate a whole candidate set. The set is partitioned into
   /// store-hit / interpolate / simulate up front, against the store as it
@@ -171,29 +182,40 @@ class KrigingPolicy {
   /// within the batch simulate once and alias the first occurrence.
   std::vector<EvalOutcome> evaluate_batch(const std::vector<Config>& batch,
                                           const SimulatorFn& simulate,
-                                          util::ThreadPool* pool = nullptr);
+                                          util::ThreadPool* pool = nullptr)
+      ACE_EXCLUDES(mutex_);
 
+  /// The store is internally synchronized; no policy lock involved.
   const SimulationStore& store() const { return store_; }
-  const PolicyStats& stats() const { return stats_; }
+  const PolicyStats& stats() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return stats_;
+  }
   const PolicyOptions& options() const { return options_; }
 
   /// Currently fitted variogram (nullptr before first fit).
-  const kriging::VariogramModel* model() const { return model_.get(); }
+  const kriging::VariogramModel* model() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return model_.get();
+  }
 
   /// Fitted global trend coefficients [β0, β1, …, β_Nv] (empty before the
   /// first fit; size 1 when only a mean could be identified). Only
   /// populated when options().drift == kLinear.
-  const std::vector<double>& trend() const { return trend_; }
+  const std::vector<double>& trend() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return trend_;
+  }
 
   /// Force a (re)fit from the current store; returns false when the store
   /// is still too small to produce a variogram. Every attempt — failed or
   /// not — resets the refit clock, so a failing fit is retried only after
   /// another `refit_period` of new simulations instead of on every
   /// evaluation.
-  bool refit_model();
+  bool refit_model() ACE_EXCLUDES(mutex_);
 
   /// Capture the policy's full mid-run state for checkpointing.
-  PolicySnapshot snapshot() const;
+  PolicySnapshot snapshot() const ACE_EXCLUDES(mutex_);
 
   /// Rebuild this policy from a snapshot. Must be called on a freshly
   /// constructed policy (same options as the snapshotting one); throws
@@ -201,24 +223,33 @@ class KrigingPolicy {
   /// order and re-runs the recorded fit attempts, so the fitted model,
   /// trend, variogram bins and refit clocks all match the snapshotted
   /// policy bit-for-bit.
-  void restore(const PolicySnapshot& snapshot);
+  void restore(const PolicySnapshot& snapshot) ACE_EXCLUDES(mutex_);
 
   /// Bump the checkpoints_written counter (called by the dse::checkpoint
   /// entry points just before serializing a snapshot, so the on-disk
   /// statistics count the checkpoint that carries them).
-  void record_checkpoint() { ++stats_.checkpoints_written; }
+  void record_checkpoint() ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    ++stats_.checkpoints_written;
+  }
 
  private:
+  /// Lock-held body of refit_model() (also the restore replay step).
+  bool refit_model_locked() ACE_REQUIRES(mutex_);
+
   std::optional<double> try_interpolate(const Config& config,
                                         const Neighborhood& neighborhood,
-                                        EvalOutcome& outcome);
+                                        EvalOutcome& outcome)
+      ACE_REQUIRES(mutex_);
 
+  /// Reads only immutable options and the internally-synchronized store.
   Neighborhood neighborhood_of(const Config& config) const;
 
   /// Global trend value at a configuration (0 when no trend is fitted).
-  double trend_value(const std::vector<double>& x) const;
+  double trend_value(const std::vector<double>& x) const ACE_REQUIRES(mutex_);
 
   /// Guarded simulator call: retry/backoff/deadline per options_.retry.
+  /// Touches no guarded state — safe from pool workers without the lock.
   util::GuardedCall run_simulation(const Config& config,
                                    const SimulatorFn& simulate) const;
 
@@ -226,24 +257,28 @@ class KrigingPolicy {
   /// shared terminal step of the scalar and batch paths). Quarantines on
   /// fault. `config` is the evaluated configuration.
   void fold_simulation(const Config& config, const util::GuardedCall& sim,
-                       EvalOutcome& outcome);
+                       EvalOutcome& outcome) ACE_REQUIRES(mutex_);
 
-  PolicyOptions options_;
-  SimulationStore store_;
-  PolicyStats stats_;
-  std::unique_ptr<kriging::VariogramModel> model_;
-  std::vector<double> trend_;   ///< Regression-kriging trend (may be empty).
+  PolicyOptions options_;  ///< Immutable after construction.
+  SimulationStore store_;  ///< Internally synchronized.
+  PolicyStats stats_ ACE_GUARDED_BY(mutex_);
+  std::unique_ptr<kriging::VariogramModel> model_ ACE_GUARDED_BY(mutex_);
+  /// Regression-kriging trend (may be empty).
+  std::vector<double> trend_ ACE_GUARDED_BY(mutex_);
   /// Incrementally extended empirical variogram (constant drift only; the
   /// linear-drift residual field changes with every trend refit, which
   /// forces a full rebuild there).
-  std::unique_ptr<kriging::EmpiricalVariogram> variogram_;
-  std::size_t sims_at_last_fit_ = 0;
-  std::size_t sims_at_last_attempt_ = 0;
-  bool fit_attempted_ = false;
-  double sill_estimate_ = 0.0;  ///< Sample variance of the kriged field.
+  std::unique_ptr<kriging::EmpiricalVariogram> variogram_
+      ACE_GUARDED_BY(mutex_);
+  std::size_t sims_at_last_fit_ ACE_GUARDED_BY(mutex_) = 0;
+  std::size_t sims_at_last_attempt_ ACE_GUARDED_BY(mutex_) = 0;
+  bool fit_attempted_ ACE_GUARDED_BY(mutex_) = false;
+  /// Sample variance of the kriged field.
+  double sill_estimate_ ACE_GUARDED_BY(mutex_) = 0.0;
   /// Store size at every refit_model() entry, in call order — the replay
   /// script that makes snapshot()/restore() bit-exact.
-  std::vector<std::size_t> fit_events_;
+  std::vector<std::size_t> fit_events_ ACE_GUARDED_BY(mutex_);
+  mutable util::Mutex mutex_;
 };
 
 }  // namespace ace::dse

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/contract.hpp"
 #include "util/errors.hpp"
 
 namespace ace::dse {
@@ -28,7 +29,7 @@ std::size_t SimulationStore::add(Config config, double value) {
   if (!std::isfinite(value))
     throw util::NonFiniteError(
         "SimulationStore::add: non-finite value for " + to_string(config));
-  const std::lock_guard<std::mutex> lock(write_mutex_);
+  const util::LockGuard lock(mutex_);
   check_dimensions(config, "add");
   if (const auto it = exact_.find(config); it != exact_.end()) {
     values_[it->second] = value;
@@ -40,17 +41,20 @@ std::size_t SimulationStore::add(Config config, double value) {
   values_.push_back(value);
   exact_.emplace(configs_.back(), index);
   sum_buckets_[sum].push_back(index);
+  ACE_INVARIANT(configs_.size() == values_.size(),
+                "configs/values must grow in lockstep");
   return index;
 }
 
 std::optional<std::size_t> SimulationStore::find(const Config& config) const {
+  const util::LockGuard lock(mutex_);
   const auto it = exact_.find(config);
   if (it == exact_.end()) return std::nullopt;
   return it->second;
 }
 
 bool SimulationStore::quarantine(Config config, FaultCode code) {
-  const std::lock_guard<std::mutex> lock(write_mutex_);
+  const util::LockGuard lock(mutex_);
   check_dimensions(config, "quarantine");
   if (quarantine_.contains(config)) return false;
   quarantine_.emplace(config, code);
@@ -60,6 +64,7 @@ bool SimulationStore::quarantine(Config config, FaultCode code) {
 
 std::optional<FaultCode> SimulationStore::quarantined(
     const Config& config) const {
+  const util::LockGuard lock(mutex_);
   const auto it = quarantine_.find(config);
   if (it == quarantine_.end()) return std::nullopt;
   return it->second;
@@ -68,6 +73,7 @@ std::optional<FaultCode> SimulationStore::quarantined(
 Neighborhood SimulationStore::neighbors_within(const Config& query,
                                                int radius) const {
   Neighborhood n;
+  const util::LockGuard lock(mutex_);
   if (configs_.empty()) return n;
   check_dimensions(query, "neighbors_within");
   const int qsum = coordinate_sum(query);
@@ -85,6 +91,7 @@ Neighborhood SimulationStore::neighbors_within(const Config& query,
 Neighborhood SimulationStore::neighbors_within_l2(const Config& query,
                                                   double radius) const {
   Neighborhood n;
+  const util::LockGuard lock(mutex_);
   if (configs_.empty()) return n;
   check_dimensions(query, "neighbors_within_l2");
   // ||a − q||₁ <= √Nv · ||a − q||₂, so an L2 ball of radius r only reaches
@@ -108,6 +115,7 @@ void SimulationStore::gather(const Neighborhood& n,
   values.clear();
   points.reserve(n.indices.size());
   values.reserve(n.indices.size());
+  const util::LockGuard lock(mutex_);
   for (std::size_t i : n.indices) {
     points.push_back(to_real(configs_.at(i)));
     values.push_back(values_.at(i));

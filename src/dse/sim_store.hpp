@@ -21,16 +21,19 @@
 // values are rejected at add() with a typed error — a single NaN support
 // point silently poisons every kriging estimate that draws on it.
 //
-// Thread-safety: add() and quarantine() are mutex-guarded, so a worker
-// pool may enrich the store concurrently. Read paths are lock-free and
-// must not race with writers — the batch evaluation engine guarantees
-// this by partitioning up front and folding simulation results in
-// serially (see KrigingPolicy::evaluate_batch).
+// Thread-safety: every member — writes *and* reads — takes the annotated
+// `mutex_`, so the Clang capability analysis (-Wthread-safety) proves the
+// lock discipline statically instead of relying on the batch engine's
+// phase-separation protocol being honoured by every future caller. The
+// reference-returning accessors (config(), configs(), values(),
+// quarantine_log()) hand out views into guarded containers; the batch
+// engine's serial fold phases are the only consumers, and growth never
+// invalidates an index the caller already holds (append-only vectors,
+// duplicate adds update in place).
 #pragma once
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -38,6 +41,8 @@
 
 #include "dse/config.hpp"
 #include "dse/fault.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ace::dse {
 
@@ -57,62 +62,93 @@ class SimulationStore {
   /// differs from previously stored entries and util::NonFiniteError if
   /// the value is NaN/Inf (a non-finite support point corrupts every
   /// estimate drawing on it).
-  std::size_t add(Config config, double value);
+  std::size_t add(Config config, double value) ACE_EXCLUDES(mutex_);
 
   /// Index of an exactly matching stored configuration, if any.
-  std::optional<std::size_t> find(const Config& config) const;
+  std::optional<std::size_t> find(const Config& config) const
+      ACE_EXCLUDES(mutex_);
 
-  std::size_t size() const { return configs_.size(); }
-  bool empty() const { return configs_.empty(); }
+  std::size_t size() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return configs_.size();
+  }
+  bool empty() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return configs_.empty();
+  }
 
-  const Config& config(std::size_t i) const { return configs_.at(i); }
-  double value(std::size_t i) const { return values_.at(i); }
+  const Config& config(std::size_t i) const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return configs_.at(i);
+  }
+  double value(std::size_t i) const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return values_.at(i);
+  }
 
-  const std::vector<Config>& configs() const { return configs_; }
-  const std::vector<double>& values() const { return values_; }
+  const std::vector<Config>& configs() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return configs_;
+  }
+  const std::vector<double>& values() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return values_;
+  }
 
   /// All stored entries with L1 distance <= radius from the query
   /// (Algorithms 1-2, lines 7-16), in ascending index order.
-  Neighborhood neighbors_within(const Config& query, int radius) const;
+  Neighborhood neighbors_within(const Config& query, int radius) const
+      ACE_EXCLUDES(mutex_);
 
   /// Same with Euclidean distance (extension ablation).
-  Neighborhood neighbors_within_l2(const Config& query, double radius) const;
+  Neighborhood neighbors_within_l2(const Config& query, double radius) const
+      ACE_EXCLUDES(mutex_);
 
   /// Kriging support set for a neighborhood: real-coordinate points and
   /// their metric values.
   void gather(const Neighborhood& n, std::vector<std::vector<double>>& points,
-              std::vector<double>& values) const;
+              std::vector<double>& values) const ACE_EXCLUDES(mutex_);
 
   /// Quarantine a configuration whose simulation exhausted its retry
   /// budget. Returns true when newly quarantined, false when the
   /// configuration was already on the list (the original fault code is
-  /// kept). Mutex-guarded like add().
-  bool quarantine(Config config, FaultCode code);
+  /// kept).
+  bool quarantine(Config config, FaultCode code) ACE_EXCLUDES(mutex_);
 
   /// The fault code a configuration was quarantined with, if any.
-  std::optional<FaultCode> quarantined(const Config& config) const;
+  std::optional<FaultCode> quarantined(const Config& config) const
+      ACE_EXCLUDES(mutex_);
 
-  std::size_t quarantine_count() const { return quarantine_log_.size(); }
+  std::size_t quarantine_count() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return quarantine_log_.size();
+  }
 
   /// Quarantined configurations in quarantine order (deterministic, unlike
   /// hash-map iteration — checkpoint files depend on this).
-  const std::vector<std::pair<Config, FaultCode>>& quarantine_log() const {
+  const std::vector<std::pair<Config, FaultCode>>& quarantine_log() const
+      ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
     return quarantine_log_;
   }
 
  private:
-  void check_dimensions(const Config& c, const char* what) const;
+  void check_dimensions(const Config& c, const char* what) const
+      ACE_REQUIRES(mutex_);
 
-  std::vector<Config> configs_;
-  std::vector<double> values_;
+  std::vector<Config> configs_ ACE_GUARDED_BY(mutex_);
+  std::vector<double> values_ ACE_GUARDED_BY(mutex_);
   /// Exact-match index: configuration -> position in configs_.
-  std::unordered_map<Config, std::size_t, ConfigHash> exact_;
+  std::unordered_map<Config, std::size_t, ConfigHash> exact_
+      ACE_GUARDED_BY(mutex_);
   /// Radius-query index: coordinate sum -> positions with that sum.
-  std::map<int, std::vector<std::size_t>> sum_buckets_;
+  std::map<int, std::vector<std::size_t>> sum_buckets_ ACE_GUARDED_BY(mutex_);
   /// Faulted configurations: lookup map + insertion-ordered log.
-  std::unordered_map<Config, FaultCode, ConfigHash> quarantine_;
-  std::vector<std::pair<Config, FaultCode>> quarantine_log_;
-  std::mutex write_mutex_;
+  std::unordered_map<Config, FaultCode, ConfigHash> quarantine_
+      ACE_GUARDED_BY(mutex_);
+  std::vector<std::pair<Config, FaultCode>> quarantine_log_
+      ACE_GUARDED_BY(mutex_);
+  mutable util::Mutex mutex_;
 };
 
 }  // namespace ace::dse

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contract.hpp"
 #include "util/errors.hpp"
 
 namespace ace::kriging {
@@ -64,6 +65,7 @@ void EmpiricalVariogram::extend(
             "EmpiricalVariogram::extend: non-finite coordinate");
   }
 
+  const util::LockGuard lock(mutex_);
   for (std::size_t s = 0; s < points.size(); ++s) {
     // Pair the new sample k against every sample already held — the same
     // (j < k) enumeration a full rebuild performs, just arriving in
@@ -96,10 +98,13 @@ void EmpiricalVariogram::rebuild_view() {
   bins_.clear();
   bins_.reserve(accum_.size());
   for (const auto& [bin, slot] : accum_) {
+    ACE_INVARIANT(slot.pairs > 0, "a materialized bin must hold >= 1 pair");
     VariogramBin out;
     out.distance = slot.sum_distance / static_cast<double>(slot.pairs);
     out.gamma = slot.sum_sq_diff / (2.0 * static_cast<double>(slot.pairs));
     out.pair_count = slot.pairs;
+    ACE_ENSURE(out.gamma >= 0.0 && std::isfinite(out.gamma),
+               "empirical semi-variance is a mean of squares");
     bins_.push_back(out);
   }
 }

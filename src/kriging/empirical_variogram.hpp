@@ -11,12 +11,20 @@
 // ones — so a periodically refitted model does not pay the O(N²) full
 // rebuild on every refit (cf. fast cross-validation for sequential
 // designs, Le Gratiet & Cannamela, arXiv:1210.6187).
+//
+// Thread-safety: all mutable state is guarded by an annotated mutex, so
+// the Clang capability analysis (-Wthread-safety) proves that extend() and
+// every accessor take the lock. A mutex member makes the class non-copyable
+// — no caller copied it anyway (it is held by unique_ptr or const&).
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <map>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ace::kriging {
 
@@ -60,19 +68,37 @@ class EmpiricalVariogram {
   /// or coordinate is NaN/Inf (checked up front — the bins are untouched
   /// on rejection).
   void extend(const std::vector<std::vector<double>>& points,
-              const std::vector<double>& values);
+              const std::vector<double>& values) ACE_EXCLUDES(mutex_);
 
   /// Number of samples folded in so far.
-  std::size_t sample_count() const { return points_.size(); }
+  std::size_t sample_count() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return points_.size();
+  }
 
-  const std::vector<VariogramBin>& bins() const { return bins_; }
-  std::size_t total_pairs() const { return total_pairs_; }
+  /// Bins in ascending distance order. The reference stays valid until the
+  /// next extend(); callers interleaving reads with concurrent extends
+  /// must copy instead.
+  const std::vector<VariogramBin>& bins() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return bins_;
+  }
+  std::size_t total_pairs() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return total_pairs_;
+  }
 
   /// Largest pairwise distance observed.
-  double max_distance() const { return max_distance_; }
+  double max_distance() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return max_distance_;
+  }
 
   /// Sample variance of the values — the natural sill estimate.
-  double value_variance() const { return value_variance_; }
+  double value_variance() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return value_variance_;
+  }
 
  private:
   struct BinAccum {
@@ -82,20 +108,21 @@ class EmpiricalVariogram {
   };
 
   /// Materialize bins_ from accum_ (cheap: the bin count is small).
-  void rebuild_view();
+  void rebuild_view() ACE_REQUIRES(mutex_);
 
-  DistanceFn distance_;
-  double bin_width_;
-  std::vector<std::vector<double>> points_;
-  std::vector<double> values_;
-  std::map<long long, BinAccum> accum_;
-  std::vector<VariogramBin> bins_;
-  std::size_t total_pairs_ = 0;
-  double max_distance_ = 0.0;
+  DistanceFn distance_;  ///< Immutable after construction.
+  double bin_width_;     ///< Immutable after construction.
+  std::vector<std::vector<double>> points_ ACE_GUARDED_BY(mutex_);
+  std::vector<double> values_ ACE_GUARDED_BY(mutex_);
+  std::map<long long, BinAccum> accum_ ACE_GUARDED_BY(mutex_);
+  std::vector<VariogramBin> bins_ ACE_GUARDED_BY(mutex_);
+  std::size_t total_pairs_ ACE_GUARDED_BY(mutex_) = 0;
+  double max_distance_ ACE_GUARDED_BY(mutex_) = 0.0;
   // Welford running variance of the sample values.
-  double value_mean_ = 0.0;
-  double value_m2_ = 0.0;
-  double value_variance_ = 0.0;
+  double value_mean_ ACE_GUARDED_BY(mutex_) = 0.0;
+  double value_m2_ ACE_GUARDED_BY(mutex_) = 0.0;
+  double value_variance_ ACE_GUARDED_BY(mutex_) = 0.0;
+  mutable util::Mutex mutex_;
 };
 
 }  // namespace ace::kriging

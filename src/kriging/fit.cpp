@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace ace::kriging {
 
 std::string family_name(ModelFamily family) {
@@ -84,6 +86,22 @@ FitResult make_result(std::unique_ptr<VariogramModel> model,
   r.model = std::move(model);
   r.family = family;
   r.weighted_sse = sse;
+  ACE_ENSURE(std::isfinite(r.weighted_sse) && r.weighted_sse >= 0.0,
+             "weighted SSE is a sum of weighted squares");
+#if ACE_CONTRACTS_ENABLED
+  // Monotonicity spot-check: every family we fit (non-negative nugget +
+  // non-negative scale on a non-decreasing basis) must yield a
+  // non-decreasing γ — a decreasing variogram would claim that far-apart
+  // samples agree better than close ones.
+  {
+    double prev = r.model->gamma(0.0);
+    for (const double d : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+      const double g = r.model->gamma(d);
+      ACE_ENSURE(g >= prev - 1e-12, "fitted variogram must be non-decreasing");
+      prev = g;
+    }
+  }
+#endif
   return r;
 }
 

@@ -6,6 +6,7 @@
 #include "linalg/matrix.hpp"
 #include "linalg/solve.hpp"
 #include "linalg/vector.hpp"
+#include "util/contract.hpp"
 
 namespace ace::kriging {
 
@@ -69,6 +70,24 @@ std::optional<KrigingResult> solve_system(
   if (!std::isfinite(estimate)) return std::nullopt;
   result.estimate = estimate;
   result.variance = std::max(variance, 0.0);
+#if ACE_CONTRACTS_ENABLED
+  // The Lagrange row Σ w_k = 1 is an *exact* equation of the solved
+  // system (the ridge fallback regularizes only the ΓΓ core, never the
+  // border), so the solved weights must honour it to solver precision —
+  // a violated sum means an unbiasedness failure, not noise.
+  {
+    double weight_sum = 0.0;
+    double abs_sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      weight_sum += result.weights[k];
+      abs_sum += std::abs(result.weights[k]);
+    }
+    ACE_ENSURE(std::abs(weight_sum - 1.0) <= 1e-8 * std::max(1.0, abs_sum),
+               "ordinary kriging weights must sum to 1 (unbiasedness)");
+  }
+#endif
+  ACE_ENSURE(std::isfinite(result.variance) && result.variance >= 0.0,
+             "kriging variance must be finite and non-negative");
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "linalg/matrix.hpp"
 #include "linalg/solve.hpp"
 #include "linalg/vector.hpp"
+#include "util/contract.hpp"
 
 namespace ace::kriging {
 
@@ -60,6 +61,10 @@ std::optional<KrigingResult> simple_krige(
   if (!std::isfinite(estimate)) return std::nullopt;
   result.estimate = estimate;
   result.variance = std::max(variance, 0.0);
+  // Simple kriging has no unbiasedness constraint (the mean is known), so
+  // only the variance contract applies.
+  ACE_ENSURE(std::isfinite(result.variance) && result.variance >= 0.0,
+             "kriging variance must be finite and non-negative");
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace ace::kriging {
 
 void VariogramModel::check_distance(double d) {
@@ -12,15 +14,16 @@ void VariogramModel::check_distance(double d) {
 }
 
 namespace {
+// Parameter validity is a numerical contract (Debug-checked, compiled out
+// in Release): a negative nugget/sill makes γ non-monotone and the kriging
+// system indefinite, which surfaces later as an unsolvable factorization.
 void check_nonneg(double v, const char* what) {
-  if (v < 0.0 || !std::isfinite(v))
-    throw std::invalid_argument(std::string("Variogram: ") + what +
-                                " must be finite and >= 0");
+  ACE_REQUIRE(std::isfinite(v) && v >= 0.0,
+              std::string("Variogram: ") + what + " must be finite and >= 0");
 }
 void check_pos(double v, const char* what) {
-  if (v <= 0.0 || !std::isfinite(v))
-    throw std::invalid_argument(std::string("Variogram: ") + what +
-                                " must be finite and > 0");
+  ACE_REQUIRE(std::isfinite(v) && v > 0.0,
+              std::string("Variogram: ") + what + " must be finite and > 0");
 }
 }  // namespace
 
@@ -33,7 +36,8 @@ LinearVariogram::LinearVariogram(double nugget, double slope)
 
 double LinearVariogram::gamma(double d) const {
   check_distance(d);
-  return d == 0.0 ? 0.0 : nugget_ + slope_ * d;
+  // γ(0) = 0 by definition; the nugget applies only to d > 0.
+  return d == 0.0 ? 0.0 : nugget_ + slope_ * d;  // ace-lint: allow(float-equality)
 }
 
 std::string LinearVariogram::describe() const {
@@ -57,7 +61,7 @@ SphericalVariogram::SphericalVariogram(double nugget, double sill,
 
 double SphericalVariogram::gamma(double d) const {
   check_distance(d);
-  if (d == 0.0) return 0.0;
+  if (d == 0.0) return 0.0;  // ace-lint: allow(float-equality)
   const double h = d / range_;
   if (h >= 1.0) return nugget_ + sill_;
   return nugget_ + sill_ * (1.5 * h - 0.5 * h * h * h);
@@ -85,7 +89,7 @@ ExponentialVariogram::ExponentialVariogram(double nugget, double sill,
 
 double ExponentialVariogram::gamma(double d) const {
   check_distance(d);
-  if (d == 0.0) return 0.0;
+  if (d == 0.0) return 0.0;  // ace-lint: allow(float-equality)
   return nugget_ + sill_ * (1.0 - std::exp(-3.0 * d / range_));
 }
 
@@ -110,7 +114,7 @@ GaussianVariogram::GaussianVariogram(double nugget, double sill, double range)
 
 double GaussianVariogram::gamma(double d) const {
   check_distance(d);
-  if (d == 0.0) return 0.0;
+  if (d == 0.0) return 0.0;  // ace-lint: allow(float-equality)
   const double h = d / range_;
   return nugget_ + sill_ * (1.0 - std::exp(-3.0 * h * h));
 }
@@ -131,13 +135,14 @@ PowerVariogram::PowerVariogram(double nugget, double scale, double exponent)
     : nugget_(nugget), scale_(scale), exponent_(exponent) {
   check_nonneg(nugget, "nugget");
   check_nonneg(scale, "scale");
-  if (exponent <= 0.0 || exponent >= 2.0)
-    throw std::invalid_argument("PowerVariogram: exponent must be in (0, 2)");
+  ACE_REQUIRE(exponent > 0.0 && exponent < 2.0,
+              "PowerVariogram: exponent must be in (0, 2) for a valid "
+              "(conditionally negative definite) variogram");
 }
 
 double PowerVariogram::gamma(double d) const {
   check_distance(d);
-  if (d == 0.0) return 0.0;
+  if (d == 0.0) return 0.0;  // ace-lint: allow(float-equality)
   return nugget_ + scale_ * std::pow(d, exponent_);
 }
 

@@ -1,7 +1,10 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/contract.hpp"
 
 namespace ace::linalg {
 
@@ -10,6 +13,17 @@ CholeskyDecomposition::CholeskyDecomposition(const Matrix& a)
   if (!a.square())
     throw std::invalid_argument("CholeskyDecomposition: matrix must be square");
   const std::size_t n = a.rows();
+#if ACE_CONTRACTS_ENABLED
+  // Cholesky only exists for symmetric matrices; an asymmetric input would
+  // silently factor its lower triangle as if it were the whole story.
+  {
+    const double tol = 1e-9 * std::max(a.max_abs(), 1.0);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < r; ++c)
+        ACE_REQUIRE(std::abs(a(r, c) - a(c, r)) <= tol,
+                    "Cholesky input must be symmetric");
+  }
+#endif
   for (std::size_t r = 0; r < n; ++r) {
     for (std::size_t c = 0; c <= r; ++c) {
       double acc = a(r, c);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/contract.hpp"
+
 namespace ace::linalg {
 
 LuDecomposition::LuDecomposition(Matrix a, double pivot_tolerance)
@@ -40,7 +42,7 @@ LuDecomposition::LuDecomposition(Matrix a, double pivot_tolerance)
     for (std::size_t r = k + 1; r < n; ++r) {
       const double factor = lu_(r, k) / pivot;
       lu_(r, k) = factor;
-      if (factor == 0.0) continue;
+      if (factor == 0.0) continue;  // ace-lint: allow(float-equality)
       for (std::size_t c = k + 1; c < n; ++c)
         lu_(r, c) -= factor * lu_(k, c);
     }
@@ -64,6 +66,10 @@ Vector LuDecomposition::solve(const Vector& b) const {
   // Back substitution through U.
   Vector x(n);
   for (std::size_t ri = n; ri-- > 0;) {
+    // The factorization bailed to singular_ on any degenerate pivot, so a
+    // zero divisor here means the object's invariant was corrupted.
+    ACE_INVARIANT(lu_(ri, ri) != 0.0,  // ace-lint: allow(float-equality)
+                  "non-singular LU must have non-zero pivots");
     double acc = y[ri];
     for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
     x[ri] = acc / lu_(ri, ri);
@@ -102,7 +108,8 @@ double LuDecomposition::rcond_estimate() const {
     lo = std::min(lo, p);
     hi = std::max(hi, p);
   }
-  return hi == 0.0 ? 0.0 : lo / hi;
+  // Exact-zero test: hi is a max of absolute values, so == 0 is precise.
+  return hi == 0.0 ? 0.0 : lo / hi;  // ace-lint: allow(float-equality)
 }
 
 }  // namespace ace::linalg

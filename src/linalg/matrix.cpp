@@ -78,7 +78,8 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   for (std::size_t r = 0; r < rows_; ++r)
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = data_[r * cols_ + k];
-      if (a == 0.0) continue;
+      // Sparsity short-circuit: only an exact zero is skippable.
+      if (a == 0.0) continue;  // ace-lint: allow(float-equality)
       for (std::size_t c = 0; c < rhs.cols_; ++c)
         out(r, c) += a * rhs(k, c);
     }

@@ -19,7 +19,8 @@ double epsilon_bits(double p_hat, double p_true) {
 }
 
 double epsilon_relative(double lambda_hat, double lambda_true) {
-  if (lambda_true == 0.0)
+  // Guard against exact division by zero, not near-zero references.
+  if (lambda_true == 0.0)  // ace-lint: allow(float-equality)
     throw std::invalid_argument("epsilon_relative: reference value is zero");
   return std::abs(lambda_hat - lambda_true) / std::abs(lambda_true);
 }

@@ -91,7 +91,8 @@ std::vector<double> SqueezeNetLike::forward_injected(
 
   return run(input, [&](std::size_t site, Tensor& t) {
     const double sd = plan.stddev[site];
-    if (sd == 0.0) return;
+    // A site configured with exactly zero stddev injects nothing.
+    if (sd == 0.0) return;  // ace-lint: allow(float-equality)
     const auto& n = noise.per_site[site];
     if (n.size() != t.size())
       throw std::invalid_argument("forward_injected: noise size mismatch");

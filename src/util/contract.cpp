@@ -1,0 +1,51 @@
+#include "util/contract.hpp"
+
+namespace ace::util {
+
+namespace {
+
+std::string build_message(ContractViolation::Kind kind, const char* condition,
+                          const char* file, int line,
+                          const std::string& detail) {
+  std::string msg = "contract violation [";
+  msg += to_string(kind);
+  msg += "] at ";
+  msg += file;
+  msg += ':';
+  msg += std::to_string(line);
+  msg += ": ";
+  msg += condition;
+  if (!detail.empty()) {
+    msg += " — ";
+    msg += detail;
+  }
+  return msg;
+}
+
+}  // namespace
+
+const char* to_string(ContractViolation::Kind kind) {
+  switch (kind) {
+    case ContractViolation::Kind::kRequire: return "require";
+    case ContractViolation::Kind::kEnsure: return "ensure";
+    case ContractViolation::Kind::kInvariant: return "invariant";
+  }
+  return "unknown";
+}
+
+ContractViolation::ContractViolation(Kind kind, const char* condition,
+                                     const char* file, int line,
+                                     const std::string& detail)
+    : std::invalid_argument(build_message(kind, condition, file, line, detail)),
+      kind_(kind),
+      condition_(condition),
+      file_(file),
+      line_(line) {}
+
+void raise_contract_violation(ContractViolation::Kind kind,
+                              const char* condition, const char* file,
+                              int line, const std::string& detail) {
+  throw ContractViolation(kind, condition, file, line, detail);
+}
+
+}  // namespace ace::util

@@ -6,6 +6,8 @@
 #include <exception>
 #include <thread>
 
+#include "util/contract.hpp"
+
 namespace ace::util {
 
 namespace {
@@ -31,6 +33,7 @@ const char* to_string(CallFault fault) {
     case CallFault::kThrew: return "threw";
     case CallFault::kNonFinite: return "non-finite";
     case CallFault::kOverDeadline: return "over-deadline";
+    case CallFault::kContractViolation: return "contract-violation";
   }
   return "unknown";
 }
@@ -77,6 +80,13 @@ GuardedCall call_with_retry(const RetryOptions& options, std::uint64_t task_key,
         result.message.clear();
         return result;
       }
+    } catch (const ContractViolation& e) {
+      // A tripped contract is deterministic — the same inputs will trip it
+      // again — so retrying only burns the budget. Classify and stop.
+      result.fault = CallFault::kContractViolation;
+      result.message = e.what();
+      ++result.faulted_attempts;
+      return result;
     } catch (const std::exception& e) {
       result.fault = CallFault::kThrew;
       result.message = e.what();

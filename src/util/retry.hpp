@@ -32,6 +32,9 @@ enum class CallFault : unsigned char {
   kThrew,          ///< The callable threw on the final attempt.
   kNonFinite,      ///< The callable returned NaN/Inf on the final attempt.
   kOverDeadline,   ///< The final attempt exceeded deadline_ms.
+  kContractViolation,  ///< The callable tripped a numerical contract
+                       ///< (util::ContractViolation) — deterministic, so
+                       ///< the attempt is never retried.
 };
 
 const char* to_string(CallFault fault);

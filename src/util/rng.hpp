@@ -52,7 +52,8 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  // Seeded by every constructor path; never default-initialized.
+  std::mt19937_64 engine_;  // ace-lint: allow(unseeded-rng)
 };
 
 }  // namespace ace::util

@@ -105,7 +105,9 @@ double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
     sxx += dx * dx;
     syy += dy * dy;
   }
-  if (sxx == 0.0 || syy == 0.0)
+  // Exact-zero variance test: sxx/syy are sums of squares, so == 0
+  // means every deviation was exactly zero.
+  if (sxx == 0.0 || syy == 0.0)  // ace-lint: allow(float-equality)
     throw std::invalid_argument("pearson: zero variance");
   return sxy / std::sqrt(sxx * syy);
 }

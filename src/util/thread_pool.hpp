@@ -10,6 +10,12 @@
 // One batch is active at a time (run_indexed() serializes callers); the
 // calling thread participates in draining the batch, so a pool of W
 // workers executes with W+1 threads and never deadlocks on itself.
+//
+// Lock discipline is annotated for the Clang capability analysis
+// (util/thread_annotations.hpp): `batch_` and `stopping_` are guarded by
+// `mutex_`, and the condition-variable waits are written as explicit
+// predicate loops so every guarded read happens where the analysis can see
+// the lock held.
 #pragma once
 
 #include <algorithm>
@@ -17,9 +23,11 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ace::util {
 
@@ -41,7 +49,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       stopping_ = true;
     }
     wake_.notify_all();
@@ -59,34 +67,40 @@ class ThreadPool {
   /// surviving tasks are retained. All captured errors are returned, sorted
   /// by task index; the pool stays usable afterwards.
   std::vector<TaskError> run_indexed_collect(
-      std::size_t count, const std::function<void(std::size_t)>& task) {
+      std::size_t count, const std::function<void(std::size_t)>& task)
+      ACE_EXCLUDES(run_mutex_, mutex_) {
     if (count == 0) return {};
-    const std::lock_guard<std::mutex> serialize(run_mutex_);
+    const LockGuard serialize(run_mutex_);
     Batch batch;
     batch.task = &task;
     batch.count = count;
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    batch_ = &batch;
-    wake_.notify_all();
-    // The caller helps drain its own batch.
-    while (batch.next < batch.count) {
-      const std::size_t i = batch.next++;
-      lock.unlock();
-      execute(batch, i);
-      lock.lock();
-      ++batch.done;
+    std::vector<TaskError> errors;
+    {
+      UniqueLock lock(mutex_);
+      batch_ = &batch;
+      wake_.notify_all();
+      // The caller helps drain its own batch.
+      while (batch.next < batch.count) {
+        const std::size_t i = batch.next++;
+        lock.unlock();
+        execute(batch, i);
+        lock.lock();
+        ++batch.done;
+      }
+      while (batch.done != batch.count) lock.wait(done_);
+      batch_ = nullptr;
+      // All tasks have completed and the pool is idle again; move the
+      // error list out while still holding the mutex that guarded it.
+      errors = std::move(batch.errors);
     }
-    done_.wait(lock, [&] { return batch.done == batch.count; });
-    batch_ = nullptr;
-    lock.unlock();
     // Scheduling determines arrival order; sort so callers see a
     // reproducible, index-ordered error list.
-    std::sort(batch.errors.begin(), batch.errors.end(),
+    std::sort(errors.begin(), errors.end(),
               [](const TaskError& a, const TaskError& b) {
                 return a.index < b.index;
               });
-    return std::move(batch.errors);
+    return errors;
   }
 
   /// Historical rethrow semantics, layered over the collecting primitive:
@@ -109,7 +123,7 @@ class ThreadPool {
   };
 
   /// Run one task outside the lock; record any failure.
-  void execute(Batch& batch, std::size_t i) {
+  void execute(Batch& batch, std::size_t i) ACE_EXCLUDES(mutex_) {
     std::exception_ptr error;
     try {
       (*batch.task)(i);
@@ -117,17 +131,16 @@ class ThreadPool {
       error = std::current_exception();
     }
     if (error) {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       batch.errors.push_back({i, error});
     }
   }
 
-  void worker_loop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+  void worker_loop() ACE_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
     for (;;) {
-      wake_.wait(lock, [this] {
-        return stopping_ || (batch_ && batch_->next < batch_->count);
-      });
+      while (!stopping_ && !(batch_ && batch_->next < batch_->count))
+        lock.wait(wake_);
       if (stopping_) return;
       Batch& batch = *batch_;
       const std::size_t i = batch.next++;
@@ -139,12 +152,12 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::mutex run_mutex_;  ///< One run_indexed() at a time.
-  std::mutex mutex_;
+  Mutex run_mutex_;  ///< One run_indexed() at a time.
+  Mutex mutex_;
   std::condition_variable wake_;  ///< Workers wait here for a batch.
   std::condition_variable done_;  ///< run_indexed() waits here for drain.
-  Batch* batch_ = nullptr;
-  bool stopping_ = false;
+  Batch* batch_ ACE_GUARDED_BY(mutex_) = nullptr;
+  bool stopping_ ACE_GUARDED_BY(mutex_) = false;
 };
 
 /// Run fn(i) for i in [0, n): inline in index order when `pool` is null

@@ -1,0 +1,32 @@
+// Compiled with -DACE_CONTRACTS=0 (see tests/CMakeLists.txt): the contract
+// macros must expand to nothing in this translation unit — false conditions
+// succeed silently and the condition expression is never even evaluated,
+// which is the zero-release-overhead guarantee.
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+static_assert(ACE_CONTRACTS_ENABLED == 0,
+              "this TU must be compiled with contracts forced off");
+
+namespace {
+
+TEST(ContractsForceOff, FalseConditionsSucceedSilently) {
+  EXPECT_NO_THROW(ACE_REQUIRE(false));
+  EXPECT_NO_THROW(ACE_ENSURE(false, "never seen"));
+  EXPECT_NO_THROW(ACE_INVARIANT(1 == 2));
+}
+
+TEST(ContractsForceOff, ConditionIsNotEvaluated) {
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return false;
+  };
+  ACE_REQUIRE(count());
+  ACE_ENSURE(count(), "detail");
+  ACE_INVARIANT(count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace

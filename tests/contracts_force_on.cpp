@@ -1,0 +1,55 @@
+// Compiled with -DACE_CONTRACTS=1 (see tests/CMakeLists.txt): the contract
+// macros are active in this translation unit regardless of build type, so
+// the firing behaviour is testable even from a Release build.
+#include "util/contract.hpp"
+
+#include <gtest/gtest.h>
+
+static_assert(ACE_CONTRACTS_ENABLED == 1,
+              "this TU must be compiled with contracts forced on");
+
+namespace {
+
+using ace::util::ContractViolation;
+
+TEST(ContractsForceOn, RequireFiresOnFalse) {
+  const int n = -1;
+  EXPECT_THROW(ACE_REQUIRE(n > 0), ContractViolation);
+  EXPECT_THROW(ACE_REQUIRE(n > 0, "n must be positive"), ContractViolation);
+}
+
+TEST(ContractsForceOn, AllKindsPassOnTrue) {
+  EXPECT_NO_THROW(ACE_REQUIRE(1 + 1 == 2));
+  EXPECT_NO_THROW(ACE_ENSURE(2 * 2 == 4, "arithmetic works"));
+  EXPECT_NO_THROW(ACE_INVARIANT(true));
+}
+
+TEST(ContractsForceOn, KindAndDetailAreReported) {
+  try {
+    ACE_ENSURE(false, "the detail string");
+    FAIL() << "ACE_ENSURE(false) did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractViolation::Kind::kEnsure);
+    EXPECT_STREQ(e.condition(), "false");
+    EXPECT_NE(std::string(e.what()).find("the detail string"),
+              std::string::npos);
+  }
+  try {
+    ACE_INVARIANT(false);
+    FAIL() << "ACE_INVARIANT(false) did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractViolation::Kind::kInvariant);
+  }
+}
+
+TEST(ContractsForceOn, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return true;
+  };
+  ACE_REQUIRE(count());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace

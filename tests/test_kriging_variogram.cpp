@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace {
 
 namespace k = ace::kriging;
@@ -15,8 +17,16 @@ TEST(LinearVariogram, ShapeAndValidation) {
   EXPECT_DOUBLE_EQ(v.gamma(1.0), 2.1);
   EXPECT_DOUBLE_EQ(v.gamma(3.0), 6.1);
   EXPECT_THROW((void)v.gamma(-1.0), std::invalid_argument);
+  // Parameter validity is a numerical contract: checked in Debug builds
+  // (ContractViolation derives from invalid_argument), compiled out in
+  // Release, where construction silently succeeds.
+#if ACE_CONTRACTS_ENABLED
   EXPECT_THROW(k::LinearVariogram(-0.1, 1.0), std::invalid_argument);
   EXPECT_THROW(k::LinearVariogram(0.0, -1.0), std::invalid_argument);
+#else
+  EXPECT_NO_THROW(k::LinearVariogram(-0.1, 1.0));
+  EXPECT_NO_THROW(k::LinearVariogram(0.0, -1.0));
+#endif
   EXPECT_EQ(v.name(), "linear");
 }
 
@@ -27,7 +37,11 @@ TEST(SphericalVariogram, ReachesSillAtRange) {
   EXPECT_DOUBLE_EQ(v.gamma(10.0), 4.0);  // Beyond range: flat.
   // Interior value: 1.5·h − 0.5·h³ at h = 0.5 → 0.6875·sill.
   EXPECT_NEAR(v.gamma(1.0), 4.0 * 0.6875, 1e-12);
+#if ACE_CONTRACTS_ENABLED
   EXPECT_THROW(k::SphericalVariogram(0.0, 1.0, 0.0), std::invalid_argument);
+#else
+  EXPECT_NO_THROW(k::SphericalVariogram(0.0, 1.0, 0.0));
+#endif
 }
 
 TEST(ExponentialVariogram, ApproachesSillAsymptotically) {
@@ -51,8 +65,13 @@ TEST(GaussianVariogram, SmoothNearOrigin) {
 TEST(PowerVariogram, ExponentBounds) {
   const k::PowerVariogram v(0.0, 1.5, 1.0);
   EXPECT_DOUBLE_EQ(v.gamma(2.0), 3.0);
+#if ACE_CONTRACTS_ENABLED
   EXPECT_THROW(k::PowerVariogram(0.0, 1.0, 0.0), std::invalid_argument);
   EXPECT_THROW(k::PowerVariogram(0.0, 1.0, 2.0), std::invalid_argument);
+#else
+  EXPECT_NO_THROW(k::PowerVariogram(0.0, 1.0, 0.0));
+  EXPECT_NO_THROW(k::PowerVariogram(0.0, 1.0, 2.0));
+#endif
   EXPECT_NO_THROW(k::PowerVariogram(0.0, 1.0, 1.99));
 }
 

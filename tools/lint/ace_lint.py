@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""Project lint gate: style-level static analysis for invariants the
+compiler cannot express.
+
+Rules
+-----
+raw-mutex         std::mutex / std::lock_guard / std::unique_lock (and
+                  friends) outside src/util/. All other code must use the
+                  annotated util::Mutex wrappers so the Clang capability
+                  analysis can prove the lock discipline.
+float-equality    == / != against a floating-point literal. Exact float
+                  comparison is almost always a tolerance bug; the rare
+                  legitimate exact-zero tests carry a suppression.
+unseeded-rng      std::random_device, rand()/srand(), or a
+                  default-constructed standard engine. Every stochastic
+                  component must be seeded explicitly for reproducibility.
+iostream-logging  std::cout / std::cerr / printf in library code. The
+                  library reports through return values and typed
+                  exceptions; executables own the terminal.
+wallclock-time    Wall-clock time sources (system_clock, time(), localtime,
+                  ...). Timestamps make checkpoint/replay nondeterministic;
+                  durations must use steady_clock.
+
+Suppression
+-----------
+Append `// ace-lint: allow(rule)` to the offending line, or put it on the
+line directly above. Several rules can be listed:
+`// ace-lint: allow(float-equality, raw-mutex)`.
+
+Self test
+---------
+`ace_lint.py --self-test` runs the linter over tools/lint/selftest/ and
+verifies that every planted violation (marked `// expect(rule)`) is found,
+nothing else is flagged, and suppressed plants stay silent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_PATHS = [REPO_ROOT / "src"]
+SELFTEST_DIR = Path(__file__).resolve().parent / "selftest"
+CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+FLOAT_LIT = r"-?(?:(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)f?"
+
+RULES = [
+    (
+        "raw-mutex",
+        re.compile(
+            r"std::(?:mutex|timed_mutex|recursive_mutex|shared_mutex"
+            r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+        ),
+        "raw standard mutex/lock type; use the annotated util::Mutex "
+        "wrappers (util/mutex.hpp) outside src/util/",
+    ),
+    (
+        "float-equality",
+        re.compile(
+            rf"(?:{FLOAT_LIT}\s*[!=]=)|(?:[!=]=\s*{FLOAT_LIT})"
+        ),
+        "exact floating-point comparison; use a tolerance, or suppress if "
+        "the exact test is intentional",
+    ),
+    (
+        "unseeded-rng",
+        re.compile(
+            r"std::random_device\b"
+            r"|\bsrand\s*\("
+            r"|(?<![\w:])rand\s*\(\s*\)"
+            r"|std::(?:mt19937(?:_64)?|default_random_engine"
+            r"|minstd_rand0?|ranlux\d+)\s+\w+\s*;"
+        ),
+        "nondeterministic or default-constructed RNG; seed explicitly "
+        "(util::Rng) so experiments reproduce from their seed",
+    ),
+    (
+        "iostream-logging",
+        re.compile(r"std::cout\b|std::cerr\b|\bprintf\s*\("),
+        "terminal output from library code; return data or throw typed "
+        "errors instead",
+    ),
+    (
+        "wallclock-time",
+        re.compile(
+            r"std::chrono::system_clock\b"
+            r"|\bgettimeofday\s*\("
+            r"|\blocaltime(?:_r)?\s*\("
+            r"|\bgmtime(?:_r)?\s*\("
+            r"|\bstrftime\s*\("
+            r"|std::time\s*\("
+            r"|(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+        ),
+        "wall-clock time source; checkpoints and replay must be "
+        "deterministic — use steady_clock for durations",
+    ),
+]
+
+ALLOW_RE = re.compile(r"ace-lint:\s*allow\(([^)]*)\)")
+EXPECT_RE = re.compile(r"expect\(([^)]*)\)")
+
+# src/util/ is the one place the raw lock types may appear: the annotated
+# wrappers are implemented there.
+RAW_MUTEX_EXEMPT = re.compile(r"(?:^|/)src/util/[^/]+$")
+
+
+def strip_code(line: str) -> str:
+    """Remove string/char literals and comment text so rule patterns only
+    see code. Keeps the line length roughly stable for readability."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            out.append('""' if quote == '"' else "''")
+        elif c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is a line comment
+        elif c == "/" and i + 1 < n and line[i + 1] == "*":
+            end = line.find("*/", i + 2)
+            if end == -1:
+                break  # multi-line comment; caller tracks continuation
+            i = end + 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: Path, line_no: int, rule: str, message: str):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        try:
+            shown = self.path.relative_to(REPO_ROOT)
+        except ValueError:
+            shown = self.path
+        return f"{shown}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def allowed_rules(line: str) -> set[str]:
+    m = ALLOW_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",") if r.strip()}
+
+
+def lint_file(path: Path) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        return [Finding(path, 0, "io-error", str(e))]
+
+    findings: list[Finding] = []
+    lines = text.splitlines()
+    in_block_comment = False
+    for idx, raw in enumerate(lines, start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end == -1:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        # A /* without */ on the (comment-stripped) line opens a block.
+        code = strip_code(line)
+        opener = line.rfind("/*")
+        if opener != -1 and line.find("*/", opener + 2) == -1 and \
+                "//" not in line[:opener]:
+            in_block_comment = True
+
+        allows = allowed_rules(raw)
+        if idx > 1:
+            allows |= allowed_rules(lines[idx - 2])
+
+        for rule, pattern, message in RULES:
+            if rule in allows:
+                continue
+            if rule == "raw-mutex" and RAW_MUTEX_EXEMPT.search(
+                    path.as_posix()):
+                continue
+            if pattern.search(code):
+                findings.append(Finding(path, idx, rule, message))
+    return findings
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_file():
+            files.append(p)
+        elif p.is_dir():
+            files.extend(
+                f for f in sorted(p.rglob("*"))
+                if f.is_file() and f.suffix in CXX_SUFFIXES
+            )
+        else:
+            print(f"ace-lint: no such path: {p}", file=sys.stderr)
+    return files
+
+
+def run_lint(paths: list[Path]) -> int:
+    findings: list[Finding] = []
+    files = collect_files(paths)
+    for f in files:
+        findings.extend(lint_file(f))
+    for finding in findings:
+        print(finding)
+    print(
+        f"ace-lint: {len(files)} files, {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+def run_self_test() -> int:
+    """The fixtures plant violations marked `// expect(rule)`; the linter
+    must flag exactly the planted set — every plant found (100% recall)
+    and nothing else (no false positives)."""
+    fixtures = collect_files([SELFTEST_DIR])
+    if not fixtures:
+        print(f"ace-lint: no fixtures under {SELFTEST_DIR}", file=sys.stderr)
+        return 1
+
+    expected: set[tuple[str, int, str]] = set()
+    for f in fixtures:
+        for idx, raw in enumerate(f.read_text().splitlines(), start=1):
+            m = EXPECT_RE.search(raw)
+            if m:
+                for rule in m.group(1).split(","):
+                    expected.add((f.name, idx, rule.strip()))
+
+    actual: set[tuple[str, int, str]] = set()
+    for f in fixtures:
+        for finding in lint_file(f):
+            actual.add((finding.path.name, finding.line_no, finding.rule))
+
+    missed = expected - actual
+    spurious = actual - expected
+    for name, line, rule in sorted(missed):
+        print(f"self-test MISS: {name}:{line} expected [{rule}]")
+    for name, line, rule in sorted(spurious):
+        print(f"self-test FALSE POSITIVE: {name}:{line} flagged [{rule}]")
+    detected = len(expected - missed)
+    print(
+        f"ace-lint self-test: {detected}/{len(expected)} planted violations "
+        f"detected, {len(spurious)} false positive(s)",
+        file=sys.stderr,
+    )
+    return 0 if not missed and not spurious else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: src/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter against the planted "
+                             "fixtures in tools/lint/selftest/")
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test()
+    return run_lint(args.paths or DEFAULT_PATHS)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

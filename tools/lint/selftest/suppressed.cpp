@@ -1,0 +1,33 @@
+// Suppressed plants: each would-be violation carries (or follows) an
+// `ace-lint: allow(rule)` directive, so the linter must report NOTHING in
+// this file — a finding here is a false positive against the suppression
+// mechanism. Never compiled; fixture only.
+#include <mutex>
+
+namespace fixture {
+
+// The wrapper-internals exemption is path-based (src/util/), so this file
+// exercises the comment-based suppression instead.
+std::mutex g_quiet_mutex;  // ace-lint: allow(raw-mutex)
+
+bool exact_zero(double x) {
+  // Exact-zero test is intentional here.
+  return x == 0.0;  // ace-lint: allow(float-equality)
+}
+
+bool previous_line_form(double y) {
+  // ace-lint: allow(float-equality)
+  return y != 0.5;
+}
+
+int multiple_rules_one_directive(double z) {
+  // ace-lint: allow(float-equality, iostream-logging)
+  if (z == 1.0) printf("both suppressed\n");
+  return 0;
+}
+
+// Mentions inside comments and strings must not trip rules at all:
+// std::cout << x; std::mt19937 gen; if (x == 0.0) {}
+const char* kDoc = "std::mutex and rand() and x == 0.0 inside a string";
+
+}  // namespace fixture

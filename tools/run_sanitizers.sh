@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Sanitized verification flow for the fault-tolerant evaluation subsystem.
 #
 # Builds the ASan+UBSan and TSan trees (CMakePresets: asan / tsan) and runs
@@ -7,7 +7,7 @@
 # pool, and the fault-injection counters.
 #
 # Usage: tools/run_sanitizers.sh [address|thread|all]   (default: all)
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 flavours="${1:-all}"

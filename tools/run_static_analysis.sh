@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Unified static-analysis gate — the single CI entry point.
+#
+# Always runs (no toolchain dependency beyond python3):
+#   1. ace_lint.py --self-test   — the linter must catch 100% of the planted
+#                                  violations with zero false positives;
+#   2. ace_lint.py over src/     — the project lint rules (raw mutexes,
+#                                  float equality, unseeded RNGs, iostream
+#                                  logging, wall-clock time).
+#
+# Runs when a Clang toolchain is installed (skipped with a note otherwise,
+# so the gate still passes on gcc-only machines):
+#   3. tidy-preset build         — compiles everything with clang++
+#                                  -Wthread-safety -Werror, proving the
+#                                  ACE_GUARDED_BY/ACE_REQUIRES lock
+#                                  discipline at compile time;
+#   4. clang-tidy                — .clang-tidy checks over src/.
+#
+# Exit status is non-zero iff any step that actually ran failed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+failures=0
+
+step() {
+  echo
+  echo "=== $* ==="
+}
+
+step "ace-lint self-test"
+if python3 tools/lint/ace_lint.py --self-test; then
+  echo "ok: self-test passed"
+else
+  echo "FAIL: lint self-test" >&2
+  failures=$((failures + 1))
+fi
+
+step "ace-lint over src/"
+if python3 tools/lint/ace_lint.py; then
+  echo "ok: lint clean"
+else
+  echo "FAIL: lint findings in src/" >&2
+  failures=$((failures + 1))
+fi
+
+if command -v clang++ >/dev/null 2>&1; then
+  step "thread-safety analysis (tidy preset: clang++ -Wthread-safety -Werror)"
+  if cmake --preset tidy && cmake --build --preset tidy -j "$(nproc)"; then
+    echo "ok: tidy build clean"
+  else
+    echo "FAIL: tidy-preset build" >&2
+    failures=$((failures + 1))
+  fi
+else
+  step "thread-safety analysis"
+  echo "skip: clang++ not installed — -Wthread-safety needs Clang." \
+       "The annotations still compile away under gcc."
+fi
+
+if command -v clang-tidy >/dev/null 2>&1 && [ -d build-tidy ]; then
+  step "clang-tidy over src/"
+  # The tidy preset exports compile_commands.json for this step.
+  mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+  if clang-tidy -p build-tidy --quiet "${tidy_sources[@]}"; then
+    echo "ok: clang-tidy clean"
+  else
+    echo "FAIL: clang-tidy" >&2
+    failures=$((failures + 1))
+  fi
+else
+  step "clang-tidy"
+  echo "skip: clang-tidy not installed (or no build-tidy tree)."
+fi
+
+echo
+if [ "$failures" -ne 0 ]; then
+  echo "static analysis: $failures step(s) FAILED" >&2
+  exit 1
+fi
+echo "static analysis: all executed steps passed"
