@@ -108,6 +108,14 @@ int main() {
             << ", >=2x on every size: " << (all_fast ? "yes" : "NO")
             << "\nthe pool overlaps simulation latency; the index-ordered"
             << "\nreduction keeps results bit-identical to the serial run\n";
+  std::cout << "\nconditioning (last parallel run): rcond mean="
+            << ace::util::fmt_sci(last_stats.rcond_per_solve.mean())
+            << " min=" << ace::util::fmt_sci(last_stats.rcond_per_solve.min())
+            << " ridge_fallbacks=" << last_stats.ridge_fallbacks
+            << " full_factorizations=" << last_stats.full_factorizations
+            << "\n(every interpolation reports its pivot-ratio condition"
+            << "\nestimate; a falling mean or a rising ridge count flags a"
+            << "\nconditioning regression before solves start failing)\n";
   std::cout << "\nfault counters (last parallel run): simulator_faults="
             << last_stats.simulator_faults << " retries=" << last_stats.retries
             << " timeouts=" << last_stats.timeouts

@@ -1,0 +1,123 @@
+// Factorization-cache bench (ISSUE 5): the min+1 FIR run is driven twice
+// through the KrigingPolicy — once on the direct path (factor cache off,
+// every interpolation factorizes a fresh all-in-base system) and once with
+// the policy-level FactorCache enabled, where overlapping neighbourhoods
+// reuse or incrementally extend cached factorizations.
+//
+// The cache must be invisible to the optimizer: the decision stream and
+// the final configurations have to be bit-identical on both paths.
+// Interpolated λ values themselves agree only to roundoff (~1e-13): an
+// incrementally maintained factorization orders its floating-point
+// operations differently from the direct all-in-base LU. That roundoff
+// never feeds back — interpolations are not stored — so decisions stay
+// bit-identical; the final reported λ is checked to 1e-9 relative. The
+// win is measured in full factorizations avoided — the gate requires a
+// >= 30% reduction on the FIR run (the IIR row is informational).
+#include <cmath>
+#include <cstddef>
+#include <iostream>
+#include <string>
+
+#include "core/benchmarks.hpp"
+#include "dse/kriging_policy.hpp"
+#include "dse/min_plus_one.hpp"
+#include "dse/scheduler.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr std::size_t kCacheCapacity = 8;
+
+struct RunResult {
+  ace::dse::MinPlusOneResult optimum;
+  ace::dse::PolicyStats stats;
+};
+
+RunResult run(const ace::core::ApplicationBenchmark& bench,
+              std::size_t cache_capacity) {
+  ace::dse::PolicyOptions opt;
+  opt.factor_cache_capacity = cache_capacity;
+  ace::dse::KrigingPolicy policy(opt);
+  const auto evaluate =
+      ace::dse::policy_batch_evaluator(policy, bench.simulate);
+  RunResult result;
+  result.optimum = ace::dse::min_plus_one(evaluate, bench.min_plus_one);
+  result.stats = policy.stats();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Factor cache vs direct solve (capacity "
+            << kCacheCapacity << ") ===\n";
+
+  // w_max = 20 matches the Table I FIR sizing (densest trajectory).
+  ace::core::SignalBenchOptions signal;
+  signal.w_max = 20;
+
+  ace::util::TablePrinter table({"bench", "interp", "direct fact",
+                                 "cached fact", "hits", "extends",
+                                 "reduction", "identical"});
+  bool all_identical = true;
+  double fir_reduction = 0.0;
+  bool first = true;
+  for (const auto& bench : {ace::core::make_fir_benchmark(signal),
+                            ace::core::make_iir_benchmark(signal)}) {
+    const RunResult direct = run(bench, 0);
+    const RunResult cached = run(bench, kCacheCapacity);
+
+    const double lambda_scale =
+        std::max(std::fabs(direct.optimum.final_lambda), 1.0);
+    const bool identical =
+        direct.optimum.decisions == cached.optimum.decisions &&
+        direct.optimum.w_min == cached.optimum.w_min &&
+        direct.optimum.w_res == cached.optimum.w_res &&
+        direct.optimum.constraint_met == cached.optimum.constraint_met &&
+        std::fabs(direct.optimum.final_lambda - cached.optimum.final_lambda) <=
+            1e-9 * lambda_scale;
+    all_identical = all_identical && identical;
+
+    const double base =
+        static_cast<double>(direct.stats.full_factorizations);
+    const double reduction =
+        base == 0.0 ? 0.0
+                    : 1.0 - static_cast<double>(
+                                cached.stats.full_factorizations) /
+                                base;
+    if (first) fir_reduction = reduction;
+    first = false;
+
+    table.add_row({bench.name,
+                   std::to_string(direct.stats.interpolated),
+                   std::to_string(direct.stats.full_factorizations),
+                   std::to_string(cached.stats.full_factorizations),
+                   std::to_string(cached.stats.factor_cache_hits),
+                   std::to_string(cached.stats.factor_extends),
+                   ace::util::fmt(100.0 * reduction, 1) + " %",
+                   identical ? "yes" : "NO"});
+    if (!identical)
+      std::cerr << "FAIL: cached decisions diverge from direct on "
+                << bench.name << "\n";
+
+    std::cout << bench.name << " conditioning (direct run): rcond mean = "
+              << ace::util::fmt_sci(direct.stats.rcond_per_solve.mean())
+              << ", min = "
+              << ace::util::fmt_sci(direct.stats.rcond_per_solve.min())
+              << ", ridge fallbacks = " << direct.stats.ridge_fallbacks
+              << " / " << direct.stats.interpolated << " interpolations\n";
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+
+  const bool enough = fir_reduction >= 0.30;
+  std::cout << "\nidentical decisions on both paths: "
+            << (all_identical ? "yes" : "NO")
+            << "\nFIR full-factorization reduction: "
+            << ace::util::fmt(100.0 * fir_reduction, 1)
+            << " % (gate: >= 30 %" << (enough ? ", met" : ", NOT MET")
+            << ")\nthe cache reuses and incrementally extends bordered"
+            << "\nfactorizations across overlapping neighbourhoods; the"
+            << "\ndirect path refactorizes every query from scratch\n";
+  return (all_identical && enough) ? 0 : 1;
+}

@@ -15,7 +15,11 @@ namespace ace::dse {
 namespace {
 
 constexpr const char* kMagic = "ACE-CHECKPOINT";
-constexpr int kVersion = 1;
+/// Version 2 added the conditioning / factorization counters to the stats
+/// record (ridge_fallbacks, full_factorizations, factor_cache_hits,
+/// factor_extends, rcond_per_solve). Version-1 files still load: the new
+/// fields default to zero.
+constexpr int kVersion = 2;
 
 /// Serializes the write-tmp-then-rename sequence of save_checkpoint():
 /// two concurrent writers to the same path would otherwise interleave on
@@ -63,6 +67,15 @@ void put_sized(std::string& out, const Config& c) {
   out += '\n';
 }
 
+void put_running_stats(std::string& out, const util::RunningStats& stats) {
+  const util::RunningStats::State rs = stats.state();
+  put(out, rs.n);
+  put(out, rs.mean);
+  put(out, rs.m2);
+  put(out, rs.min);
+  put(out, rs.max);
+}
+
 void put_stats(std::string& out, const PolicyStats& s) {
   out += "stats ";
   put(out, s.total);
@@ -78,12 +91,13 @@ void put_stats(std::string& out, const PolicyStats& s) {
   put(out, s.timeouts);
   put(out, s.quarantined);
   put(out, s.checkpoints_written);
-  const util::RunningStats::State rs = s.neighbors_per_interpolation.state();
-  put(out, rs.n);
-  put(out, rs.mean);
-  put(out, rs.m2);
-  put(out, rs.min);
-  put(out, rs.max);
+  put_running_stats(out, s.neighbors_per_interpolation);
+  // Version-2 tail: conditioning / factorization counters.
+  put(out, s.ridge_fallbacks);
+  put(out, s.full_factorizations);
+  put(out, s.factor_cache_hits);
+  put(out, s.factor_extends);
+  put_running_stats(out, s.rcond_per_solve);
   out += '\n';
 }
 
@@ -225,7 +239,17 @@ Config read_sized_config(Reader& r) {
   return read_config(r, n);
 }
 
-PolicyStats read_stats(Reader& r) {
+util::RunningStats read_running_stats(Reader& r) {
+  util::RunningStats::State rs;
+  rs.n = r.size();
+  rs.mean = r.real();
+  rs.m2 = r.real();
+  rs.min = r.real();
+  rs.max = r.real();
+  return util::RunningStats(rs);
+}
+
+PolicyStats read_stats(Reader& r, int version) {
   r.expect("stats");
   PolicyStats s;
   s.total = r.size();
@@ -241,13 +265,14 @@ PolicyStats read_stats(Reader& r) {
   s.timeouts = r.size();
   s.quarantined = r.size();
   s.checkpoints_written = r.size();
-  util::RunningStats::State rs;
-  rs.n = r.size();
-  rs.mean = r.real();
-  rs.m2 = r.real();
-  rs.min = r.real();
-  rs.max = r.real();
-  s.neighbors_per_interpolation = util::RunningStats(rs);
+  s.neighbors_per_interpolation = read_running_stats(r);
+  if (version >= 2) {
+    s.ridge_fallbacks = r.size();
+    s.full_factorizations = r.size();
+    s.factor_cache_hits = r.size();
+    s.factor_extends = r.size();
+    s.rcond_per_solve = read_running_stats(r);
+  }
   return s;
 }
 
@@ -255,7 +280,7 @@ Checkpoint parse(std::istream& in) {
   Reader r(in);
   r.expect(kMagic);
   const int version = r.integer();
-  if (version != kVersion)
+  if (version < 1 || version > kVersion)
     throw std::runtime_error("checkpoint: unsupported version " +
                              std::to_string(version));
   Checkpoint ck;
@@ -281,7 +306,7 @@ Checkpoint parse(std::istream& in) {
   }
   r.expect("fit_events");
   ck.policy.fit_events = read_sized(r);
-  ck.policy.stats = read_stats(r);
+  ck.policy.stats = read_stats(r, version);
 
   r.expect("cursor_min_plus");
   ck.min_plus.phase = r.integer();

@@ -1,0 +1,144 @@
+#include "dse/factor_cache.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ace::dse {
+
+namespace {
+
+/// Ascending copy (store neighbourhoods are already ascending; sorting
+/// defensively keeps the overlap algebra correct for any caller).
+std::vector<std::size_t> sorted_copy(const std::vector<std::size_t>& xs) {
+  std::vector<std::size_t> s = xs;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+}  // namespace
+
+FactorCache::Entry* FactorCache::best_overlap(
+    const std::vector<std::size_t>& sorted_query, std::size_t& cost_out) {
+  // Editing an entry into the query costs one downdate per index only in
+  // the entry and one append per index only in the query. Past roughly
+  // half the support size a fresh incremental build is no more expensive,
+  // so cap the edit distance there.
+  const std::size_t limit =
+      std::max<std::size_t>(2, sorted_query.size() / 2);
+  Entry* best = nullptr;
+  std::size_t best_cost = limit + 1;
+  for (Entry& e : entries_) {
+    std::vector<std::size_t> removals;
+    std::size_t additions = 0;
+    std::size_t i = 0, j = 0;
+    while (i < e.sorted.size() || j < sorted_query.size()) {
+      if (i == e.sorted.size()) {
+        ++additions;
+        ++j;
+      } else if (j == sorted_query.size() || e.sorted[i] < sorted_query[j]) {
+        removals.push_back(e.sorted[i]);
+        ++i;
+      } else if (e.sorted[i] > sorted_query[j]) {
+        ++additions;
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+    const std::size_t cost = removals.size() + additions;
+    if (cost >= best_cost) continue;
+    // Every index to drop must be a cheap downdate in that system (an
+    // appended Schur row, not part of the factored base block).
+    bool all_removable = true;
+    for (std::size_t victim : removals) {
+      const auto it = std::find(e.slots.begin(), e.slots.end(), victim);
+      const auto slot =
+          static_cast<std::size_t>(std::distance(e.slots.begin(), it));
+      if (it == e.slots.end() || !e.system->removable(slot)) {
+        all_removable = false;
+        break;
+      }
+    }
+    if (!all_removable) continue;
+    best = &e;
+    best_cost = cost;
+  }
+  cost_out = best_cost;
+  return best;
+}
+
+kriging::KrigingSystem* FactorCache::acquire(
+    const std::vector<std::size_t>& indices,
+    const std::vector<std::vector<double>>& points,
+    const std::vector<double>& values, const kriging::VariogramModel& model,
+    const kriging::DistanceFn& distance, FactorAcquire& outcome) {
+  ++clock_;
+  const std::vector<std::size_t> sorted_query = sorted_copy(indices);
+
+  // Exact index-set match: the whole factorization is reusable.
+  for (Entry& e : entries_)
+    if (e.sorted == sorted_query) {
+      e.last_used = clock_;
+      outcome = FactorAcquire::kHit;
+      return e.system.get();
+    }
+
+  // Overlap edit: downdate the indices the query lost, append the ones it
+  // gained, and the factorization follows by Schur pivots.
+  std::size_t cost = 0;
+  if (Entry* e = best_overlap(sorted_query, cost)) {
+    std::unordered_map<std::size_t, std::size_t> query_pos;
+    for (std::size_t p = 0; p < indices.size(); ++p)
+      query_pos.emplace(indices[p], p);
+    // Removals first, descending slot position so positions stay valid.
+    std::vector<std::size_t> drop_slots;
+    for (std::size_t s = 0; s < e->slots.size(); ++s)
+      if (!query_pos.count(e->slots[s])) drop_slots.push_back(s);
+    for (auto it = drop_slots.rbegin(); it != drop_slots.rend(); ++it) {
+      e->system->remove_point(*it);
+      e->slots.erase(e->slots.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    for (std::size_t p = 0; p < indices.size(); ++p) {
+      if (std::find(e->slots.begin(), e->slots.end(), indices[p]) !=
+          e->slots.end())
+        continue;
+      e->system->append_point(points[p], values[p]);
+      e->slots.push_back(indices[p]);
+    }
+    e->sorted = sorted_query;
+    e->last_used = clock_;
+    outcome = FactorAcquire::kExtend;
+    return e->system.get();
+  }
+
+  // Fresh build — incremental layout so later queries can edit it.
+  auto system = std::make_unique<kriging::KrigingSystem>(
+      kriging::SystemSpec{kriging::SystemKind::kOrdinary}, points, values,
+      model, distance, kriging::KrigingSystem::Layout::kIncremental);
+  outcome = FactorAcquire::kFresh;
+  if (capacity_ == 0) {
+    scratch_ = std::move(system);
+    return scratch_.get();
+  }
+  if (entries_.size() >= capacity_) {
+    const auto lru = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+    entries_.erase(lru);
+  }
+  Entry e;
+  e.slots = indices;
+  e.sorted = sorted_query;
+  e.system = std::move(system);
+  e.last_used = clock_;
+  entries_.push_back(std::move(e));
+  return entries_.back().system.get();
+}
+
+void FactorCache::clear() {
+  entries_.clear();
+  scratch_.reset();
+}
+
+}  // namespace ace::dse

@@ -1,0 +1,91 @@
+// Policy-level kriging-factorization cache.
+//
+// Consecutive queries of the min+1 / steepest-descent optimizers probe
+// sibling candidates whose L1 neighbourhoods in the SimulationStore
+// overlap almost completely — often they are *identical* (sibling +1-bit
+// candidates share the same nearby simulated configurations). The direct
+// path pays a full O(N³) factorization per query anyway. This cache keys
+// whole kriging::KrigingSystem objects by the support-point *index set*
+// (store indices are stable: the store is append-only and deduplicating),
+// so a repeated neighbourhood reuses the factorization outright and a
+// superset/subset neighbourhood extends or downdates it by Schur pivots
+// instead of rebuilding.
+//
+// Thread-safety: the cache has no mutex of its own — it is owned by
+// KrigingPolicy and every member is annotated ACE_REQUIRES on the policy
+// mutex via the owner (the cache is only reachable from
+// KrigingPolicy::try_interpolate, which already holds it). Lock ordering
+// is therefore inherited from the policy: policy mutex first, store mutex
+// (inside gather/value reads) second — the cache itself takes no locks.
+//
+// Invalidation: KrigingPolicy clears the cache after every successful
+// variogram refit — the model (and, under regression kriging, the trend
+// residuals) changed, so every cached factorization is stale. Store
+// values are immutable once added, so between refits cached systems stay
+// valid indefinitely.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "kriging/empirical_variogram.hpp"
+#include "kriging/system.hpp"
+#include "kriging/variogram_model.hpp"
+
+namespace ace::dse {
+
+/// How an acquire() call was satisfied — folded into PolicyStats.
+enum class FactorAcquire {
+  kHit,     ///< Exact index-set match: factorization reused outright.
+  kExtend,  ///< Overlapping set: appends/downdates, no full refactor.
+  kFresh,   ///< No usable entry: new system built (and cached).
+};
+
+/// LRU cache of KrigingSystem objects keyed by ascending store-index sets.
+class FactorCache {
+ public:
+  /// `capacity` = max cached systems (0 disables; acquire then always
+  /// builds fresh and caches nothing).
+  explicit FactorCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Find or build a system for the neighbourhood `indices` (ascending
+  /// store indices, as SimulationStore returns them). `points`/`values`
+  /// are the gathered support in the same order (values already
+  /// trend-reduced by the caller where applicable). The returned system is
+  /// owned by the cache (or by an internal scratch slot when capacity is
+  /// 0) and valid until the next acquire()/clear().
+  kriging::KrigingSystem* acquire(const std::vector<std::size_t>& indices,
+                                  const std::vector<std::vector<double>>& points,
+                                  const std::vector<double>& values,
+                                  const kriging::VariogramModel& model,
+                                  const kriging::DistanceFn& distance,
+                                  FactorAcquire& outcome);
+
+  /// Drop every entry (variogram/trend refit: all factorizations stale).
+  void clear();
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    /// Store indices in *system slot order* (append order), plus the same
+    /// set sorted ascending for overlap tests.
+    std::vector<std::size_t> slots;
+    std::vector<std::size_t> sorted;
+    std::unique_ptr<kriging::KrigingSystem> system;
+    std::size_t last_used = 0;
+  };
+
+  Entry* best_overlap(const std::vector<std::size_t>& sorted_query,
+                      std::size_t& cost_out);
+
+  std::size_t capacity_ = 0;
+  std::size_t clock_ = 0;  ///< LRU tick.
+  std::vector<Entry> entries_;
+  /// Capacity-0 scratch: keeps the just-built system alive for the caller.
+  std::unique_ptr<kriging::KrigingSystem> scratch_;
+};
+
+}  // namespace ace::dse

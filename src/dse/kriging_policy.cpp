@@ -59,7 +59,8 @@ std::vector<double> fit_linear_trend(
 }  // namespace
 
 KrigingPolicy::KrigingPolicy(PolicyOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      factor_cache_(options_.factor_cache_capacity) {
   if (options_.distance < 0)
     throw std::invalid_argument("KrigingPolicy: distance must be >= 0");
   if (options_.variance_gate < 0.0)
@@ -134,6 +135,9 @@ bool KrigingPolicy::refit_model_locked() {
   sill_estimate_ = variogram->value_variance();
   sims_at_last_fit_ = store_.size();
   ++stats_.refits;
+  // The model (and, under regression kriging, the trend residuals) just
+  // changed: every cached factorization interpolates the old field.
+  factor_cache_.clear();
   return true;
 }
 
@@ -176,9 +180,36 @@ std::optional<double> KrigingPolicy::try_interpolate(
 
   const auto distance = options_.use_l2_distance ? kriging::l2_distance
                                                  : kriging::l1_distance;
-  const auto result =
-      kriging::krige(points, values, query, *model_, distance);
+
+  // The solve itself runs on a kriging::KrigingSystem. Cache off (the
+  // default): a throwaway all-in-base system — bit-identical to the old
+  // kriging::krige() direct path. Cache on: look the support-index set up
+  // in the factor cache, reusing or extending an overlapping system's
+  // factorization instead of rebuilding it.
+  std::optional<kriging::KrigingResult> result;
+  if (options_.factor_cache_capacity > 0) {
+    FactorAcquire how = FactorAcquire::kFresh;
+    kriging::KrigingSystem* system = factor_cache_.acquire(
+        neighborhood.indices, points, values, *model_, distance, how);
+    if (how == FactorAcquire::kHit) ++stats_.factor_cache_hits;
+    if (how == FactorAcquire::kExtend) ++stats_.factor_extends;
+    const std::size_t before = system->stats().full_factorizations;
+    result = system->query(query);
+    stats_.full_factorizations +=
+        system->stats().full_factorizations - before;
+  } else {
+    kriging::KrigingSystem system(
+        kriging::SystemSpec{kriging::SystemKind::kOrdinary}, points, values,
+        *model_, distance);
+    result = system.query(query);
+    stats_.full_factorizations += system.stats().full_factorizations;
+  }
   if (!result) return std::nullopt;
+
+  // Conditioning observability: every solved system reports its pivot-
+  // ratio condition estimate and whether the ridge ladder was needed.
+  stats_.rcond_per_solve.add(result->rcond);
+  if (result->regularized) ++stats_.ridge_fallbacks;
 
   // Sanity guard: a (residual) estimate far outside the support values'
   // own interval signals an ill-conditioned system, not information.

@@ -15,8 +15,18 @@
 // instead of rebuilding all O(N²) pairs.
 //
 // Exact re-evaluations are memo hits: a configuration that is already in
-// the store is answered from it without a simulation (and without letting
-// a duplicate support point degenerate the kriging system).
+// the store is answered from it without a simulation (and without adding
+// a duplicate support point; kriging::KrigingSystem additionally dedupes
+// coincident support as a backstop for callers outside this policy).
+//
+// The interpolation hot path runs through kriging::KrigingSystem. With
+// `factor_cache_capacity` > 0 the policy keeps a FactorCache of whole
+// systems keyed by support-index sets, so overlapping neighbourhoods
+// reuse or extend factorizations instead of rebuilding (see
+// bench/solver_cache). The default keeps the cache off: the cache-off
+// path is bit-identical to the pre-cache direct solve, which the
+// checkpoint tests' stats-equality assertions rely on (a resumed run
+// starts with a cold cache, so warm-cache counters would diverge).
 #pragma once
 
 #include <cstddef>
@@ -26,6 +36,7 @@
 #include <vector>
 
 #include "dse/config.hpp"
+#include "dse/factor_cache.hpp"
 #include "dse/fault.hpp"
 #include "dse/sim_store.hpp"
 #include "kriging/empirical_variogram.hpp"
@@ -89,6 +100,16 @@ struct PolicyOptions {
   /// attempt, no deadline) adds no retries, but faults are still captured
   /// into typed outcomes and quarantined instead of propagating.
   util::RetryOptions retry;
+
+  /// Factorization cache (extension): when > 0, keep up to this many
+  /// kriging systems keyed by support-index set and reuse/extend their
+  /// factorizations across queries with overlapping neighbourhoods
+  /// (bench/solver_cache measures the win). 0 — the default — disables
+  /// the cache and solves each query on a fresh system, bit-identical to
+  /// the pre-cache behaviour; checkpoint resume relies on this default
+  /// (a resumed run's cold cache would otherwise skew the factor
+  /// counters against an uninterrupted run's).
+  std::size_t factor_cache_capacity = 0;
 };
 
 /// Outcome of evaluating one configuration through the policy. A faulted
@@ -127,7 +148,19 @@ struct PolicyStats {
   std::size_t timeouts = 0;             ///< Attempts over the deadline.
   std::size_t quarantined = 0;          ///< Configurations quarantined.
   std::size_t checkpoints_written = 0;  ///< By dse::checkpoint entry points.
+  /// Conditioning observability (ISSUE 5): ridge_fallbacks counts solved
+  /// interpolations that needed the ridge ladder; rcond_per_solve folds
+  /// each solve's pivot-ratio condition estimate, so a conditioning
+  /// regression shows up as a falling mean/min long before solves fail.
+  std::size_t ridge_fallbacks = 0;
+  /// Factorization-work counters: full (re)factorizations performed, and
+  /// how the factor cache avoided them (exact hits / incremental extends).
+  /// With the cache off, full_factorizations is the direct path's cost.
+  std::size_t full_factorizations = 0;
+  std::size_t factor_cache_hits = 0;
+  std::size_t factor_extends = 0;
   util::RunningStats neighbors_per_interpolation;
+  util::RunningStats rcond_per_solve;
 
   friend bool operator==(const PolicyStats&, const PolicyStats&) = default;
 
@@ -270,6 +303,11 @@ class KrigingPolicy {
   /// forces a full rebuild there).
   std::unique_ptr<kriging::EmpiricalVariogram> variogram_
       ACE_GUARDED_BY(mutex_);
+  /// Factorization cache (empty when options_.factor_cache_capacity == 0).
+  /// No lock of its own: reachable only under mutex_, and its lock
+  /// ordering is the policy's (policy mutex, then the store's inside
+  /// gather/value reads).
+  FactorCache factor_cache_ ACE_GUARDED_BY(mutex_);
   std::size_t sims_at_last_fit_ ACE_GUARDED_BY(mutex_) = 0;
   std::size_t sims_at_last_attempt_ ACE_GUARDED_BY(mutex_) = 0;
   bool fit_attempted_ ACE_GUARDED_BY(mutex_) = false;

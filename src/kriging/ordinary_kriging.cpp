@@ -1,12 +1,13 @@
+// Thin strategy wrapper: assembly, the ridge-fallback ladder and the
+// coincident-point dedupe all live in kriging::KrigingSystem — this
+// translation unit only binds the ordinary-kriging SystemSpec. Direct
+// linalg solver calls from here are forbidden by the `kriging-direct-solve`
+// lint rule (tools/lint/ace_lint.py).
 #include "kriging/ordinary_kriging.hpp"
 
-#include <cmath>
 #include <stdexcept>
 
-#include "linalg/matrix.hpp"
-#include "linalg/solve.hpp"
-#include "linalg/vector.hpp"
-#include "util/contract.hpp"
+#include "kriging/system.hpp"
 
 namespace ace::kriging {
 
@@ -24,73 +25,6 @@ void validate(const std::vector<std::vector<double>>& points,
       throw std::invalid_argument("krige: dimension mismatch");
 }
 
-/// Builds the bordered Γ of Eq. 9 and the query vector γ_i of Eq. 8, then
-/// solves Γ·μ = γ_i. The weight vector's first N entries are the kriging
-/// weights; the last entry is the Lagrange multiplier.
-std::optional<KrigingResult> solve_system(
-    const std::vector<std::vector<double>>& points,
-    const std::vector<double>& values, const std::vector<double>& query,
-    const VariogramModel& model, const DistanceFn& distance) {
-  const std::size_t n = points.size();
-
-  linalg::Matrix gamma_mat(n + 1, n + 1);
-  for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t k = j; k < n; ++k) {
-      const double g = model.gamma(distance(points[j], points[k]));
-      gamma_mat(j, k) = g;
-      gamma_mat(k, j) = g;
-    }
-    gamma_mat(j, n) = 1.0;
-    gamma_mat(n, j) = 1.0;
-  }
-  gamma_mat(n, n) = 0.0;
-
-  linalg::Vector gamma_query(n + 1);
-  for (std::size_t k = 0; k < n; ++k)
-    gamma_query[k] = model.gamma(distance(query, points[k]));
-  gamma_query[n] = 1.0;
-
-  linalg::SolveReport report;
-  const auto weights =
-      linalg::robust_solve(gamma_mat, gamma_query, report, /*border=*/1);
-  if (!weights) return std::nullopt;
-
-  KrigingResult result;
-  result.regularized = report.regularized;
-  result.weights.resize(n);
-  double estimate = 0.0;
-  double variance = 0.0;
-  for (std::size_t k = 0; k < n; ++k) {
-    const double w = (*weights)[k];
-    result.weights[k] = w;
-    estimate += w * values[k];   // Eq. 10 with λ padded by 0.
-    variance += w * gamma_query[k];
-  }
-  variance += (*weights)[n];  // Lagrange multiplier term of σ²_OK.
-  if (!std::isfinite(estimate)) return std::nullopt;
-  result.estimate = estimate;
-  result.variance = std::max(variance, 0.0);
-#if ACE_CONTRACTS_ENABLED
-  // The Lagrange row Σ w_k = 1 is an *exact* equation of the solved
-  // system (the ridge fallback regularizes only the ΓΓ core, never the
-  // border), so the solved weights must honour it to solver precision —
-  // a violated sum means an unbiasedness failure, not noise.
-  {
-    double weight_sum = 0.0;
-    double abs_sum = 0.0;
-    for (std::size_t k = 0; k < n; ++k) {
-      weight_sum += result.weights[k];
-      abs_sum += std::abs(result.weights[k]);
-    }
-    ACE_ENSURE(std::abs(weight_sum - 1.0) <= 1e-8 * std::max(1.0, abs_sum),
-               "ordinary kriging weights must sum to 1 (unbiasedness)");
-  }
-#endif
-  ACE_ENSURE(std::isfinite(result.variance) && result.variance >= 0.0,
-             "kriging variance must be finite and non-negative");
-  return result;
-}
-
 }  // namespace
 
 std::optional<KrigingResult> krige(
@@ -98,31 +32,39 @@ std::optional<KrigingResult> krige(
     const std::vector<double>& support_values, const std::vector<double>& query,
     const VariogramModel& model, const DistanceFn& distance) {
   validate(support_points, support_values, query);
-  return solve_system(support_points, support_values, query, model, distance);
+  KrigingSystem system(SystemSpec{SystemKind::kOrdinary}, support_points,
+                       support_values, model, distance);
+  return system.query(query);
 }
 
 OrdinaryKriging::OrdinaryKriging(std::vector<std::vector<double>> support_points,
                                  std::vector<double> support_values,
                                  const VariogramModel& model,
-                                 DistanceFn distance)
-    : points_(std::move(support_points)),
-      values_(std::move(support_values)),
-      model_(model.clone()),
-      distance_(std::move(distance)) {
-  if (points_.empty())
+                                 DistanceFn distance) {
+  if (support_points.empty())
     throw std::invalid_argument("OrdinaryKriging: empty support set");
-  if (points_.size() != values_.size())
+  if (support_points.size() != support_values.size())
     throw std::invalid_argument("OrdinaryKriging: points/values mismatch");
-  const std::size_t dim = points_.front().size();
-  for (const auto& p : points_)
+  const std::size_t dim = support_points.front().size();
+  for (const auto& p : support_points)
     if (p.size() != dim)
       throw std::invalid_argument("OrdinaryKriging: ragged support set");
+  system_ = std::make_unique<KrigingSystem>(
+      SystemSpec{SystemKind::kOrdinary}, std::move(support_points),
+      std::move(support_values), model, std::move(distance));
+}
+
+OrdinaryKriging::~OrdinaryKriging() = default;
+
+std::size_t OrdinaryKriging::support_size() const {
+  return system_->support_size();
 }
 
 std::optional<KrigingResult> OrdinaryKriging::estimate(
     const std::vector<double>& query) const {
-  validate(points_, values_, query);
-  return solve_system(points_, values_, query, *model_, distance_);
+  if (query.size() != system_->dimension())
+    throw std::invalid_argument("OrdinaryKriging: dimension mismatch");
+  return system_->query(query);
 }
 
 }  // namespace ace::kriging

@@ -9,6 +9,7 @@
 // vector padded with a trailing 0 (Eq. 7).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -22,6 +23,8 @@ struct KrigingResult {
   double estimate = 0.0;       ///< λ̂(e_i).
   double variance = 0.0;       ///< Kriging variance (>= 0 up to round-off).
   bool regularized = false;    ///< Ridge fallback was used on Γ.
+  double ridge = 0.0;          ///< Diagonal shift used (0 when unregularized).
+  double rcond = 0.0;          ///< Pivot-ratio condition estimate of the solve.
   std::vector<double> weights; ///< The μ_k of Eq. 3 (size N).
 };
 
@@ -36,9 +39,14 @@ std::optional<KrigingResult> krige(
     const std::vector<double>& query, const VariogramModel& model,
     const DistanceFn& distance = l1_distance);
 
+class KrigingSystem;
+
 /// Reusable estimator: factors Γ once for a fixed support set, then serves
-/// many queries. Used by the exhaustive-surface benches where hundreds of
-/// queries share one neighbourhood.
+/// many queries (the shared KrigingSystem memoizes the factorization, so
+/// repeated estimates pay only the O(N²) solve). Used by the
+/// exhaustive-surface benches where hundreds of queries share one
+/// neighbourhood. Not thread-safe: concurrent estimate() calls race on the
+/// internal factor cache.
 class OrdinaryKriging {
  public:
   /// Throws std::invalid_argument on empty/ragged support.
@@ -46,18 +54,17 @@ class OrdinaryKriging {
                   std::vector<double> support_values,
                   const VariogramModel& model,
                   DistanceFn distance = l1_distance);
+  ~OrdinaryKriging();
 
   /// Interpolate at a query configuration; nullopt when the system is
   /// unsolvable.
   std::optional<KrigingResult> estimate(const std::vector<double>& query) const;
 
-  std::size_t support_size() const { return points_.size(); }
+  std::size_t support_size() const;
 
  private:
-  std::vector<std::vector<double>> points_;
-  std::vector<double> values_;
-  std::unique_ptr<VariogramModel> model_;
-  DistanceFn distance_;
+  /// Mutable: queries memoize factorizations inside the system.
+  mutable std::unique_ptr<KrigingSystem> system_;
 };
 
 }  // namespace ace::kriging

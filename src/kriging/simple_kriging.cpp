@@ -1,13 +1,13 @@
+// Thin strategy wrapper over kriging::KrigingSystem — the covariance
+// assembly C(d) = max(sill − γ(d), 0) and the ridge-fallback ladder are
+// shared with the other estimators there. Direct linalg solver calls from
+// here are forbidden by the `kriging-direct-solve` lint rule.
 #include "kriging/simple_kriging.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
-#include "linalg/matrix.hpp"
-#include "linalg/solve.hpp"
-#include "linalg/vector.hpp"
-#include "util/contract.hpp"
+#include "kriging/system.hpp"
 
 namespace ace::kriging {
 
@@ -26,46 +26,12 @@ std::optional<KrigingResult> simple_krige(
     if (p.size() != query.size())
       throw std::invalid_argument("simple_krige: dimension mismatch");
 
-  const std::size_t n = support_points.size();
-  auto covariance = [&](double d) {
-    return std::max(sill - model.gamma(d), 0.0);
-  };
-
-  linalg::Matrix cov(n, n);
-  for (std::size_t j = 0; j < n; ++j)
-    for (std::size_t k = j; k < n; ++k) {
-      const double c =
-          covariance(distance(support_points[j], support_points[k]));
-      cov(j, k) = c;
-      cov(k, j) = c;
-    }
-  linalg::Vector cq(n);
-  for (std::size_t k = 0; k < n; ++k)
-    cq[k] = covariance(distance(query, support_points[k]));
-
-  linalg::SolveReport report;
-  const auto weights = linalg::robust_solve(cov, cq, report, /*border=*/0);
-  if (!weights) return std::nullopt;
-
-  KrigingResult result;
-  result.regularized = report.regularized;
-  result.weights.resize(n);
-  double estimate = mean;
-  double variance = covariance(0.0);
-  for (std::size_t k = 0; k < n; ++k) {
-    const double w = (*weights)[k];
-    result.weights[k] = w;
-    estimate += w * (support_values[k] - mean);
-    variance -= w * cq[k];
-  }
-  if (!std::isfinite(estimate)) return std::nullopt;
-  result.estimate = estimate;
-  result.variance = std::max(variance, 0.0);
-  // Simple kriging has no unbiasedness constraint (the mean is known), so
-  // only the variance contract applies.
-  ACE_ENSURE(std::isfinite(result.variance) && result.variance >= 0.0,
-             "kriging variance must be finite and non-negative");
-  return result;
+  SystemSpec spec;
+  spec.kind = SystemKind::kSimple;
+  spec.sill = sill;
+  spec.mean = mean;
+  KrigingSystem system(spec, support_points, support_values, model, distance);
+  return system.query(query);
 }
 
 }  // namespace ace::kriging

@@ -1,0 +1,434 @@
+#include "kriging/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contract.hpp"
+
+namespace ace::kriging {
+
+namespace {
+
+constexpr double kInitialRidge = 1e-10;
+constexpr double kMaxRidge = 1e-2;
+constexpr double kMaxSolutionNorm = 1e6;
+
+/// The legacy robust_solve acceptability test: finite and norm-bounded.
+bool acceptable(const linalg::Vector& x) {
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (!std::isfinite(x[i]) || std::abs(x[i]) > kMaxSolutionNorm)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+KrigingSystem::KrigingSystem(SystemSpec spec,
+                             std::vector<std::vector<double>> support_points,
+                             std::vector<double> support_values,
+                             const VariogramModel& model, DistanceFn distance,
+                             Layout layout)
+    : spec_(spec), model_(model.clone()), distance_(std::move(distance)),
+      layout_(layout) {
+  if (support_points.empty())
+    throw std::invalid_argument("KrigingSystem: empty support set");
+  if (support_points.size() != support_values.size())
+    throw std::invalid_argument("KrigingSystem: points/values mismatch");
+  dim_ = support_points.front().size();
+  for (const auto& p : support_points)
+    if (p.size() != dim_)
+      throw std::invalid_argument("KrigingSystem: ragged support set");
+  if (spec_.kind == SystemKind::kSimple &&
+      (spec_.sill <= 0.0 || !std::isfinite(spec_.sill)))
+    throw std::invalid_argument("KrigingSystem: sill must be positive");
+
+  // Dedupe coincident support points: duplicates make the variogram block
+  // rank deficient (two identical rows), which used to push every solve
+  // into the ridge fallback. The first occurrence carries the weight;
+  // later copies become zero-weight slots.
+  for (std::size_t s = 0; s < support_points.size(); ++s) {
+    auto& p = support_points[s];
+    std::size_t u = points_.size();
+    for (std::size_t i = 0; i < points_.size(); ++i)
+      if (points_[i] == p) {
+        u = i;
+        break;
+      }
+    if (u == points_.size()) {
+      points_.push_back(std::move(p));
+      values_.push_back(support_values[s]);
+      slots_.push_back({u, true});
+    } else {
+      slots_.push_back({u, false});
+    }
+  }
+  (void)refresh_border();
+  base_points_ = layout_ == Layout::kAllInBase
+                     ? points_.size()
+                     : std::min(points_.size(),
+                                std::max<std::size_t>(1, border_));
+}
+
+bool KrigingSystem::refresh_border() {
+  DriftKind effective = spec_.drift;
+  std::size_t border = 0;
+  switch (spec_.kind) {
+    case SystemKind::kOrdinary:
+      border = 1;
+      break;
+    case SystemKind::kSimple:
+      border = 0;
+      break;
+    case SystemKind::kUniversal:
+      // A linear drift adds dim + 1 constraints; identifying it needs at
+      // least dim + 2 support points — otherwise degrade gracefully to the
+      // constant drift (= ordinary kriging), as the legacy wrapper did.
+      if (effective == DriftKind::kLinear && points_.size() < dim_ + 2)
+        effective = DriftKind::kConstant;
+      border = effective == DriftKind::kConstant ? 1 : dim_ + 1;
+      break;
+  }
+  const bool changed =
+      border != border_ || effective != effective_drift_;
+  effective_drift_ = effective;
+  border_ = border;
+  return changed;
+}
+
+double KrigingSystem::pair_entry(std::size_t i, std::size_t j) const {
+  const double d = distance_(points_[i], points_[j]);
+  if (spec_.kind == SystemKind::kSimple)
+    return std::max(spec_.sill - model_->gamma(d), 0.0);
+  return model_->gamma(d);
+}
+
+double KrigingSystem::query_entry(const std::vector<double>& q,
+                                  std::size_t k) const {
+  const double d = distance_(q, points_[k]);
+  if (spec_.kind == SystemKind::kSimple)
+    return std::max(spec_.sill - model_->gamma(d), 0.0);
+  return model_->gamma(d);
+}
+
+std::vector<double> KrigingSystem::drift_basis(
+    const std::vector<double>& x) const {
+  switch (spec_.kind) {
+    case SystemKind::kSimple:
+      return {};
+    case SystemKind::kOrdinary:
+      return {1.0};
+    case SystemKind::kUniversal:
+      break;
+  }
+  if (effective_drift_ == DriftKind::kConstant) return {1.0};
+  std::vector<double> f;
+  f.reserve(x.size() + 1);
+  f.push_back(1.0);
+  f.insert(f.end(), x.begin(), x.end());
+  return f;
+}
+
+std::size_t KrigingSystem::matrix_index(std::size_t i) const {
+  return i < base_points_ ? i : i + border_;
+}
+
+linalg::Matrix KrigingSystem::assemble(double shift) const {
+  const std::size_t n = points_.size();
+  const std::size_t m = system_size();
+  linalg::Matrix a(m, m);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t mj = matrix_index(j);
+    for (std::size_t k = j; k < n; ++k) {
+      const std::size_t mk = matrix_index(k);
+      const double g = pair_entry(j, k);
+      a(mj, mk) = g;
+      a(mk, mj) = g;
+    }
+    const auto fj = drift_basis(points_[j]);
+    for (std::size_t l = 0; l < border_; ++l) {
+      a(mj, base_points_ + l) = fj[l];
+      a(base_points_ + l, mj) = fj[l];
+    }
+    a(mj, mj) += shift;
+  }
+  return a;
+}
+
+linalg::Vector KrigingSystem::assemble_rhs(const std::vector<double>& q) const {
+  linalg::Vector rhs(system_size());
+  for (std::size_t k = 0; k < points_.size(); ++k)
+    rhs[matrix_index(k)] = query_entry(q, k);
+  const auto fq = drift_basis(q);
+  for (std::size_t l = 0; l < border_; ++l) rhs[base_points_ + l] = fq[l];
+  return rhs;
+}
+
+std::vector<double> KrigingSystem::coupling_of(std::size_t i) const {
+  // Coupling of unique point i against points 0..i-1 plus the border — the
+  // exact state of a factor that already holds everything before i.
+  std::vector<double> c(i + border_, 0.0);
+  for (std::size_t j = 0; j < i; ++j)
+    c[matrix_index(j)] = pair_entry(i, j);
+  const auto fi = drift_basis(points_[i]);
+  for (std::size_t l = 0; l < border_; ++l) c[base_points_ + l] = fi[l];
+  return c;
+}
+
+double KrigingSystem::ladder_scale() const {
+  // The exact scale of linalg::robust_solve: max(|A|, 1) over the
+  // *unshifted* matrix. Reuse the plain factor's assembled copy when one
+  // exists; otherwise assemble once.
+  for (const Factor& f : factors_)
+    if (f.shift == 0.0)  // ace-lint: allow(float-equality)
+      return std::max(f.ldlt->assembled().max_abs(), 1.0);
+  return std::max(assemble(0.0).max_abs(), 1.0);
+}
+
+void KrigingSystem::invalidate_factors() {
+  factors_.clear();
+  singular_shifts_.clear();
+}
+
+linalg::BorderedLdlt* KrigingSystem::factor_at(double shift) {
+  // Shifts are recomputed identically per query while the support stands
+  // still (ridge · scale over the same matrix), so exact comparison is the
+  // correct memo key; both memos are cleared on any support change.
+  for (Factor& f : factors_)
+    if (f.shift == shift)  // ace-lint: allow(float-equality)
+      return f.ldlt.get();
+  for (double s : singular_shifts_)
+    if (s == shift)  // ace-lint: allow(float-equality)
+      return nullptr;
+
+  const std::size_t n = points_.size();
+  auto build_all_in_base = [&]() -> std::unique_ptr<linalg::BorderedLdlt> {
+    ++stats_.full_factorizations;
+    auto ldlt = std::make_unique<linalg::BorderedLdlt>(assemble(shift), shift);
+    return ldlt->ok() ? std::move(ldlt) : nullptr;
+  };
+
+  std::unique_ptr<linalg::BorderedLdlt> ldlt;
+  if (base_points_ >= n) {
+    ldlt = build_all_in_base();
+  } else {
+    // Incremental layout: factor the minimal base (first points + border),
+    // then fold the remaining support in one Schur pivot at a time.
+    const std::size_t nb = base_points_ + border_;
+    linalg::Matrix base(nb, nb);
+    {
+      const linalg::Matrix full = assemble(shift);
+      for (std::size_t r = 0; r < nb; ++r)
+        for (std::size_t c = 0; c < nb; ++c) base(r, c) = full(r, c);
+    }
+    ++stats_.full_factorizations;
+    ldlt = std::make_unique<linalg::BorderedLdlt>(std::move(base), shift);
+    bool incremental_ok = ldlt->ok();
+    for (std::size_t u = base_points_; incremental_ok && u < n; ++u) {
+      if (ldlt->append_point(coupling_of(u), pair_entry(u, u)))
+        ++stats_.appends;
+      else
+        incremental_ok = false;
+    }
+    // Degrade rather than fail: a base or pivot collapse the whole-matrix
+    // pivoted LU could still handle (e.g. a collinear base in universal
+    // kriging) must not make the incremental layout reject a query the
+    // direct path would answer — that would let optimizer decisions
+    // diverge between the cached and direct paths.
+    if (!incremental_ok) ldlt = build_all_in_base();
+  }
+
+  if (!ldlt) {
+    singular_shifts_.push_back(shift);
+    return nullptr;
+  }
+  factors_.push_back(Factor{shift, std::move(ldlt)});
+  return factors_.back().ldlt.get();
+}
+
+std::optional<KrigingResult> KrigingSystem::query(
+    const std::vector<double>& q) {
+  if (q.size() != dim_)
+    throw std::invalid_argument("KrigingSystem: dimension mismatch");
+  ++stats_.solves;
+  const linalg::Vector rhs = assemble_rhs(q);
+
+  // The legacy robust_solve ladder, rung for rung: plain solve first, then
+  // growing ridge on the non-border diagonal. Factor construction (and its
+  // singularity) depends only on the matrix, so factors and singularity
+  // verdicts are memoized across queries; the acceptability test depends
+  // on the right-hand side and is re-run per query.
+  double shift = 0.0;
+  std::optional<linalg::Vector> solution;
+  linalg::BorderedLdlt* used = nullptr;
+  if (linalg::BorderedLdlt* f = factor_at(0.0)) {
+    linalg::Vector x = f->solve(rhs);
+    if (acceptable(x)) {
+      solution = std::move(x);
+      used = f;
+    }
+  }
+  if (!solution) {
+    const double scale = ladder_scale();
+    for (double ridge = kInitialRidge; ridge <= kMaxRidge; ridge *= 100.0) {
+      shift = ridge * scale;
+      linalg::BorderedLdlt* f = factor_at(shift);
+      if (!f) continue;
+      linalg::Vector x = f->solve(rhs);
+      if (acceptable(x)) {
+        solution = std::move(x);
+        used = f;
+        break;
+      }
+    }
+    if (!solution) return std::nullopt;
+  }
+
+  const linalg::Vector& x = *solution;
+  const std::size_t n = points_.size();
+  KrigingResult result;
+  result.regularized = shift > 0.0;
+  result.ridge = shift;
+  result.rcond = used->rcond_estimate();
+
+  double estimate = spec_.kind == SystemKind::kSimple ? spec_.mean : 0.0;
+  double variance =
+      spec_.kind == SystemKind::kSimple
+          ? std::max(spec_.sill - model_->gamma(0.0), 0.0)
+          : 0.0;
+  std::vector<double> unique_weights(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = x[matrix_index(k)];
+    unique_weights[k] = w;
+    switch (spec_.kind) {
+      case SystemKind::kOrdinary:
+      case SystemKind::kUniversal:
+        estimate += w * values_[k];
+        variance += w * rhs[matrix_index(k)];
+        break;
+      case SystemKind::kSimple:
+        estimate += w * (values_[k] - spec_.mean);
+        variance -= w * rhs[matrix_index(k)];
+        break;
+    }
+  }
+  // Lagrange / drift multiplier terms of the kriging variance.
+  if (spec_.kind != SystemKind::kSimple) {
+    const auto fq = drift_basis(q);
+    for (std::size_t l = 0; l < border_; ++l)
+      variance += x[base_points_ + l] * fq[l];
+  }
+  if (!std::isfinite(estimate)) return std::nullopt;
+  result.estimate = estimate;
+  result.variance = std::max(variance, 0.0);
+  result.weights.resize(slots_.size(), 0.0);
+  for (std::size_t s = 0; s < slots_.size(); ++s)
+    result.weights[s] = slots_[s].owner ? unique_weights[slots_[s].unique] : 0.0;
+
+#if ACE_CONTRACTS_ENABLED
+  // The first border row (Σ w_k = 1, unbiasedness) is an *exact* equation
+  // of the solved system — the ridge fallback shifts only the non-border
+  // diagonal, never the border — so the solved weights must honour it to
+  // solver precision. Simple kriging has no such constraint (known mean).
+  if (spec_.kind != SystemKind::kSimple) {
+    double weight_sum = 0.0;
+    double abs_sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      weight_sum += unique_weights[k];
+      abs_sum += std::abs(unique_weights[k]);
+    }
+    ACE_ENSURE(std::abs(weight_sum - 1.0) <= 1e-8 * std::max(1.0, abs_sum),
+               "kriging weights must sum to 1 (unbiasedness)");
+  }
+#endif
+  ACE_ENSURE(std::isfinite(result.variance) && result.variance >= 0.0,
+             "kriging variance must be finite and non-negative");
+  return result;
+}
+
+void KrigingSystem::append_point(std::vector<double> point, double value) {
+  if (point.size() != dim_)
+    throw std::invalid_argument("KrigingSystem: dimension mismatch");
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    if (points_[i] == point) {
+      slots_.push_back({i, false});  // Coincident: zero-weight slot.
+      return;
+    }
+
+  const std::size_t u = points_.size();
+  points_.push_back(std::move(point));
+  values_.push_back(value);
+  slots_.push_back({u, true});
+
+  if (layout_ == Layout::kAllInBase) {
+    base_points_ = points_.size();
+    (void)refresh_border();
+    invalidate_factors();
+    return;
+  }
+  if (refresh_border()) {
+    // The border width changed (universal kriging crossing the dim + 2
+    // threshold): the layout itself moved, so every factor is stale.
+    base_points_ = std::min(points_.size(),
+                            std::max<std::size_t>(1, border_));
+    invalidate_factors();
+    return;
+  }
+  // Extend the plain factor in place; ladder-rung factors and singularity
+  // memos are matrix-dependent and must be rebuilt on demand.
+  std::unique_ptr<linalg::BorderedLdlt> primary;
+  for (Factor& f : factors_)
+    if (f.shift == 0.0)  // ace-lint: allow(float-equality)
+      primary = std::move(f.ldlt);
+  factors_.clear();
+  singular_shifts_.clear();
+  if (primary && primary->size() == system_size() - 1 &&
+      primary->append_point(coupling_of(u), pair_entry(u, u))) {
+    ++stats_.appends;
+    factors_.push_back(Factor{0.0, std::move(primary)});
+  }
+}
+
+bool KrigingSystem::removable(std::size_t slot) const {
+  if (slot >= slots_.size()) return false;
+  if (!slots_[slot].owner) return true;  // Zero-weight duplicate.
+  if (slots_[slot].unique < base_points_) return false;
+  // An owner with remaining duplicate slots cannot be dropped: the
+  // duplicates would dangle.
+  for (std::size_t s = 0; s < slots_.size(); ++s)
+    if (s != slot && slots_[s].unique == slots_[slot].unique) return false;
+  return true;
+}
+
+bool KrigingSystem::remove_point(std::size_t slot) {
+  if (!removable(slot)) return false;
+  const Slot victim = slots_[slot];
+  slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(slot));
+  if (!victim.owner) return true;  // No factor content to touch.
+
+  const std::size_t u = victim.unique;
+  points_.erase(points_.begin() + static_cast<std::ptrdiff_t>(u));
+  values_.erase(values_.begin() + static_cast<std::ptrdiff_t>(u));
+  for (Slot& s : slots_)
+    if (s.unique > u) --s.unique;
+
+  // Downdate the plain factor when possible; a degenerate downdate (or a
+  // border-width change) just invalidates, and the next query refactors.
+  std::unique_ptr<linalg::BorderedLdlt> primary;
+  for (Factor& f : factors_)
+    if (f.shift == 0.0)  // ace-lint: allow(float-equality)
+      primary = std::move(f.ldlt);
+  factors_.clear();
+  singular_shifts_.clear();
+  if (refresh_border()) {
+    base_points_ = std::min(points_.size(),
+                            std::max<std::size_t>(1, border_));
+  } else if (primary && primary->remove_point(u - base_points_)) {
+    ++stats_.removals;
+    factors_.push_back(Factor{0.0, std::move(primary)});
+  }
+  return true;
+}
+
+}  // namespace ace::kriging

@@ -1,31 +1,15 @@
+// Thin strategy wrapper over kriging::KrigingSystem — the drift-bordered
+// assembly [Γ F; Fᵀ 0], the small-support fallback to the constant drift
+// and the ridge ladder are all shared with the other estimators there.
+// Direct linalg solver calls from here are forbidden by the
+// `kriging-direct-solve` lint rule.
 #include "kriging/universal_kriging.hpp"
 
-#include <cmath>
 #include <stdexcept>
 
-#include "linalg/matrix.hpp"
-#include "linalg/solve.hpp"
-#include "linalg/vector.hpp"
-#include "util/contract.hpp"
+#include "kriging/system.hpp"
 
 namespace ace::kriging {
-
-namespace {
-
-/// Drift basis f(x) for the effective drift (after small-support fallback).
-std::vector<double> basis(const std::vector<double>& x, DriftKind drift) {
-  std::vector<double> f;
-  if (drift == DriftKind::kConstant) {
-    f = {1.0};
-  } else {
-    f.reserve(x.size() + 1);
-    f.push_back(1.0);
-    f.insert(f.end(), x.begin(), x.end());
-  }
-  return f;
-}
-
-}  // namespace
 
 std::optional<KrigingResult> krige_with_drift(
     const std::vector<std::vector<double>>& support_points,
@@ -40,77 +24,11 @@ std::optional<KrigingResult> krige_with_drift(
     if (p.size() != query.size())
       throw std::invalid_argument("krige_with_drift: dimension mismatch");
 
-  const std::size_t n = support_points.size();
-  const std::size_t dim = query.size();
-
-  // A linear drift adds dim + 1 constraints; identifying it needs at least
-  // dim + 2 support points — otherwise degrade gracefully to the constant
-  // drift (= ordinary kriging).
-  DriftKind effective = drift;
-  if (drift == DriftKind::kLinear && n < dim + 2)
-    effective = DriftKind::kConstant;
-  const std::size_t p = effective == DriftKind::kConstant ? 1 : dim + 1;
-
-  linalg::Matrix system(n + p, n + p);
-  for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t k = j; k < n; ++k) {
-      const double g =
-          model.gamma(distance(support_points[j], support_points[k]));
-      system(j, k) = g;
-      system(k, j) = g;
-    }
-    const auto fj = basis(support_points[j], effective);
-    for (std::size_t l = 0; l < p; ++l) {
-      system(j, n + l) = fj[l];
-      system(n + l, j) = fj[l];
-    }
-  }
-
-  linalg::Vector rhs(n + p);
-  for (std::size_t k = 0; k < n; ++k)
-    rhs[k] = model.gamma(distance(query, support_points[k]));
-  const auto fq = basis(query, effective);
-  for (std::size_t l = 0; l < p; ++l) rhs[n + l] = fq[l];
-
-  linalg::SolveReport report;
-  const auto solution = linalg::robust_solve(system, rhs, report,
-                                             /*border=*/p);
-  if (!solution) return std::nullopt;
-
-  KrigingResult result;
-  result.regularized = report.regularized;
-  result.weights.resize(n);
-  double estimate = 0.0;
-  double variance = 0.0;
-  for (std::size_t k = 0; k < n; ++k) {
-    const double w = (*solution)[k];
-    result.weights[k] = w;
-    estimate += w * support_values[k];
-    variance += w * rhs[k];
-  }
-  for (std::size_t l = 0; l < p; ++l)
-    variance += (*solution)[n + l] * fq[l];
-  if (!std::isfinite(estimate)) return std::nullopt;
-  result.estimate = estimate;
-  result.variance = std::max(variance, 0.0);
-#if ACE_CONTRACTS_ENABLED
-  // The first drift constraint row (Σ w_k · f_0 = f_0(query), f_0 ≡ 1) is
-  // exact in the solved system — the ridge fallback regularizes only the
-  // ΓΓ core, never the border — so the weights must sum to 1.
-  {
-    double weight_sum = 0.0;
-    double abs_sum = 0.0;
-    for (std::size_t k = 0; k < n; ++k) {
-      weight_sum += result.weights[k];
-      abs_sum += std::abs(result.weights[k]);
-    }
-    ACE_ENSURE(std::abs(weight_sum - 1.0) <= 1e-8 * std::max(1.0, abs_sum),
-               "universal kriging weights must sum to 1 (unbiasedness)");
-  }
-#endif
-  ACE_ENSURE(std::isfinite(result.variance) && result.variance >= 0.0,
-             "kriging variance must be finite and non-negative");
-  return result;
+  SystemSpec spec;
+  spec.kind = SystemKind::kUniversal;
+  spec.drift = drift;
+  KrigingSystem system(spec, support_points, support_values, model, distance);
+  return system.query(query);
 }
 
 }  // namespace ace::kriging

@@ -54,4 +54,10 @@ std::string fmt_pct(double fraction, int decimals) {
   return fmt(fraction * 100.0, decimals);
 }
 
+std::string fmt_sci(double value, int decimals) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(decimals) << value;
+  return ss.str();
+}
+
 }  // namespace ace::util

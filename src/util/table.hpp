@@ -35,4 +35,8 @@ std::string fmt(double value, int decimals = 2);
 /// Format a double as a percentage with the given decimals ("52.78").
 std::string fmt_pct(double fraction, int decimals = 2);
 
+/// Format a double in scientific notation ("3.16e-07") — for quantities
+/// spanning many orders of magnitude, like condition estimates.
+std::string fmt_sci(double value, int decimals = 2);
+
 }  // namespace ace::util

@@ -1,0 +1,214 @@
+// FactorCache and its KrigingPolicy wiring: the cache must change the
+// amount of factorization work, never the optimizer-visible behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "dse/factor_cache.hpp"
+#include "dse/kriging_policy.hpp"
+#include "dse/min_plus_one.hpp"
+#include "dse/scheduler.hpp"
+#include "kriging/variogram_model.hpp"
+
+namespace {
+
+namespace d = ace::dse;
+namespace k = ace::kriging;
+
+/// Lattice support universe: point i = (i, 2i mod 7) with a smooth value.
+struct Universe {
+  std::vector<std::vector<double>> points;
+  std::vector<double> values;
+
+  explicit Universe(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>(i);
+      const double y = static_cast<double>((2 * i) % 7);
+      points.push_back({x, y});
+      values.push_back(0.3 * x + 0.1 * y * y);
+    }
+  }
+
+  std::vector<std::vector<double>> gather_points(
+      const std::vector<std::size_t>& idx) const {
+    std::vector<std::vector<double>> out;
+    for (std::size_t i : idx) out.push_back(points[i]);
+    return out;
+  }
+  std::vector<double> gather_values(
+      const std::vector<std::size_t>& idx) const {
+    std::vector<double> out;
+    for (std::size_t i : idx) out.push_back(values[i]);
+    return out;
+  }
+};
+
+k::KrigingSystem* acquire(d::FactorCache& cache, const Universe& u,
+                          const std::vector<std::size_t>& idx,
+                          const k::VariogramModel& model,
+                          d::FactorAcquire& how) {
+  return cache.acquire(idx, u.gather_points(idx), u.gather_values(idx),
+                       model, k::l1_distance, how);
+}
+
+TEST(FactorCache, HitExtendFreshLifecycle) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  const Universe u(16);
+  d::FactorCache cache(4);
+  d::FactorAcquire how = d::FactorAcquire::kHit;
+
+  k::KrigingSystem* first = acquire(cache, u, {0, 1, 2}, model, how);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(how, d::FactorAcquire::kFresh);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Same index set (any order): exact hit on the same system object.
+  k::KrigingSystem* again = acquire(cache, u, {2, 0, 1}, model, how);
+  EXPECT_EQ(how, d::FactorAcquire::kHit);
+  EXPECT_EQ(again, first);
+
+  // Superset: the entry is extended in place, not rebuilt.
+  k::KrigingSystem* extended = acquire(cache, u, {0, 1, 2, 3}, model, how);
+  EXPECT_EQ(how, d::FactorAcquire::kExtend);
+  EXPECT_EQ(extended, first);
+  EXPECT_EQ(extended->support_size(), 4u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Disjoint set: fresh entry.
+  (void)acquire(cache, u, {10, 11, 12}, model, how);
+  EXPECT_EQ(how, d::FactorAcquire::kFresh);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  (void)acquire(cache, u, {0, 1, 2}, model, how);
+  EXPECT_EQ(how, d::FactorAcquire::kFresh);
+}
+
+TEST(FactorCache, ExtendedSystemAnswersLikeScratch) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  const Universe u(16);
+  d::FactorCache cache(4);
+  d::FactorAcquire how = d::FactorAcquire::kHit;
+
+  (void)acquire(cache, u, {0, 1, 2, 3}, model, how);
+  // Shrink-and-grow: drop 3, add 4 (one downdate + one append — within
+  // the edit-cost limit; the dropped slot is an appended, removable row).
+  k::KrigingSystem* edited = acquire(cache, u, {0, 1, 2, 4}, model, how);
+  ASSERT_EQ(how, d::FactorAcquire::kExtend);
+
+  const std::vector<std::size_t> idx = {0, 1, 2, 4};
+  k::KrigingSystem scratch({k::SystemKind::kOrdinary}, u.gather_points(idx),
+                           u.gather_values(idx), model);
+  const std::vector<double> q = {2.5, 3.0};
+  const auto a = edited->query(q);
+  const auto b = scratch.query(q);
+  ASSERT_TRUE(a && b);
+  EXPECT_NEAR(a->estimate, b->estimate, 1e-10);
+  EXPECT_NEAR(a->variance, b->variance, 1e-10);
+}
+
+TEST(FactorCache, EvictsLeastRecentlyUsedAtCapacity) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  const Universe u(16);
+  d::FactorCache cache(2);
+  d::FactorAcquire how = d::FactorAcquire::kHit;
+
+  (void)acquire(cache, u, {0, 1, 2}, model, how);    // A
+  (void)acquire(cache, u, {8, 9, 10}, model, how);   // B
+  (void)acquire(cache, u, {0, 1, 2}, model, how);    // touch A
+  EXPECT_EQ(how, d::FactorAcquire::kHit);
+  (void)acquire(cache, u, {12, 13, 14}, model, how); // C evicts B
+  EXPECT_EQ(cache.size(), 2u);
+  (void)acquire(cache, u, {8, 9, 10}, model, how);   // B gone -> fresh
+  EXPECT_EQ(how, d::FactorAcquire::kFresh);
+}
+
+TEST(FactorCache, CapacityZeroNeverCaches) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  const Universe u(8);
+  d::FactorCache cache(0);
+  d::FactorAcquire how = d::FactorAcquire::kHit;
+  ASSERT_NE(acquire(cache, u, {0, 1, 2}, model, how), nullptr);
+  EXPECT_EQ(how, d::FactorAcquire::kFresh);
+  EXPECT_EQ(cache.size(), 0u);
+  ASSERT_NE(acquire(cache, u, {0, 1, 2}, model, how), nullptr);
+  EXPECT_EQ(how, d::FactorAcquire::kFresh);
+}
+
+/// Deterministic smooth simulator over the word-length lattice.
+double smooth_sim(const d::Config& w) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i)
+    acc += (1.0 + 0.1 * static_cast<double>(i)) * static_cast<double>(w[i]);
+  return acc;
+}
+
+/// Run min+1 through a policy with the given cache capacity.
+std::pair<d::MinPlusOneResult, d::PolicyStats> run_min_plus_one(
+    std::size_t cache_capacity) {
+  d::PolicyOptions popt;
+  popt.factor_cache_capacity = cache_capacity;
+  d::KrigingPolicy policy(popt);
+  d::MinPlusOneOptions opt;
+  opt.nv = 3;
+  opt.w_max = 12;
+  opt.w_min = 2;
+  opt.lambda_min = 25.0;
+  const auto evaluate = d::policy_batch_evaluator(policy, smooth_sim);
+  auto result = d::min_plus_one(evaluate, opt);
+  return {std::move(result), policy.stats()};
+}
+
+// The policy-level guarantee of ISSUE 5: turning the cache on must leave
+// every optimizer decision and final configuration bit-identical, while
+// strictly reducing factorization work (counted by the new PolicyStats
+// fields) whenever anything was interpolated.
+TEST(FactorCachePolicy, CacheOnIsDecisionIdenticalAndCheaper) {
+  const auto [direct, direct_stats] = run_min_plus_one(0);
+  const auto [cached, cached_stats] = run_min_plus_one(8);
+
+  EXPECT_EQ(direct.decisions, cached.decisions);
+  EXPECT_EQ(direct.w_min, cached.w_min);
+  EXPECT_EQ(direct.w_res, cached.w_res);
+  EXPECT_EQ(direct.constraint_met, cached.constraint_met);
+  EXPECT_NEAR(direct.final_lambda, cached.final_lambda,
+              1e-9 * std::max(1.0, std::fabs(direct.final_lambda)));
+
+  // Same evaluation stream on both paths.
+  EXPECT_EQ(direct_stats.total, cached_stats.total);
+  EXPECT_EQ(direct_stats.simulated, cached_stats.simulated);
+  EXPECT_EQ(direct_stats.interpolated, cached_stats.interpolated);
+
+  // The direct path never touches the cache counters.
+  EXPECT_EQ(direct_stats.factor_cache_hits, 0u);
+  EXPECT_EQ(direct_stats.factor_extends, 0u);
+
+  if (direct_stats.interpolated > 0) {
+    // Each solved query on the direct path pays at least one full
+    // factorization (ladder rungs and gate-rejected solves may add more).
+    EXPECT_GE(direct_stats.full_factorizations, direct_stats.interpolated);
+    EXPECT_GT(cached_stats.factor_cache_hits + cached_stats.factor_extends,
+              0u);
+    EXPECT_LT(cached_stats.full_factorizations,
+              direct_stats.full_factorizations);
+  }
+}
+
+TEST(FactorCachePolicy, RcondAndRidgeCountersArepopulated) {
+  const auto [result, stats] = run_min_plus_one(0);
+  (void)result;
+  if (stats.interpolated > 0) {
+    // Every solved system reports a condition estimate — including solves
+    // later rejected by the sanity/variance gates, so >= interpolated.
+    EXPECT_GE(stats.rcond_per_solve.count(), stats.interpolated);
+    EXPECT_GT(stats.rcond_per_solve.mean(), 0.0);
+    EXPECT_LE(stats.ridge_fallbacks, stats.rcond_per_solve.count());
+  } else {
+    GTEST_SKIP() << "workload produced no interpolations";
+  }
+}
+
+}  // namespace

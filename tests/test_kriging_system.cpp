@@ -1,0 +1,291 @@
+// KrigingSystem: the shared assembly/solve layer behind all three
+// estimators. The property at stake (ISSUE 5): a system grown or shrunk
+// incrementally answers queries like a system built from scratch on the
+// same support — weights and variance within 1e-10 — across random
+// support sets, all three estimators, the ridge-fallback path, the
+// Lagrange/drift border, and coincident-point dedupe.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "kriging/ordinary_kriging.hpp"
+#include "kriging/simple_kriging.hpp"
+#include "kriging/system.hpp"
+#include "kriging/universal_kriging.hpp"
+#include "kriging/variogram_model.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace k = ace::kriging;
+
+struct Instance {
+  std::vector<std::vector<double>> points;
+  std::vector<double> values;
+  std::vector<double> query;
+};
+
+Instance make_instance(std::size_t dim, std::size_t n, std::uint64_t seed) {
+  ace::util::Rng rng(seed);
+  Instance inst;
+  while (inst.points.size() < n) {
+    std::vector<double> p(dim);
+    for (auto& x : p) x = rng.uniform_int(0, 9);
+    if (std::find(inst.points.begin(), inst.points.end(), p) ==
+        inst.points.end())
+      inst.points.push_back(std::move(p));
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    inst.values.push_back(rng.uniform(-10.0, 10.0));
+  inst.query.resize(dim);
+  for (auto& x : inst.query) x = rng.uniform(0.0, 9.0);
+  return inst;
+}
+
+std::vector<k::SystemSpec> all_specs() {
+  k::SystemSpec ordinary{k::SystemKind::kOrdinary, k::DriftKind::kConstant,
+                         0.0, 0.0};
+  k::SystemSpec simple{k::SystemKind::kSimple, k::DriftKind::kConstant, 25.0,
+                       0.5};
+  k::SystemSpec universal{k::SystemKind::kUniversal, k::DriftKind::kLinear,
+                          0.0, 0.0};
+  return {ordinary, simple, universal};
+}
+
+void expect_same_result(const std::optional<k::KrigingResult>& a,
+                        const std::optional<k::KrigingResult>& b,
+                        double tol) {
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (!a) return;
+  EXPECT_NEAR(a->estimate, b->estimate, tol);
+  EXPECT_NEAR(a->variance, b->variance, tol);
+  EXPECT_EQ(a->regularized, b->regularized);
+  ASSERT_EQ(a->weights.size(), b->weights.size());
+  for (std::size_t i = 0; i < a->weights.size(); ++i)
+    EXPECT_NEAR(a->weights[i], b->weights[i], tol) << "weight " << i;
+}
+
+TEST(KrigingSystem, AllInBaseMatchesLegacyEstimatorsExactly) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto inst = make_instance(3, 6, seed);
+    {
+      k::KrigingSystem sys({k::SystemKind::kOrdinary}, inst.points,
+                           inst.values, model);
+      const auto got = sys.query(inst.query);
+      const auto expect =
+          k::krige(inst.points, inst.values, inst.query, model);
+      ASSERT_TRUE(got && expect);
+      EXPECT_EQ(got->estimate, expect->estimate);
+      EXPECT_EQ(got->variance, expect->variance);
+      EXPECT_EQ(got->weights, expect->weights);
+    }
+    {
+      k::KrigingSystem sys(
+          {k::SystemKind::kSimple, k::DriftKind::kConstant, 25.0, 0.5},
+          inst.points, inst.values, model);
+      const auto got = sys.query(inst.query);
+      const auto expect = k::simple_krige(inst.points, inst.values,
+                                          inst.query, model, 25.0, 0.5);
+      ASSERT_TRUE(got && expect);
+      EXPECT_EQ(got->estimate, expect->estimate);
+      EXPECT_EQ(got->weights, expect->weights);
+    }
+    {
+      k::KrigingSystem sys({k::SystemKind::kUniversal, k::DriftKind::kLinear},
+                           inst.points, inst.values, model);
+      const auto got = sys.query(inst.query);
+      const auto expect =
+          k::krige_with_drift(inst.points, inst.values, inst.query, model,
+                              k::DriftKind::kLinear);
+      ASSERT_TRUE(got && expect);
+      EXPECT_EQ(got->estimate, expect->estimate);
+      EXPECT_EQ(got->weights, expect->weights);
+    }
+  }
+}
+
+// The property test proper: grow a kIncremental system point by point and
+// compare every intermediate state against a from-scratch system on the
+// same prefix, for every estimator kind.
+TEST(KrigingSystem, IncrementalExtendMatchesScratchAcrossEstimators) {
+  const k::ExponentialVariogram model(0.05, 1.5, 6.0);
+  for (const auto& spec : all_specs()) {
+    for (std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+      const auto inst = make_instance(2, 8, seed);
+      const std::size_t start = 3;
+      k::KrigingSystem grown(
+          spec,
+          {inst.points.begin(), inst.points.begin() + start},
+          {inst.values.begin(), inst.values.begin() + start}, model,
+          k::l1_distance, k::KrigingSystem::Layout::kIncremental);
+      for (std::size_t n = start; n <= inst.points.size(); ++n) {
+        if (n > start)
+          grown.append_point(inst.points[n - 1], inst.values[n - 1]);
+        k::KrigingSystem scratch(
+            spec, {inst.points.begin(), inst.points.begin() + n},
+            {inst.values.begin(), inst.values.begin() + n}, model);
+        expect_same_result(grown.query(inst.query),
+                           scratch.query(inst.query), 1e-10);
+      }
+    }
+  }
+}
+
+TEST(KrigingSystem, DowndateMatchesScratchAcrossEstimators) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  for (const auto& spec : all_specs()) {
+    const auto inst = make_instance(2, 8, 99);
+    k::KrigingSystem sys(spec, inst.points, inst.values, model,
+                         k::l1_distance,
+                         k::KrigingSystem::Layout::kIncremental);
+    // Remove two removable slots (from the back, where appended rows live).
+    std::vector<std::vector<double>> points = inst.points;
+    std::vector<double> values = inst.values;
+    std::size_t removed = 0;
+    for (std::size_t slot = sys.support_size(); slot-- > 0 && removed < 2;) {
+      if (!sys.removable(slot)) continue;
+      ASSERT_TRUE(sys.remove_point(slot));
+      points.erase(points.begin() + static_cast<std::ptrdiff_t>(slot));
+      values.erase(values.begin() + static_cast<std::ptrdiff_t>(slot));
+      ++removed;
+      k::KrigingSystem scratch(spec, points, values, model);
+      expect_same_result(sys.query(inst.query), scratch.query(inst.query),
+                         1e-10);
+    }
+    EXPECT_EQ(removed, 2u);
+  }
+}
+
+// The all-zero variogram makes every Γ entry 0: the plain rung is
+// singular and the ladder must climb to a ridge — on the incremental
+// path exactly as on the direct one.
+TEST(KrigingSystem, RidgeFallbackPathMatchesScratch) {
+  const k::LinearVariogram flat(0.0, 0.0);
+  const auto inst = make_instance(2, 5, 7);
+  k::KrigingSystem grown(
+      {k::SystemKind::kOrdinary}, {inst.points.begin(), inst.points.begin() + 3},
+      {inst.values.begin(), inst.values.begin() + 3}, flat, k::l1_distance,
+      k::KrigingSystem::Layout::kIncremental);
+  grown.append_point(inst.points[3], inst.values[3]);
+  grown.append_point(inst.points[4], inst.values[4]);
+  k::KrigingSystem scratch({k::SystemKind::kOrdinary}, inst.points,
+                           inst.values, flat);
+  const auto a = grown.query(inst.query);
+  const auto b = scratch.query(inst.query);
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(a->regularized);
+  EXPECT_TRUE(b->regularized);
+  EXPECT_EQ(a->ridge, b->ridge);  // same ladder rung, bit-equal shift
+  EXPECT_NEAR(a->estimate, b->estimate, 1e-10);
+  for (std::size_t i = 0; i < a->weights.size(); ++i)
+    EXPECT_NEAR(a->weights[i], b->weights[i], 1e-10);
+}
+
+// Unbiasedness survives the border on both layouts: ordinary/universal
+// weights sum to 1 (the Lagrange/drift border enforces it exactly).
+TEST(KrigingSystem, BorderKeepsWeightsUnbiased) {
+  const k::SphericalVariogram model(0.0, 1.0, 5.0);
+  for (const auto layout : {k::KrigingSystem::Layout::kAllInBase,
+                            k::KrigingSystem::Layout::kIncremental}) {
+    for (const auto kind :
+         {k::SystemKind::kOrdinary, k::SystemKind::kUniversal}) {
+      const auto inst = make_instance(2, 7, 42);
+      k::KrigingSystem sys({kind, k::DriftKind::kLinear}, inst.points,
+                           inst.values, model, k::l1_distance, layout);
+      const auto r = sys.query(inst.query);
+      ASSERT_TRUE(r);
+      double sum = 0.0;
+      for (double w : r->weights) sum += w;
+      EXPECT_NEAR(sum, 1.0, 1e-8);
+    }
+  }
+}
+
+TEST(KrigingSystem, CoincidentSupportIsDeduplicated) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  const auto inst = make_instance(2, 5, 21);
+  // Duplicate two points (same value: the duplicate carries no new info).
+  auto points = inst.points;
+  auto values = inst.values;
+  points.push_back(points[1]);
+  values.push_back(values[1]);
+  points.insert(points.begin() + 3, points[0]);
+  values.insert(values.begin() + 3, values[0]);
+
+  k::KrigingSystem sys({k::SystemKind::kOrdinary}, points, values, model);
+  EXPECT_EQ(sys.support_size(), 7u);
+  EXPECT_EQ(sys.unique_size(), 5u);
+
+  const auto got = sys.query(inst.query);
+  const auto expect = k::krige(inst.points, inst.values, inst.query, model);
+  ASSERT_TRUE(got && expect);
+  EXPECT_EQ(got->estimate, expect->estimate);
+  ASSERT_EQ(got->weights.size(), 7u);
+  EXPECT_EQ(got->weights[3], 0.0);  // duplicate of points[0]
+  EXPECT_EQ(got->weights[6], 0.0);  // duplicate of points[1]
+
+  // Appending another coincident point is a zero-weight slot, not a
+  // support change.
+  sys.append_point(inst.points[2], inst.values[2]);
+  EXPECT_EQ(sys.unique_size(), 5u);
+  const auto again = sys.query(inst.query);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->estimate, expect->estimate);
+  EXPECT_EQ(again->weights.back(), 0.0);
+}
+
+// Repeated queries against one support set reuse the factorization.
+TEST(KrigingSystem, FactorIsReusedAcrossQueries) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  const auto inst = make_instance(2, 6, 33);
+  k::KrigingSystem sys({k::SystemKind::kOrdinary}, inst.points, inst.values,
+                       model);
+  ASSERT_TRUE(sys.query(inst.query));
+  const std::size_t after_first = sys.stats().full_factorizations;
+  EXPECT_GE(after_first, 1u);
+  std::vector<double> q2 = inst.query;
+  q2[0] += 0.5;
+  ASSERT_TRUE(sys.query(q2));
+  EXPECT_EQ(sys.stats().full_factorizations, after_first);
+  EXPECT_EQ(sys.stats().solves, 2u);
+}
+
+TEST(KrigingSystem, UniversalDriftDegradesOnTinySupport) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  // 3 points in 2-D: fewer than dim + 2, so the drift degrades to the
+  // constant border — and must match the legacy estimator doing the same.
+  const auto inst = make_instance(2, 3, 55);
+  k::KrigingSystem sys({k::SystemKind::kUniversal, k::DriftKind::kLinear},
+                       inst.points, inst.values, model);
+  const auto got = sys.query(inst.query);
+  const auto expect = k::krige_with_drift(inst.points, inst.values,
+                                          inst.query, model,
+                                          k::DriftKind::kLinear);
+  ASSERT_EQ(got.has_value(), expect.has_value());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->estimate, expect->estimate);
+}
+
+TEST(KrigingSystem, ValidatesInput) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  EXPECT_THROW(k::KrigingSystem({k::SystemKind::kOrdinary}, {}, {}, model),
+               std::invalid_argument);
+  EXPECT_THROW(k::KrigingSystem({k::SystemKind::kOrdinary}, {{1.0, 2.0}},
+                                {1.0, 2.0}, model),
+               std::invalid_argument);
+  EXPECT_THROW(k::KrigingSystem({k::SystemKind::kOrdinary},
+                                {{1.0, 2.0}, {1.0}}, {1.0, 2.0}, model),
+               std::invalid_argument);
+  EXPECT_THROW(
+      k::KrigingSystem({k::SystemKind::kSimple, k::DriftKind::kConstant, 0.0,
+                        0.0},
+                       {{1.0}}, {1.0}, model),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -20,6 +20,13 @@ iostream-logging  std::cout / std::cerr / printf in library code. The
 wallclock-time    Wall-clock time sources (system_clock, time(), localtime,
                   ...). Timestamps make checkpoint/replay nondeterministic;
                   durations must use steady_clock.
+kriging-direct-solve
+                  linalg::robust_solve / lu_solve / LuDecomposition in an
+                  estimator wrapper (*_kriging.cpp/.hpp). The wrappers must
+                  route every solve through kriging::KrigingSystem — it
+                  owns assembly, the ridge ladder, dedupe and the
+                  factorization reuse; a direct solver call would fork the
+                  numerics the factor cache relies on being identical.
 
 Suppression
 -----------
@@ -98,6 +105,20 @@ RULES = [
         "wall-clock time source; checkpoints and replay must be "
         "deterministic — use steady_clock for durations",
     ),
+    (
+        "kriging-direct-solve",
+        re.compile(
+            r"linalg::robust_solve\b"
+            r"|linalg::lu_solve\b"
+            r"|linalg::LuDecomposition\b"
+            r"|\brobust_solve\s*\("
+            r"|\blu_solve\s*\("
+            r"|\bLuDecomposition\b"
+        ),
+        "direct linear solve in an estimator wrapper; route the solve "
+        "through kriging::KrigingSystem (it owns assembly, the ridge "
+        "ladder and factor reuse)",
+    ),
 ]
 
 ALLOW_RE = re.compile(r"ace-lint:\s*allow\(([^)]*)\)")
@@ -106,6 +127,14 @@ EXPECT_RE = re.compile(r"expect\(([^)]*)\)")
 # src/util/ is the one place the raw lock types may appear: the annotated
 # wrappers are implemented there.
 RAW_MUTEX_EXEMPT = re.compile(r"(?:^|/)src/util/[^/]+$")
+
+# kriging-direct-solve is scoped *to* the estimator wrappers: any file
+# whose basename matches *_kriging.<c++ ext> (ordinary_kriging.cpp,
+# simple_kriging.cpp, universal_kriging.cpp — and the selftest fixture
+# violations_kriging.cpp). Everywhere else the solver types are legal.
+KRIGING_WRAPPER_SCOPE = re.compile(
+    r"(?:^|/)[^/]*_kriging\.(?:cpp|hpp|cc|hh|cxx|h)$"
+)
 
 
 def strip_code(line: str) -> str:
@@ -190,6 +219,9 @@ def lint_file(path: Path) -> list[Finding]:
                 continue
             if rule == "raw-mutex" and RAW_MUTEX_EXEMPT.search(
                     path.as_posix()):
+                continue
+            if rule == "kriging-direct-solve" and \
+                    not KRIGING_WRAPPER_SCOPE.search(path.as_posix()):
                 continue
             if pattern.search(code):
                 findings.append(Finding(path, idx, rule, message))

@@ -1,0 +1,30 @@
+// Planted kriging-direct-solve violations. The basename matches the
+// *_kriging.<ext> scope, so the rule is active here — unlike in
+// violations.cpp, whose solver mentions must stay silent (that file is
+// outside the estimator-wrapper scope). This file is a fixture — it is
+// never compiled.
+#include <optional>
+
+namespace fixture_kriging {
+
+void direct_solves() {
+  auto w = linalg::robust_solve(gamma, rhs);      // expect(kriging-direct-solve)
+  auto x = linalg::lu_solve(gamma, rhs);          // expect(kriging-direct-solve)
+  linalg::LuDecomposition lu(gamma);              // expect(kriging-direct-solve)
+  auto y = robust_solve(gamma, rhs);              // expect(kriging-direct-solve)
+  auto z = lu_solve(gamma, rhs);                  // expect(kriging-direct-solve)
+  LuDecomposition bare(gamma);                    // expect(kriging-direct-solve)
+  (void)w; (void)x; (void)y; (void)z;
+}
+
+void suppressed_solve() {
+  // ace-lint: allow(kriging-direct-solve)
+  auto w = linalg::robust_solve(gamma, rhs);
+  auto x = robust_solve(gamma, rhs);  // ace-lint: allow(kriging-direct-solve)
+  (void)w; (void)x;
+}
+
+// Talking about linalg::robust_solve in a comment is fine; so is a string:
+inline const char* kDoc = "calls linalg::robust_solve internally";
+
+}  // namespace fixture_kriging
