@@ -2,33 +2,48 @@
 // paper's 10⁻⁶-second interpolation claim — the kriging solve as a
 // function of support size, neighbour search, variogram fitting, and the
 // bit-accurate simulation primitives it replaces.
+//
+// The *_Scan/_Assembly/_MultiRhs benchmarks form a roofline-ish suite for
+// the SIMD/SoA layer (DESIGN.md §10): each streams the same data through
+// the scalar reference twin (arg0 = 0, a TU compiled with
+// auto-vectorization off) and the dispatching kernel (arg0 = 1), reporting
+// bytes/s for the bandwidth-bound scans and items/s (solves/s) for the
+// solver stages. EXPERIMENTS.md holds the measured table; CI regenerates
+// BENCH_micro.json from this binary.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <complex>
+#include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "dse/sim_store.hpp"
 #include "kriging/empirical_variogram.hpp"
 #include "kriging/fit.hpp"
 #include "kriging/ordinary_kriging.hpp"
+#include "kriging/system.hpp"
 #include "signal/fft.hpp"
 #include "signal/fir.hpp"
 #include "signal/generator.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
 std::vector<std::vector<double>> lattice_points(ace::util::Rng& rng,
                                                 std::size_t n,
                                                 std::size_t dim) {
+  // Hash-set dedupe: the previous std::find made this setup O(n²) in the
+  // number of points, which dominated the large-n benchmark setups.
   std::vector<std::vector<double>> pts;
   pts.reserve(n);
+  std::unordered_set<ace::dse::Config, ace::dse::ConfigHash> seen;
   while (pts.size() < n) {
-    std::vector<double> p(dim);
-    for (auto& x : p) x = rng.uniform_int(0, 16);
-    if (std::find(pts.begin(), pts.end(), p) == pts.end())
-      pts.push_back(std::move(p));
+    ace::dse::Config c(dim);
+    for (auto& x : c) x = rng.uniform_int(0, 16);
+    if (!seen.insert(c).second) continue;
+    pts.push_back(ace::dse::to_real(c));
   }
   return pts;
 }
@@ -47,15 +62,20 @@ void BM_KrigingSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_KrigingSolve)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
-void BM_NeighborSearch(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  ace::util::Rng rng(2);
-  ace::dse::SimulationStore store;
+void fill_store(ace::dse::SimulationStore& store, std::size_t n,
+                std::size_t dim, unsigned seed) {
+  ace::util::Rng rng(seed);
   for (std::size_t i = 0; i < n; ++i) {
-    ace::dse::Config c(10);
+    ace::dse::Config c(dim);
     for (auto& x : c) x = rng.uniform_int(2, 16);
     store.add(std::move(c), rng.uniform());
   }
+}
+
+void BM_NeighborSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ace::dse::SimulationStore store;
+  fill_store(store, n, 10, 2);
   const ace::dse::Config query(10, 9);
   for (auto _ : state) {
     auto hits = store.neighbors_within(query, 3);
@@ -63,6 +83,140 @@ void BM_NeighborSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NeighborSearch)->Arg(64)->Arg(512)->Arg(4096);
+
+// The unindexed AoS linear scan — the baseline that shows what the
+// coordinate-sum buckets and the blocked SoA scan actually buy.
+void BM_NeighborSearchLinear(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ace::dse::SimulationStore store;
+  fill_store(store, n, 10, 2);
+  const ace::dse::Config query(10, 9);
+  for (auto _ : state) {
+    auto hits = store.neighbors_within_linear(query, 3);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_NeighborSearchLinear)->Arg(64)->Arg(512)->Arg(4096);
+
+// Wide-radius search: the coordinate-sum band covers the whole store, so
+// the store takes its blocked SoA path — arg0 toggles the SIMD backend to
+// A/B the identical-result fast path against its scalar twin.
+void BM_NeighborSearchWide(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(1));
+  ace::dse::SimulationStore store;
+  fill_store(store, n, 10, 2);
+  const ace::dse::Config query(10, 9);
+  ace::util::simd::set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    auto hits = store.neighbors_within(query, 60);
+    benchmark::DoNotOptimize(hits);
+  }
+  ace::util::simd::set_enabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(state.range(0) != 0 ? ace::util::simd::backend() : "scalar");
+}
+BENCHMARK(BM_NeighborSearchWide)->Args({0, 4096})->Args({1, 4096});
+
+// L1 distance scan over SoA int columns (the store's blocked-scan kernel):
+// bytes/s is the roofline axis — the kernel streams count·dim int32 loads
+// per pass.
+void BM_L1DistanceScan(benchmark::State& state) {
+  constexpr std::size_t dim = 16;
+  const auto n = static_cast<std::size_t>(state.range(1));
+  ace::util::Rng rng(6);
+  std::vector<std::vector<int>> cols(dim, std::vector<int>(n));
+  for (auto& c : cols)
+    for (auto& x : c) x = rng.uniform_int(0, 16);
+  std::vector<const int*> ptrs(dim);
+  for (std::size_t d = 0; d < dim; ++d) ptrs[d] = cols[d].data();
+  const std::vector<int> query(dim, 8);
+  std::vector<int> out(n);
+  ace::util::simd::set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    ace::util::simd::l1_distances_i32(ptrs.data(), dim, query.data(), n,
+                                      out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  ace::util::simd::set_enabled(true);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * dim * sizeof(int)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(state.range(0) != 0 ? ace::util::simd::backend() : "scalar");
+}
+BENCHMARK(BM_L1DistanceScan)->Args({0, 4096})->Args({1, 4096})
+    ->Args({0, 65536})->Args({1, 65536});
+
+// The vectorizable stage of γ-vector/variogram-block assembly: query →
+// support distances over f64 SoA columns at Nv = 16 (KrigingSystem's
+// distances_to). The γ(d) map on top is identical scalar work on both
+// paths, so the distance stage is where the scalar-vs-SIMD ratio lives.
+void BM_GammaAssemblyScan(benchmark::State& state) {
+  constexpr std::size_t dim = 16;
+  const auto n = static_cast<std::size_t>(state.range(1));
+  ace::util::Rng rng(7);
+  std::vector<std::vector<double>> cols(dim, std::vector<double>(n));
+  for (auto& c : cols)
+    for (auto& x : c) x = static_cast<double>(rng.uniform_int(0, 16));
+  std::vector<const double*> ptrs(dim);
+  for (std::size_t d = 0; d < dim; ++d) ptrs[d] = cols[d].data();
+  const std::vector<double> query(dim, 8.0);
+  std::vector<double> out(n);
+  ace::util::simd::set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    ace::util::simd::l1_distances_f64(ptrs.data(), dim, query.data(), n,
+                                      out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  ace::util::simd::set_enabled(true);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * dim * sizeof(double)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(state.range(0) != 0 ? ace::util::simd::backend() : "scalar");
+}
+BENCHMARK(BM_GammaAssemblyScan)->Args({0, 4096})->Args({1, 4096})
+    ->Args({0, 65536})->Args({1, 65536});
+
+// Multi-RHS ladder (query_batch, one shared factorization) vs the same
+// queries solved one at a time. Items/s is solves/s.
+void BM_MultiRhsSolve(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const auto nq = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t support = 32;
+  ace::util::Rng rng(8);
+  const auto pts = lattice_points(rng, support, 10);
+  const auto vals = rng.uniform_vector(support, -60.0, -20.0);
+  const ace::kriging::SphericalVariogram model(0.0, 10.0, 12.0);
+  std::vector<std::vector<double>> queries;
+  for (std::size_t q = 0; q < nq; ++q) {
+    std::vector<double> x(10);
+    for (auto& v : x) v = rng.uniform(0.0, 16.0);
+    queries.push_back(std::move(x));
+  }
+  ace::kriging::KrigingSystem system(
+      ace::kriging::SystemSpec{ace::kriging::SystemKind::kOrdinary}, pts,
+      vals, model);
+  for (auto _ : state) {
+    if (batched) {
+      auto r = system.query_batch(queries);
+      benchmark::DoNotOptimize(r);
+    } else {
+      for (const auto& q : queries) {
+        auto r = system.query(q);
+        benchmark::DoNotOptimize(r);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nq));
+  state.SetLabel(batched ? "batched" : "per-query");
+}
+BENCHMARK(BM_MultiRhsSolve)->Args({0, 16})->Args({1, 16})
+    ->Args({0, 64})->Args({1, 64});
 
 void BM_VariogramFit(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

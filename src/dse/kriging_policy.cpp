@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -148,23 +149,28 @@ Neighborhood KrigingPolicy::neighborhood_of(const Config& config) const {
              : store_.neighbors_within(config, options_.distance);
 }
 
-std::optional<double> KrigingPolicy::try_interpolate(
-    const Config& config, const Neighborhood& neighborhood,
-    EvalOutcome& outcome) {
+bool KrigingPolicy::model_ready_locked() {
   // Identify (or periodically re-identify) the semi-variogram. A failed
   // attempt resets the refit clock, so the O(N²)-ish work is not retried
   // until another refit_period of simulations has accumulated.
   const bool due =
       !model_ || store_.size() >= sims_at_last_fit_ + options_.refit_period;
   if (due) {
-    if (!model_ && store_.size() < options_.min_fit_points)
-      return std::nullopt;
+    if (!model_ && store_.size() < options_.min_fit_points) return false;
     const bool attempt_allowed =
         !fit_attempted_ ||
         store_.size() >= sims_at_last_attempt_ + options_.refit_period;
     if (attempt_allowed) (void)refit_model_locked();
-    if (!model_) return std::nullopt;
+    if (!model_) return false;
   }
+  return true;
+}
+
+std::optional<double> KrigingPolicy::try_interpolate(
+    const Config& config, const Neighborhood& neighborhood,
+    EvalOutcome& outcome,
+    const std::optional<kriging::KrigingResult>* presolved) {
+  if (!model_ready_locked()) return std::nullopt;
 
   std::vector<std::vector<double>> points;
   std::vector<double> values;
@@ -187,7 +193,12 @@ std::optional<double> KrigingPolicy::try_interpolate(
   // in the factor cache, reusing or extending an overlapping system's
   // factorization instead of rebuilding it.
   std::optional<kriging::KrigingResult> result;
-  if (options_.factor_cache_capacity > 0) {
+  if (presolved) {
+    // evaluate_batch's group pre-pass already solved this query on the
+    // group's shared system (one factorization, one multi-RHS solve);
+    // acquisition and factorization accounting happened there.
+    result = *presolved;
+  } else if (options_.factor_cache_capacity > 0) {
     FactorAcquire how = FactorAcquire::kFresh;
     kriging::KrigingSystem* system = factor_cache_.acquire(
         neighborhood.indices, points, values, *model_, distance, how);
@@ -348,6 +359,14 @@ void KrigingPolicy::restore(const PolicySnapshot& snapshot) {
   // variogram folds pairs in the same order as the original run, the fit
   // sees the same bins, and the refit clocks land on the same values — so
   // every subsequent evaluation behaves bit-identically.
+  // Quarantine events replay *before* the adds. In the original run a
+  // configuration appearing in both lists was necessarily quarantined
+  // first and added cleanly later (a stored configuration is served from
+  // the store, so it never re-simulates and never re-faults); replaying in
+  // that order lets add() lift the active quarantine exactly as the live
+  // run did, leaving the log entry for audit.
+  for (const auto& [config, code] : snapshot.quarantine)
+    (void)store_.quarantine(config, code);
   std::size_t next_event = 0;
   const auto replay_fits = [&] {
     while (next_event < snapshot.fit_events.size() &&
@@ -364,8 +383,6 @@ void KrigingPolicy::restore(const PolicySnapshot& snapshot) {
   if (next_event != snapshot.fit_events.size())
     throw std::invalid_argument(
         "KrigingPolicy::restore: fit events inconsistent with store size");
-  for (const auto& [config, code] : snapshot.quarantine)
-    (void)store_.quarantine(config, code);
   // The replayed refits bumped counters and re-recorded fit events; the
   // snapshot's accounting is authoritative.
   stats_ = snapshot.stats;
@@ -394,6 +411,66 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
   std::vector<std::size_t> owners;  ///< Batch index owning each slot.
   std::unordered_map<Config, std::size_t, ConfigHash> pending;
 
+  // Phase 0 (factor cache on only): group this batch's interpolation
+  // candidates by support-index set and presolve each multi-member group
+  // on one shared system — one cache acquisition and one multi-RHS ladder
+  // per group instead of per candidate. Each presolved solution is
+  // identical to what the per-candidate path computes (the query_batch
+  // contract), so phase 1 reaches the same decisions; only duplicated
+  // acquire/assemble/solve work disappears. The store cannot change
+  // between here and phase 1 (adds happen in phase 3), so the
+  // neighbourhoods and the refit gate are the ones phase 1 would see.
+  std::unordered_map<std::size_t, std::optional<kriging::KrigingResult>>
+      group_solutions;
+  if (options_.factor_cache_capacity > 0 && n > 1) {
+    std::map<std::vector<std::size_t>, std::vector<std::size_t>> groups;
+    bool gate_checked = false;
+    bool gate_open = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (store_.find(batch[i])) continue;
+      const auto neighborhood = neighborhood_of(batch[i]);
+      if (neighborhood.count() <= options_.nn_min) continue;
+      if (!gate_checked) {
+        // Run the refit gate exactly where the per-candidate path would
+        // have: at the batch's first interpolation candidate.
+        gate_checked = true;
+        gate_open = model_ready_locked();
+      }
+      if (!gate_open) break;
+      groups[neighborhood.indices].push_back(i);
+    }
+    const auto distance = options_.use_l2_distance ? kriging::l2_distance
+                                                   : kriging::l1_distance;
+    for (const auto& [indices, members] : groups) {
+      if (members.size() < 2) continue;  // Nothing to amortize.
+      Neighborhood nbhd;
+      nbhd.indices = indices;
+      std::vector<std::vector<double>> points;
+      std::vector<double> values;
+      store_.gather(nbhd, points, values);
+      if (!trend_.empty())
+        for (std::size_t k = 0; k < values.size(); ++k)
+          values[k] -= trend_value(points[k]);
+      FactorAcquire how = FactorAcquire::kFresh;
+      kriging::KrigingSystem* system = factor_cache_.acquire(
+          indices, points, values, *model_, distance, how);
+      if (how == FactorAcquire::kHit) ++stats_.factor_cache_hits;
+      if (how == FactorAcquire::kExtend) ++stats_.factor_extends;
+      // Members past the first would have been exact cache hits on the
+      // per-candidate path; keep the counters comparable.
+      stats_.factor_cache_hits += members.size() - 1;
+      std::vector<std::vector<double>> queries;
+      queries.reserve(members.size());
+      for (const std::size_t i : members) queries.push_back(to_real(batch[i]));
+      const std::size_t before = system->stats().full_factorizations;
+      auto solutions = system->query_batch(queries);
+      stats_.full_factorizations +=
+          system->stats().full_factorizations - before;
+      for (std::size_t k = 0; k < members.size(); ++k)
+        group_solutions.emplace(members[k], std::move(solutions[k]));
+    }
+  }
+
   // Phase 1 (serial): partition against the store as it stands at batch
   // entry. Decisions are a pure function of (store state, batch order) —
   // independent of how the simulations will later be scheduled.
@@ -414,7 +491,10 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
     const auto neighborhood = neighborhood_of(batch[i]);
     out.neighbors = neighborhood.count();
     if (neighborhood.count() > options_.nn_min) {
-      if (auto estimate = try_interpolate(batch[i], neighborhood, out)) {
+      const auto pre = group_solutions.find(i);
+      if (auto estimate = try_interpolate(
+              batch[i], neighborhood, out,
+              pre == group_solutions.end() ? nullptr : &pre->second)) {
         out.value = *estimate;
         out.interpolated = true;
         out.source = EvalSource::kInterpolated;

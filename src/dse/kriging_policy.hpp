@@ -270,9 +270,20 @@ class KrigingPolicy {
   /// Lock-held body of refit_model() (also the restore replay step).
   bool refit_model_locked() ACE_REQUIRES(mutex_);
 
-  std::optional<double> try_interpolate(const Config& config,
-                                        const Neighborhood& neighborhood,
-                                        EvalOutcome& outcome)
+  /// The refit gate at the head of every interpolation attempt: fit (or
+  /// periodically refit) the variogram when due, and report whether a
+  /// model is available. Attempt bookkeeping makes repeated calls at one
+  /// store size idempotent, which is what lets evaluate_batch's group
+  /// pre-pass run the gate once for the whole batch.
+  bool model_ready_locked() ACE_REQUIRES(mutex_);
+
+  /// `presolved`, when non-null, is this query's already-computed kriging
+  /// solution (from a query_batch over the group's shared system): the
+  /// solve step is skipped, every gate after it still runs.
+  std::optional<double> try_interpolate(
+      const Config& config, const Neighborhood& neighborhood,
+      EvalOutcome& outcome,
+      const std::optional<kriging::KrigingResult>* presolved = nullptr)
       ACE_REQUIRES(mutex_);
 
   /// Reads only immutable options and the internally-synchronized store.

@@ -20,6 +20,21 @@
 // kriging support and never re-simulated beyond that budget. Non-finite λ
 // values are rejected at add() with a typed error — a single NaN support
 // point silently poisons every kriging estimate that draws on it.
+// A *successful* add() lifts an earlier quarantine: a configuration that
+// faulted once (e.g. a transient timeout) but later simulated cleanly —
+// through restore-replay or a distributed merge — is healthy support, not
+// a permanent outcast. The quarantine_log_ keeps the lifted entry for
+// audit; only the active-quarantine map forgets it.
+//
+// For the radius scans the store additionally keeps a columnar (SoA)
+// mirror of configs_ — one contiguous int column per coordinate, grown in
+// lockstep under the same mutex. When a query's coordinate-sum band covers
+// most of the store, neighbors_within switches from the bucket walk to a
+// blocked contiguous scan over the mirror using the util::simd kernels
+// (AVX2 when configured, scalar otherwise). Both paths — and both
+// backends — return bit-identical neighbourhoods: L1 is integer-exact and
+// the L2 scan compares the same exact integer-valued squared distance the
+// scalar code computes (DESIGN.md §10 has the full contract).
 //
 // Thread-safety: every member — writes *and* reads — takes the annotated
 // `mutex_`, so the Clang capability analysis (-Wthread-safety) proves the
@@ -58,10 +73,11 @@ class SimulationStore {
   /// Add a simulated configuration and return its index. An exact
   /// duplicate updates the stored value in place instead of creating a
   /// second support point — duplicate support points make the kriging Γ
-  /// matrix singular. Throws std::invalid_argument if the dimensionality
-  /// differs from previously stored entries and util::NonFiniteError if
-  /// the value is NaN/Inf (a non-finite support point corrupts every
-  /// estimate drawing on it).
+  /// matrix singular. A successful add lifts any active quarantine on the
+  /// configuration (the quarantine log keeps the entry for audit). Throws
+  /// std::invalid_argument if the dimensionality differs from previously
+  /// stored entries and util::NonFiniteError if the value is NaN/Inf (a
+  /// non-finite support point corrupts every estimate drawing on it).
   std::size_t add(Config config, double value) ACE_EXCLUDES(mutex_);
 
   /// Index of an exactly matching stored configuration, if any.
@@ -96,12 +112,25 @@ class SimulationStore {
   }
 
   /// All stored entries with L1 distance <= radius from the query
-  /// (Algorithms 1-2, lines 7-16), in ascending index order.
+  /// (Algorithms 1-2, lines 7-16), in ascending index order. A negative
+  /// radius is a caller sign bug, not an empty query: ACE_REQUIRE rejects
+  /// it in contract-checked builds instead of silently returning nothing.
   Neighborhood neighbors_within(const Config& query, int radius) const
       ACE_EXCLUDES(mutex_);
 
-  /// Same with Euclidean distance (extension ablation).
+  /// Same with Euclidean distance (extension ablation). ACE_REQUIREs
+  /// radius >= 0.0 like the L1 variant.
   Neighborhood neighbors_within_l2(const Config& query, double radius) const
+      ACE_EXCLUDES(mutex_);
+
+  /// Reference implementations: plain AoS linear scans with no bucket
+  /// index and no SIMD. Deliberately unoptimized — the decision-identity
+  /// oracle for the property tests and the baseline denominator for
+  /// bench/micro_kriging's neighbour-search speedup attribution.
+  Neighborhood neighbors_within_linear(const Config& query, int radius) const
+      ACE_EXCLUDES(mutex_);
+  Neighborhood neighbors_within_l2_linear(const Config& query,
+                                          double radius) const
       ACE_EXCLUDES(mutex_);
 
   /// Kriging support set for a neighborhood: real-coordinate points and
@@ -111,14 +140,18 @@ class SimulationStore {
 
   /// Quarantine a configuration whose simulation exhausted its retry
   /// budget. Returns true when newly quarantined, false when the
-  /// configuration was already on the list (the original fault code is
-  /// kept).
+  /// configuration is already actively quarantined (the original fault
+  /// code is kept). Re-quarantining after a lift succeeds and appends a
+  /// second log entry.
   bool quarantine(Config config, FaultCode code) ACE_EXCLUDES(mutex_);
 
-  /// The fault code a configuration was quarantined with, if any.
+  /// The fault code of an *active* quarantine, if any. Lifted quarantines
+  /// (a successful add() superseded the fault) return nullopt.
   std::optional<FaultCode> quarantined(const Config& config) const
       ACE_EXCLUDES(mutex_);
 
+  /// Number of quarantine events ever recorded (lifts do not shrink it —
+  /// the log is the audit trail the checkpoint format serializes).
   std::size_t quarantine_count() const ACE_EXCLUDES(mutex_) {
     const util::LockGuard lock(mutex_);
     return quarantine_log_.size();
@@ -136,8 +169,15 @@ class SimulationStore {
   void check_dimensions(const Config& c, const char* what) const
       ACE_REQUIRES(mutex_);
 
+  /// Sum of bucket sizes in the coordinate-sum band [lo, hi].
+  std::size_t band_population(int lo, int hi) const ACE_REQUIRES(mutex_);
+
   std::vector<Config> configs_ ACE_GUARDED_BY(mutex_);
   std::vector<double> values_ ACE_GUARDED_BY(mutex_);
+  /// Columnar mirror of configs_: soa_[d][i] == configs_[i][d]. Grown only
+  /// inside add() under mutex_, read only under mutex_ — the same lock
+  /// discipline as the row store it mirrors.
+  std::vector<std::vector<int>> soa_ ACE_GUARDED_BY(mutex_);
   /// Exact-match index: configuration -> position in configs_.
   std::unordered_map<Config, std::size_t, ConfigHash> exact_
       ACE_GUARDED_BY(mutex_);

@@ -18,8 +18,14 @@ void save_trajectory(const Trajectory& trajectory, const std::string& path) {
   util::CsvWriter csv(path);
   std::vector<std::string> header;
   header.reserve(dims + 1);
-  for (std::size_t i = 0; i < dims; ++i)
-    header.push_back("e" + std::to_string(i));
+  for (std::size_t i = 0; i < dims; ++i) {
+    // Built up with += rather than `"e" + std::to_string(i)`: the rvalue
+    // operator+ path trips a GCC 12 -Wrestrict false positive inside
+    // libstdc++ string::insert under -O2, which -Werror turns fatal.
+    std::string column = "e";
+    column += std::to_string(i);
+    header.push_back(std::move(column));
+  }
   header.push_back("lambda");
   csv.write_row(header);
 

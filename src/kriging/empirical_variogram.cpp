@@ -14,6 +14,8 @@ double l1_distance(const std::vector<double>& a,
   if (a.size() != b.size())
     throw std::invalid_argument("l1_distance: dimension mismatch");
   double acc = 0.0;
+  // The canonical definition every other path must match.
+  // ace-lint: allow(raw-distance-loop)
   for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
   return acc;
 }

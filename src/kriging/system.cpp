@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/contract.hpp"
+#include "util/simd.hpp"
 
 namespace ace::kriging {
 
@@ -22,6 +23,11 @@ bool acceptable(const linalg::Vector& x) {
       return false;
   return true;
 }
+
+/// Raw function-pointer form of DistanceFn — what the defaulted built-in
+/// distances are stored as inside the std::function.
+using RawDistance = double (*)(const std::vector<double>&,
+                               const std::vector<double>&);
 
 }  // namespace
 
@@ -64,11 +70,43 @@ KrigingSystem::KrigingSystem(SystemSpec spec,
       slots_.push_back({u, false});
     }
   }
+  // Batched assembly can only vectorize distances it can prove identical
+  // to the configured functor: recognise the two built-ins by address.
+  if (const RawDistance* raw = distance_.target<RawDistance>()) {
+    if (*raw == &l1_distance)
+      distance_kind_ = DistanceKind::kL1;
+    else if (*raw == &l2_distance)
+      distance_kind_ = DistanceKind::kL2;
+  }
+  rebuild_columns();
   (void)refresh_border();
   base_points_ = layout_ == Layout::kAllInBase
                      ? points_.size()
                      : std::min(points_.size(),
                                 std::max<std::size_t>(1, border_));
+}
+
+void KrigingSystem::rebuild_columns() {
+  cols_.assign(dim_, {});
+  for (auto& c : cols_) c.reserve(points_.size());
+  for (const auto& p : points_)
+    for (std::size_t d = 0; d < dim_; ++d) cols_[d].push_back(p[d]);
+}
+
+void KrigingSystem::distances_to(const std::vector<double>& x,
+                                 std::size_t first, double* out) const {
+  const std::size_t n = points_.size();
+  if (distance_kind_ == DistanceKind::kCustom) {
+    for (std::size_t k = first; k < n; ++k)
+      out[k - first] = distance_(x, points_[k]);
+    return;
+  }
+  std::vector<const double*> cols(dim_);
+  for (std::size_t d = 0; d < dim_; ++d) cols[d] = cols_[d].data() + first;
+  if (distance_kind_ == DistanceKind::kL1)
+    util::simd::l1_distances_f64(cols.data(), dim_, x.data(), n - first, out);
+  else
+    util::simd::l2_distances_f64(cols.data(), dim_, x.data(), n - first, out);
 }
 
 bool KrigingSystem::refresh_border() {
@@ -97,19 +135,19 @@ bool KrigingSystem::refresh_border() {
   return changed;
 }
 
-double KrigingSystem::pair_entry(std::size_t i, std::size_t j) const {
-  const double d = distance_(points_[i], points_[j]);
+double KrigingSystem::entry_of(double d) const {
   if (spec_.kind == SystemKind::kSimple)
     return std::max(spec_.sill - model_->gamma(d), 0.0);
   return model_->gamma(d);
 }
 
+double KrigingSystem::pair_entry(std::size_t i, std::size_t j) const {
+  return entry_of(distance_(points_[i], points_[j]));
+}
+
 double KrigingSystem::query_entry(const std::vector<double>& q,
                                   std::size_t k) const {
-  const double d = distance_(q, points_[k]);
-  if (spec_.kind == SystemKind::kSimple)
-    return std::max(spec_.sill - model_->gamma(d), 0.0);
-  return model_->gamma(d);
+  return entry_of(distance_(q, points_[k]));
 }
 
 std::vector<double> KrigingSystem::drift_basis(
@@ -138,11 +176,16 @@ linalg::Matrix KrigingSystem::assemble(double shift) const {
   const std::size_t n = points_.size();
   const std::size_t m = system_size();
   linalg::Matrix a(m, m);
+  // Variogram block, one batched row at a time: distances from point j to
+  // the contiguous tail j..n-1 stream the SoA columns through the SIMD
+  // kernel (bit-identical per-entry to the scalar distance_ call).
+  std::vector<double> dists(n);
   for (std::size_t j = 0; j < n; ++j) {
     const std::size_t mj = matrix_index(j);
+    distances_to(points_[j], j, dists.data());
     for (std::size_t k = j; k < n; ++k) {
       const std::size_t mk = matrix_index(k);
-      const double g = pair_entry(j, k);
+      const double g = entry_of(dists[k - j]);
       a(mj, mk) = g;
       a(mk, mj) = g;
     }
@@ -158,8 +201,12 @@ linalg::Matrix KrigingSystem::assemble(double shift) const {
 
 linalg::Vector KrigingSystem::assemble_rhs(const std::vector<double>& q) const {
   linalg::Vector rhs(system_size());
-  for (std::size_t k = 0; k < points_.size(); ++k)
-    rhs[matrix_index(k)] = query_entry(q, k);
+  const std::size_t n = points_.size();
+  // Batched γ-vector: all query→support distances in one kernel pass.
+  std::vector<double> dists(n);
+  distances_to(q, 0, dists.data());
+  for (std::size_t k = 0; k < n; ++k)
+    rhs[matrix_index(k)] = entry_of(dists[k]);
   const auto fq = drift_basis(q);
   for (std::size_t l = 0; l < border_; ++l) rhs[base_points_ + l] = fq[l];
   return rhs;
@@ -284,8 +331,74 @@ std::optional<KrigingResult> KrigingSystem::query(
     }
     if (!solution) return std::nullopt;
   }
+  return finalize(q, rhs, *solution, shift, used);
+}
 
-  const linalg::Vector& x = *solution;
+std::vector<std::optional<KrigingResult>> KrigingSystem::query_batch(
+    const std::vector<std::vector<double>>& queries) {
+  std::vector<std::optional<KrigingResult>> results(queries.size());
+  if (queries.empty()) return results;
+  for (const auto& q : queries)
+    if (q.size() != dim_)
+      throw std::invalid_argument("KrigingSystem: dimension mismatch");
+  stats_.solves += queries.size();
+
+  const std::size_t m = system_size();
+  const std::size_t nq = queries.size();
+  std::vector<linalg::Vector> rhs;
+  rhs.reserve(nq);
+  for (const auto& q : queries) rhs.push_back(assemble_rhs(q));
+
+  // The same ladder as query(), run rung-by-rung over the whole batch:
+  // each rung factors once and solves every still-open query in one
+  // multi-RHS call. Acceptability stays per-query, so every query climbs
+  // exactly the rungs it would have climbed alone.
+  struct Solved {
+    linalg::Vector x;
+    double shift = 0.0;
+    const linalg::BorderedLdlt* used = nullptr;
+  };
+  std::vector<std::optional<Solved>> solved(nq);
+  std::size_t open_count = nq;
+
+  const auto attempt = [&](double shift) {
+    std::vector<std::size_t> open;
+    open.reserve(open_count);
+    for (std::size_t i = 0; i < nq; ++i)
+      if (!solved[i]) open.push_back(i);
+    linalg::BorderedLdlt* f = factor_at(shift);
+    if (!f) return;
+    linalg::Matrix b(m, open.size());
+    for (std::size_t c = 0; c < open.size(); ++c)
+      for (std::size_t r = 0; r < m; ++r) b(r, c) = rhs[open[c]][r];
+    const linalg::Matrix x = f->solve(b);
+    for (std::size_t c = 0; c < open.size(); ++c) {
+      linalg::Vector xc = x.col(c);
+      if (acceptable(xc)) {
+        solved[open[c]] = Solved{std::move(xc), shift, f};
+        --open_count;
+      }
+    }
+  };
+
+  attempt(0.0);
+  if (open_count > 0) {
+    const double scale = ladder_scale();
+    for (double ridge = kInitialRidge;
+         ridge <= kMaxRidge && open_count > 0; ridge *= 100.0)
+      attempt(ridge * scale);
+  }
+  for (std::size_t i = 0; i < nq; ++i)
+    if (solved[i])
+      results[i] = finalize(queries[i], rhs[i], solved[i]->x,
+                            solved[i]->shift, solved[i]->used);
+  return results;
+}
+
+std::optional<KrigingResult> KrigingSystem::finalize(
+    const std::vector<double>& q, const linalg::Vector& rhs,
+    const linalg::Vector& x, double shift,
+    const linalg::BorderedLdlt* used) const {
   const std::size_t n = points_.size();
   KrigingResult result;
   result.regularized = shift > 0.0;
@@ -359,6 +472,7 @@ void KrigingSystem::append_point(std::vector<double> point, double value) {
   const std::size_t u = points_.size();
   points_.push_back(std::move(point));
   values_.push_back(value);
+  for (std::size_t d = 0; d < dim_; ++d) cols_[d].push_back(points_[u][d]);
   slots_.push_back({u, true});
 
   if (layout_ == Layout::kAllInBase) {
@@ -410,6 +524,7 @@ bool KrigingSystem::remove_point(std::size_t slot) {
   const std::size_t u = victim.unique;
   points_.erase(points_.begin() + static_cast<std::ptrdiff_t>(u));
   values_.erase(values_.begin() + static_cast<std::ptrdiff_t>(u));
+  for (auto& c : cols_) c.erase(c.begin() + static_cast<std::ptrdiff_t>(u));
   for (Slot& s : slots_)
     if (s.unique > u) --s.unique;
 

@@ -101,6 +101,16 @@ class KrigingSystem {
   /// slots hold 0).
   std::optional<KrigingResult> query(const std::vector<double>& q);
 
+  /// Answer a batch of queries against the one shared factorization:
+  /// every γ right-hand side is assembled first (batched over the SoA
+  /// column mirror), then each ladder rung solves all still-open queries
+  /// in one multi-RHS call. Result i is identical to query(queries[i]) —
+  /// the factorizations, ladder rungs, and per-column solves are the very
+  /// same computations, just amortized — so callers may batch or not
+  /// without optimizer decisions diverging.
+  std::vector<std::optional<KrigingResult>> query_batch(
+      const std::vector<std::vector<double>>& queries);
+
   /// Add one support slot. A point coincident with an existing one
   /// becomes a zero-weight slot (no factor change). In the kIncremental
   /// layout a genuinely new point extends the factor by one Schur pivot;
@@ -136,10 +146,24 @@ class KrigingSystem {
     std::unique_ptr<linalg::BorderedLdlt> ldlt;
   };
 
+  /// How distance_ was constructed. The batched assembly dispatches the
+  /// util::simd column kernels only for the two known built-ins (their
+  /// kernels are bit-identical to the std::function call); custom
+  /// distances keep the per-pair path.
+  enum class DistanceKind { kL1, kL2, kCustom };
+
   /// Matrix entry between unique points i and j (γ or covariance).
   double pair_entry(std::size_t i, std::size_t j) const;
   /// Matrix/rhs entry between the query and unique point k.
   double query_entry(const std::vector<double>& q, std::size_t k) const;
+  /// Entry as a function of an already-computed distance.
+  double entry_of(double d) const;
+  /// Distances from x to unique points [first, n), written to out —
+  /// batched over cols_ for the built-in distances.
+  void distances_to(const std::vector<double>& x, std::size_t first,
+                    double* out) const;
+  /// Rebuild the SoA column mirror of points_ from scratch.
+  void rebuild_columns();
   /// Drift basis f(x) under the effective drift.
   std::vector<double> drift_basis(const std::vector<double>& x) const;
 
@@ -156,6 +180,14 @@ class KrigingSystem {
 
   /// Coupling column of unique point i against the current factor.
   std::vector<double> coupling_of(std::size_t i) const;
+
+  /// Turn one accepted ladder solution into a KrigingResult (estimate,
+  /// variance, slot-indexed weights, contracts) — shared by query() and
+  /// query_batch().
+  std::optional<KrigingResult> finalize(const std::vector<double>& q,
+                                        const linalg::Vector& rhs,
+                                        const linalg::Vector& x, double shift,
+                                        const linalg::BorderedLdlt* used) const;
 
   /// Find or build the factor at `shift`; nullptr when singular there.
   linalg::BorderedLdlt* factor_at(double shift);
@@ -178,6 +210,10 @@ class KrigingSystem {
 
   std::vector<std::vector<double>> points_;  ///< Unique, insertion order.
   std::vector<double> values_;               ///< Values of unique points.
+  /// Columnar (SoA) mirror of points_: cols_[d][u] == points_[u][d], kept
+  /// in lockstep so assembly streams contiguous columns per dimension.
+  std::vector<std::vector<double>> cols_;
+  DistanceKind distance_kind_ = DistanceKind::kCustom;
   std::vector<Slot> slots_;                  ///< Caller-visible order.
 
   std::size_t border_ = 0;     ///< Lagrange/drift columns.

@@ -84,7 +84,11 @@ const char* to_string(ContractViolation::Kind kind);
 
 #else
 
-#define ACE_CONTRACT_CHECK_(kind, cond, detail) ((void)0)
+// The disabled form must still *mention* cond and detail (unevaluated,
+// via sizeof) so parameters used only in contracts do not trip
+// -Wunused-parameter under warnings-as-errors Release builds.
+#define ACE_CONTRACT_CHECK_(kind, cond, detail) \
+  ((void)sizeof(static_cast<bool>(cond)), (void)sizeof((detail), 0))
 
 #endif
 

@@ -7,6 +7,7 @@
 
 #include "kriging/ordinary_kriging.hpp"
 #include "kriging/variogram_model.hpp"
+#include "util/contract.hpp"
 #include "util/errors.hpp"
 #include "util/rng.hpp"
 
@@ -192,6 +193,70 @@ TEST(SimulationStore, QuarantineTracksFirstFaultCode) {
 
   // Quarantine is bookkeeping, not storage: the store itself is untouched.
   EXPECT_TRUE(store.empty());
+}
+
+TEST(SimulationStore, QuarantineLiftedBySuccessfulAdd) {
+  // Regression: a transiently faulting configuration (flaky simulator run,
+  // timeout under load) used to stay a permanent outcast even after a later
+  // clean simulation. A successful add must lift the active quarantine while
+  // the log keeps the event for audit.
+  d::SimulationStore store;
+  EXPECT_TRUE(store.quarantine({3, 3}, d::FaultCode::kTimeout));
+  ASSERT_TRUE(store.quarantined({3, 3}).has_value());
+
+  store.add({3, 3}, -42.0);
+  EXPECT_FALSE(store.quarantined({3, 3}).has_value());
+  ASSERT_TRUE(store.find({3, 3}).has_value());
+  EXPECT_DOUBLE_EQ(store.value(*store.find({3, 3})), -42.0);
+
+  // The audit log keeps the lifted event; only the active map forgets it.
+  EXPECT_EQ(store.quarantine_count(), 1u);
+  ASSERT_EQ(store.quarantine_log().size(), 1u);
+  EXPECT_EQ(store.quarantine_log()[0].first, (d::Config{3, 3}));
+  EXPECT_EQ(store.quarantine_log()[0].second, d::FaultCode::kTimeout);
+
+  // After the lift the configuration can fault (and quarantine) anew, and
+  // that is a *new* quarantine event appended to the log.
+  EXPECT_TRUE(store.quarantine({3, 3}, d::FaultCode::kNonFinite));
+  ASSERT_TRUE(store.quarantined({3, 3}).has_value());
+  EXPECT_EQ(*store.quarantined({3, 3}), d::FaultCode::kNonFinite);
+  ASSERT_EQ(store.quarantine_log().size(), 2u);
+  EXPECT_EQ(store.quarantine_log()[1].second, d::FaultCode::kNonFinite);
+}
+
+TEST(SimulationStore, UpdateInPlaceAlsoLiftsQuarantine) {
+  // The lift applies on the duplicate-update path too: the config is
+  // already stored, a re-simulation succeeded, so it is healthy again.
+  d::SimulationStore store;
+  store.add({5, 5}, 1.0);
+  EXPECT_TRUE(store.quarantine({5, 5}, d::FaultCode::kSimulatorThrow));
+  EXPECT_EQ(store.add({5, 5}, 2.0), 0u);
+  EXPECT_FALSE(store.quarantined({5, 5}).has_value());
+  EXPECT_DOUBLE_EQ(store.value(0), 2.0);
+}
+
+TEST(SimulationStore, NegativeRadiusIsAContractViolation) {
+  // A negative radius is always a caller sign bug, never an empty query.
+  // With contracts compiled in (Debug) it throws; in Release the contracts
+  // are compiled out and the scans degenerate to empty results.
+  d::SimulationStore store;
+  store.add({1, 1}, 0.0);
+  store.add({2, 2}, 1.0);
+#if ACE_CONTRACTS_ENABLED
+  EXPECT_THROW((void)store.neighbors_within({1, 1}, -1),
+               ace::util::ContractViolation);
+  EXPECT_THROW((void)store.neighbors_within_l2({1, 1}, -0.5),
+               ace::util::ContractViolation);
+  EXPECT_THROW((void)store.neighbors_within_linear({1, 1}, -1),
+               ace::util::ContractViolation);
+  EXPECT_THROW((void)store.neighbors_within_l2_linear({1, 1}, -0.5),
+               ace::util::ContractViolation);
+#else
+  EXPECT_EQ(store.neighbors_within({1, 1}, -1).count(), 0u);
+  EXPECT_EQ(store.neighbors_within_l2({1, 1}, -0.5).count(), 0u);
+  EXPECT_EQ(store.neighbors_within_linear({1, 1}, -1).count(), 0u);
+  EXPECT_EQ(store.neighbors_within_l2_linear({1, 1}, -0.5).count(), 0u);
+#endif
 }
 
 }  // namespace

@@ -27,6 +27,12 @@ kriging-direct-solve
                   owns assembly, the ridge ladder, dedupe and the
                   factorization reuse; a direct solver call would fork the
                   numerics the factor cache relies on being identical.
+raw-distance-loop Hand-rolled distance accumulation
+                  (`acc += abs(a - b)` and friends) outside the SIMD
+                  kernel layer (src/util/simd*). Scans and assembly must
+                  go through the util::simd kernels or the canonical
+                  l1_distance/l2_distance helpers so the blocked SoA
+                  paths and the scalar paths cannot drift apart.
 
 Suppression
 -----------
@@ -119,6 +125,13 @@ RULES = [
         "through kriging::KrigingSystem (it owns assembly, the ridge "
         "ladder and factor reuse)",
     ),
+    (
+        "raw-distance-loop",
+        re.compile(r"\+=\s*(?:std::)?f?abs\s*\([^)]*-"),
+        "hand-rolled distance accumulation; use the util::simd kernels or "
+        "the canonical l1_distance/l2_distance helpers so scan paths stay "
+        "bit-identical",
+    ),
 ]
 
 ALLOW_RE = re.compile(r"ace-lint:\s*allow\(([^)]*)\)")
@@ -135,6 +148,10 @@ RAW_MUTEX_EXEMPT = re.compile(r"(?:^|/)src/util/[^/]+$")
 KRIGING_WRAPPER_SCOPE = re.compile(
     r"(?:^|/)[^/]*_kriging\.(?:cpp|hpp|cc|hh|cxx|h)$"
 )
+
+# The SIMD kernel layer is where the raw distance loops *live*; the
+# scalar reference twins are the canonical loop by definition.
+RAW_DISTANCE_EXEMPT = re.compile(r"(?:^|/)src/util/simd[^/]*$")
 
 
 def strip_code(line: str) -> str:
@@ -222,6 +239,9 @@ def lint_file(path: Path) -> list[Finding]:
                 continue
             if rule == "kriging-direct-solve" and \
                     not KRIGING_WRAPPER_SCOPE.search(path.as_posix()):
+                continue
+            if rule == "raw-distance-loop" and RAW_DISTANCE_EXEMPT.search(
+                    path.as_posix()):
                 continue
             if pattern.search(code):
                 findings.append(Finding(path, idx, rule, message))

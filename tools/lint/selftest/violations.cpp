@@ -55,4 +55,16 @@ void out_of_scope_solver_use() {
   (void)w;
 }
 
+double raw_distance_loops(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i)
+    acc += std::abs(a[i] - b[i]);    // expect(raw-distance-loop)
+  for (int i = 0; i < n; ++i)
+    acc += fabs(b[i] - a[i]);        // expect(raw-distance-loop)
+  // Accumulating a plain magnitude (no subtraction inside the abs) is not
+  // a distance loop and must stay unflagged.
+  for (int i = 0; i < n; ++i) acc += std::abs(a[i]);
+  return acc;
+}
+
 }  // namespace fixture
