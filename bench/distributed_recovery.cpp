@@ -1,0 +1,344 @@
+// Distributed-recovery bench: the decision-identity proof for the
+// coordinator/worker evaluation path.
+//
+// Three claims are checked:
+//   1. Chaos sweep: a min+1 optimization whose batch evaluation is sharded
+//      across chaos-injected workers (random kills at protocol points,
+//      garbage frames, stragglers past their lease) makes *bit-identical*
+//      decisions to the single-process run — for every failure mode and
+//      every seed. Recovery is allowed to cost re-dispatches, respawns and
+//      local fallbacks; it is never allowed to change an answer.
+//   2. Persistent simulator faults quarantine at the coordinator: a broken
+//      configuration is shipped at most once per retry budget, and the run
+//      still matches the equivalent single-process fault-injected run.
+//   3. Happy-path overhead: sharding a clean workload to 4 subprocess
+//      workers over pipes costs < 10% wall clock versus the in-process
+//      thread-pool backend (same kernel, same batching).
+//
+// Flags: --chaos (skip the subprocess overhead section), --seeds N
+// (default 8), --worker PATH (default: <bindir>/../tools/ace_worker).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/chaos.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/in_process.hpp"
+#include "dist/kernels.hpp"
+#include "dse/batch_sim.hpp"
+#include "dse/fault_injection.hpp"
+#include "dse/kriging_policy.hpp"
+#include "dse/min_plus_one.hpp"
+#include "dse/scheduler.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace dist = ace::dist;
+namespace dse = ace::dse;
+
+/// Pure-simulation policy options (kriging disabled): every candidate goes
+/// through the evaluation backend, so backend identity is what's tested.
+dse::PolicyOptions pure_simulation(ace::util::RetryOptions retry) {
+  dse::PolicyOptions options;
+  options.min_fit_points = 1000000;
+  options.retry = retry;
+  return options;
+}
+
+dse::MinPlusOneOptions min_plus_setup() {
+  dse::MinPlusOneOptions options;
+  options.nv = 6;
+  options.w_max = 10;
+  options.w_min = 2;
+  options.lambda_min = 14.0;
+  return options;
+}
+
+bool identical_runs(const dse::MinPlusOneResult& a,
+                    const dse::MinPlusOneResult& b) {
+  return a.w_res == b.w_res && a.w_min == b.w_min &&
+         a.decisions == b.decisions && a.final_lambda == b.final_lambda &&
+         a.constraint_met == b.constraint_met;
+}
+
+/// One min+1 run with batch evaluation sharded through a coordinator whose
+/// worker transports are wrapped in the given chaos options.
+struct ChaosRun {
+  dse::MinPlusOneResult result;
+  dist::DistStats stats;
+  bool degraded = false;
+};
+
+ChaosRun chaos_run(const dse::SimulatorFn& kernel,
+                   const ace::util::RetryOptions& retry,
+                   dist::ChaosOptions chaos, dist::DistOptions options) {
+  options.retry = retry;
+  auto spawned = std::make_shared<std::atomic<std::uint64_t>>(0);
+  dist::Coordinator coordinator(
+      [kernel, chaos, spawned]() -> std::unique_ptr<dist::Transport> {
+        dist::ChaosOptions per_worker = chaos;
+        per_worker.seed = chaos.seed + 1000 * spawned->fetch_add(1);
+        return std::make_unique<dist::FaultInjectingTransport>(
+            std::make_unique<dist::InProcessTransport>(kernel), per_worker);
+      },
+      kernel, options);
+  dse::KrigingPolicy policy(pure_simulation(retry));
+  ChaosRun run;
+  run.result =
+      dse::min_plus_one(dse::policy_batch_evaluator(policy, coordinator),
+                        min_plus_setup());
+  run.stats = coordinator.stats();
+  run.degraded = coordinator.degraded();
+  return run;
+}
+
+/// Time simulate_many over the whole workload in policy-sized chunks.
+double time_backend(dse::BatchSimulator& backend,
+                    const std::vector<dse::Config>& work) {
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = Clock::now();
+    for (std::size_t at = 0; at < work.size(); at += 64) {
+      const std::vector<dse::Config> chunk(
+          work.begin() + static_cast<long>(at),
+          work.begin() + static_cast<long>(std::min(at + 64, work.size())));
+      (void)backend.simulate_many(chunk);
+    }
+    best = std::min(best,
+                    std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool chaos_only = false;
+  std::size_t seeds = 8;
+  std::string worker_binary;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--chaos") {
+      chaos_only = true;
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      seeds = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--worker" && i + 1 < argc) {
+      worker_binary = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--chaos] [--seeds N] [--worker PATH]\n";
+      return 2;
+    }
+  }
+  if (worker_binary.empty()) {
+    worker_binary = (std::filesystem::path(argv[0]).parent_path() / ".." /
+                     "tools" / "ace_worker")
+                        .string();
+  }
+
+  int failures = 0;
+  ace::util::RetryOptions retry;
+  retry.max_attempts = 2;
+
+  // --- Single-process reference: the decisions every run must match ------
+  const dse::SimulatorFn lattice = dist::find_kernel("lattice");
+  dse::KrigingPolicy clean(pure_simulation(retry));
+  const dse::MinPlusOneResult reference = dse::min_plus_one(
+      dse::policy_batch_evaluator(clean, lattice), min_plus_setup());
+
+  // --- 1. Chaos sweep: every failure mode, every seed --------------------
+  struct Mode {
+    const char* name;
+    dist::ChaosOptions chaos;
+    dist::DistOptions options;
+  };
+  std::vector<Mode> modes(3);
+  modes[0].name = "kill";  // Workers die mid-protocol, both directions.
+  modes[0].chaos.kill_on_send = 0.03;
+  modes[0].chaos.kill_on_recv = 0.03;
+  modes[1].name = "garbage";  // Frames corrupted on the way back.
+  modes[1].chaos.garbage = 0.05;
+  modes[2].name = "stall";  // Stragglers held past a short lease.
+  modes[2].chaos.stall = 0.10;
+  modes[2].chaos.stall_hold = std::chrono::milliseconds(40);
+  modes[2].options.lease_ms = std::chrono::milliseconds(20);
+  for (Mode& mode : modes) {
+    mode.options.workers = 3;
+    mode.options.respawn_budget = 256;
+  }
+
+  std::cout << "=== Chaos sweep: " << seeds
+            << " seeds x {kill, garbage, stall} vs single-process ===\n";
+  for (const Mode& mode : modes) {
+    std::size_t matched = 0;
+    dist::DistStats total;
+    for (std::size_t seed = 1; seed <= seeds; ++seed) {
+      dist::ChaosOptions chaos = mode.chaos;
+      chaos.seed = 0x9000u + 131 * seed;
+      const ChaosRun run = chaos_run(lattice, retry, chaos, mode.options);
+      if (identical_runs(run.result, reference)) ++matched;
+      total.dispatches += run.stats.dispatches;
+      total.redispatches += run.stats.redispatches;
+      total.steals += run.stats.steals;
+      total.lease_expiries += run.stats.lease_expiries;
+      total.worker_deaths += run.stats.worker_deaths;
+      total.respawns += run.stats.respawns;
+      total.corrupt_frames += run.stats.corrupt_frames;
+      total.truncated_frames += run.stats.truncated_frames;
+      total.local_fallbacks += run.stats.local_fallbacks;
+    }
+    const std::size_t injected = total.worker_deaths + total.corrupt_frames +
+                                 total.truncated_frames +
+                                 total.lease_expiries;
+    std::cout << mode.name << ": " << matched << "/" << seeds
+              << " seeds bit-identical | deaths=" << total.worker_deaths
+              << " respawns=" << total.respawns
+              << " corrupt=" << total.corrupt_frames
+              << " truncated=" << total.truncated_frames
+              << " expiries=" << total.lease_expiries
+              << " steals=" << total.steals
+              << " redispatches=" << total.redispatches
+              << " local=" << total.local_fallbacks << "\n";
+    if (matched != seeds) {
+      std::cerr << "FAIL: " << mode.name
+                << " chaos changed the decision sequence\n";
+      ++failures;
+    }
+    if (injected == 0) {
+      std::cerr << "FAIL: " << mode.name
+                << " chaos injected nothing across the sweep\n";
+      ++failures;
+    }
+  }
+  std::cout << "\n";
+
+  // --- 2. Persistent simulator faults quarantine at the coordinator ------
+  dse::FaultInjectionOptions persistent;
+  persistent.seed = 5;
+  persistent.throw_probability = 0.10;
+  persistent.faulty_calls = 1000000;  // Never recovers.
+
+  // Reference: the same faulting simulator, single-process. Faulting is a
+  // pure function of (seed, config), so separate instances agree.
+  dse::KrigingPolicy local_policy(pure_simulation(retry));
+  const dse::FaultInjectingSimulator local_faulty(lattice, persistent);
+  const dse::MinPlusOneResult faulty_reference = dse::min_plus_one(
+      dse::policy_batch_evaluator(local_policy, local_faulty), min_plus_setup());
+
+  const dse::FaultInjectingSimulator dist_faulty(lattice, persistent);
+  dist::DistOptions faulty_options;
+  faulty_options.workers = 3;
+  faulty_options.retry = retry;
+  dist::Coordinator faulty_coordinator(
+      [&dist_faulty]() -> std::unique_ptr<dist::Transport> {
+        return std::make_unique<dist::InProcessTransport>(dist_faulty);
+      },
+      dist_faulty, faulty_options);
+  dse::KrigingPolicy dist_policy(pure_simulation(retry));
+  const dse::MinPlusOneResult faulty_run = dse::min_plus_one(
+      dse::policy_batch_evaluator(dist_policy, faulty_coordinator),
+      min_plus_setup());
+  const dse::PolicyStats& ps = dist_policy.stats();
+
+  std::cout << "=== Persistent faults through the coordinator ===\n"
+            << "identical to single-process fault-injected run: "
+            << (identical_runs(faulty_run, faulty_reference) ? "yes" : "NO")
+            << "\nquarantined=" << ps.quarantined
+            << " simulator_faults=" << ps.simulator_faults
+            << " redispatches=" << faulty_coordinator.stats().redispatches
+            << " quarantine_hits=" << faulty_coordinator.stats().quarantine_hits
+            << "\n\n";
+  if (!identical_runs(faulty_run, faulty_reference)) {
+    std::cerr << "FAIL: coordinator diverged under persistent faults\n";
+    ++failures;
+  }
+  if (ps.quarantined == 0) {
+    std::cerr << "FAIL: persistent faults should quarantine configurations\n";
+    ++failures;
+  }
+  // A simulator fault is a *result*, not a transport failure: it must never
+  // trigger re-dispatch, and quarantine caps simulation per broken config.
+  if (faulty_coordinator.stats().redispatches != 0) {
+    std::cerr << "FAIL: simulator faults caused transport re-dispatch\n";
+    ++failures;
+  }
+  if (ps.simulator_faults > ps.quarantined * retry.max_attempts) {
+    std::cerr << "FAIL: quarantined configurations were re-simulated\n";
+    ++failures;
+  }
+
+  // --- 3. Happy-path overhead: 4 subprocess workers vs in-process --------
+  if (chaos_only) {
+    std::cout << (failures == 0 ? "all distributed-recovery checks passed\n"
+                                : "DISTRIBUTED-RECOVERY CHECKS FAILED\n");
+    return failures == 0 ? 0 : 1;
+  }
+  if (!std::filesystem::exists(worker_binary)) {
+    std::cerr << "FAIL: worker binary not found: " << worker_binary
+              << " (pass --worker or build the tools/ directory)\n";
+    return 1;
+  }
+
+  std::vector<dse::Config> work;
+  for (int x = 0; x < 8; ++x)
+    for (int y = 0; y < 8; ++y)
+      for (int z = 0; z < 8; ++z) work.push_back({x, y, z});
+
+  const dse::SimulatorFn busy = dist::find_kernel("busy-lattice");
+  ace::util::ThreadPool pool(4);
+  dse::PooledBatchSimulator pooled(busy, retry, &pool);
+
+  dist::DistOptions subprocess_options;
+  subprocess_options.workers = 4;
+  subprocess_options.retry = retry;
+  const std::unique_ptr<dist::Coordinator> subprocess =
+      dist::make_subprocess_coordinator(worker_binary, "busy-lattice", busy,
+                                        subprocess_options);
+
+  // Warm both backends (spawns + handshakes land outside the timed runs)
+  // and cross-check values bitwise while we are at it.
+  const std::vector<dse::Config> warmup(work.begin(), work.begin() + 64);
+  const auto pooled_calls = pooled.simulate_many(warmup);
+  const auto dist_calls = subprocess->simulate_many(warmup);
+  for (std::size_t i = 0; i < warmup.size(); ++i) {
+    if (pooled_calls[i].value != dist_calls[i].value) {
+      std::cerr << "FAIL: subprocess worker value diverges at " << i << "\n";
+      ++failures;
+      break;
+    }
+  }
+
+  const double pooled_s = time_backend(pooled, work);
+  const double dist_s = time_backend(*subprocess, work);
+  const double overhead_pct = 100.0 * (dist_s / pooled_s - 1.0);
+  std::cout << "=== Happy-path overhead (" << work.size()
+            << " busy-lattice simulations) ===\n"
+            << "in-process pool(4):    " << ace::util::fmt(pooled_s, 4)
+            << " s\nsubprocess workers(4): " << ace::util::fmt(dist_s, 4)
+            << " s\noverhead: " << ace::util::fmt(overhead_pct, 2)
+            << " % (budget: < 10 %)\n"
+            << "worker deaths during timing: "
+            << subprocess->stats().worker_deaths << "\n\n";
+  if (overhead_pct >= 10.0) {
+    std::cerr << "FAIL: subprocess sharding costs >= 10% on the happy path\n";
+    ++failures;
+  }
+  if (subprocess->degraded()) {
+    std::cerr << "FAIL: subprocess coordinator degraded on a clean run\n";
+    ++failures;
+  }
+
+  std::cout << (failures == 0 ? "all distributed-recovery checks passed\n"
+                              : "DISTRIBUTED-RECOVERY CHECKS FAILED\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+#include "dist/chaos.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace ace::dist {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kSendSalt = 0x5eed0001u;
+constexpr std::uint64_t kRecvSalt = 0x5eed0002u;
+
+/// Map 64 random bits to [0, 1).
+double unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t FaultInjectingTransport::draw(std::uint64_t side_salt,
+                                            std::uint64_t counter) const {
+  return splitmix64(options_.seed ^ (side_salt * 0x9e3779b97f4a7c15ull) ^
+                    counter);
+}
+
+bool FaultInjectingTransport::roll(std::uint64_t side_salt,
+                                   std::uint64_t counter, double p,
+                                   unsigned lane) const {
+  if (p <= 0.0) return false;
+  // Each failure mode draws from its own lane so enabling one mode never
+  // shifts another mode's decisions for the same seed.
+  return unit(draw(side_salt ^ (0x1000ull + lane), counter)) < p;
+}
+
+void FaultInjectingTransport::corrupt(std::string& line,
+                                      std::uint64_t entropy) const {
+  if (line.empty()) {
+    line.push_back('?');
+    return;
+  }
+  switch (entropy % 3) {
+    case 0:  // Truncate: the classic torn write.
+      line.resize(line.size() / 2);
+      break;
+    case 1: {  // Flip one byte somewhere in the payload.
+      const std::size_t at = (entropy >> 8) % line.size();
+      line[at] = static_cast<char>('!' + ((line[at] + 13) % 64));
+      break;
+    }
+    default:  // Replace wholesale with junk that still looks line-ish.
+      // Built with clear+append: assigning a literal trips a GCC 12
+      // -Wrestrict false positive inside libstdc++ under -O2 -Werror.
+      line.clear();
+      line.append("RESULT 999999 bogus payload from the void");
+      break;
+  }
+}
+
+bool FaultInjectingTransport::send_line(const std::string& line) {
+  const std::uint64_t event = send_events_++;
+  if (roll(kSendSalt, event, options_.kill_on_send, 0)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    inner_->shutdown();  // The frame never arrives.
+    return false;
+  }
+  return inner_->send_line(line);
+}
+
+Transport::Recv FaultInjectingTransport::recv_line(
+    std::string& line, std::chrono::milliseconds timeout) {
+  const auto now = std::chrono::steady_clock::now();
+  if (held_) {
+    // A stalled reply is released only once its hold expires; until then
+    // the transport looks silent (kTimeout), exactly like a straggler.
+    if (now < release_) {
+      std::this_thread::sleep_for(
+          std::min(timeout, std::chrono::duration_cast<std::chrono::milliseconds>(
+                                release_ - now)));
+      return Recv::kTimeout;
+    }
+    line = std::move(*held_);
+    held_.reset();
+    return Recv::kLine;
+  }
+
+  const Recv got = inner_->recv_line(line, timeout);
+  if (got != Recv::kLine) return got;
+
+  const std::uint64_t event = recv_events_++;
+  if (roll(kRecvSalt, event, options_.kill_on_recv, 1)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    inner_->shutdown();  // The worker died right after replying...
+    return Recv::kEof;   // ...and its reply died with it.
+  }
+  if (roll(kRecvSalt, event, options_.garbage, 2)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    corrupt(line, draw(kRecvSalt ^ 0x6a5bull, event));
+    return Recv::kLine;
+  }
+  if (roll(kRecvSalt, event, options_.stall, 3)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    held_ = std::move(line);
+    release_ = now + options_.stall_hold;
+    return Recv::kTimeout;
+  }
+  return Recv::kLine;
+}
+
+std::size_t FaultInjectingTransport::injected_faults() const {
+  return injected_.load(std::memory_order_relaxed);
+}
+
+}  // namespace ace::dist

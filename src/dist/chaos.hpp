@@ -1,0 +1,73 @@
+// Chaos harness: a Transport decorator that injects failures at protocol
+// points, driven entirely by a seed.
+//
+// Each side of the transport keeps its own event counter (the coordinator
+// thread sends, the reader thread receives; sharing one counter would make
+// injection order depend on the thread schedule). Event k on side s draws
+// splitmix64(seed ^ side_salt ^ k), so a given (seed, options) pair
+// injects exactly the same faults at exactly the same protocol points on
+// every run — which is what lets bench/distributed_recovery assert
+// bit-identical recovery rather than merely "it didn't crash".
+//
+// Failure modes:
+//  * kill_on_send  — worker dies before the frame reaches it (the classic
+//    "dispatched but never received" lease expiry);
+//  * kill_on_recv  — worker dies right after producing a reply; the reply
+//    is dropped with it (result computed but lost);
+//  * garbage       — the reply is corrupted in flight (checksum must
+//    catch it; the coordinator must treat the worker as poisoned);
+//  * stall         — the reply is held past `stall` for `stall_hold`,
+//    modelling a straggler that is alive but too slow (work stealing must
+//    kick in; the late original must be merged or dropped cleanly).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dist/transport.hpp"
+
+namespace ace::dist {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  double kill_on_send = 0.0;  ///< P(kill worker instead of delivering send).
+  double kill_on_recv = 0.0;  ///< P(kill worker and drop a received reply).
+  double garbage = 0.0;       ///< P(corrupt a received reply in flight).
+  double stall = 0.0;         ///< P(hold a received reply back).
+  std::chrono::milliseconds stall_hold{100};  ///< How long a stall lasts.
+};
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<Transport> inner,
+                          const ChaosOptions& options)
+      : inner_(std::move(inner)), options_(options) {}
+
+  bool send_line(const std::string& line) override;
+  Recv recv_line(std::string& line, std::chrono::milliseconds timeout) override;
+  void shutdown() override { inner_->shutdown(); }
+  bool alive() const override { return inner_->alive(); }
+
+  std::size_t injected_faults() const;  ///< Total events injected (any mode).
+
+ private:
+  std::uint64_t draw(std::uint64_t side_salt, std::uint64_t counter) const;
+  bool roll(std::uint64_t side_salt, std::uint64_t counter, double p,
+            unsigned lane) const;
+  void corrupt(std::string& line, std::uint64_t entropy) const;
+
+  std::unique_ptr<Transport> inner_;
+  ChaosOptions options_;
+  std::uint64_t send_events_ = 0;  // Coordinator-thread only.
+  std::uint64_t recv_events_ = 0;  // Reader-thread only.
+  std::optional<std::string> held_;  // Reader-thread only (stall state).
+  std::chrono::steady_clock::time_point release_{};
+  std::atomic<std::size_t> injected_{0};
+};
+
+}  // namespace ace::dist

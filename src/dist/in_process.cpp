@@ -1,0 +1,45 @@
+#include "dist/in_process.hpp"
+
+#include <utility>
+
+#include "dist/worker.hpp"
+
+namespace ace::dist {
+
+InProcessTransport::InProcessTransport(dse::SimulatorFn simulate) {
+  util::LockGuard lock(lifecycle_mutex_);
+  worker_ = std::thread([this, simulate = std::move(simulate)] {
+    QueueChannel channel(to_worker_, from_worker_);
+    (void)serve(channel, simulate);
+    // Mirror a process exit: once serve returns, the coordinator-facing
+    // queue reports EOF instead of blocking forever.
+    from_worker_.close();
+  });
+}
+
+InProcessTransport::~InProcessTransport() { shutdown(); }
+
+bool InProcessTransport::send_line(const std::string& line) {
+  return to_worker_.push(line);
+}
+
+Transport::Recv InProcessTransport::recv_line(std::string& line,
+                                              std::chrono::milliseconds timeout) {
+  return from_worker_.pop(line, timeout);
+}
+
+void InProcessTransport::shutdown() {
+  util::LockGuard lock(lifecycle_mutex_);
+  if (dead_) return;
+  dead_ = true;
+  to_worker_.close();
+  from_worker_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool InProcessTransport::alive() const {
+  util::LockGuard lock(lifecycle_mutex_);
+  return !dead_;
+}
+
+}  // namespace ace::dist

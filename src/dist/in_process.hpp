@@ -1,0 +1,45 @@
+// In-process worker transport: the real serve() loop on a thread,
+// connected by two LineQueues.
+//
+// This is the chaos harness's habitat of choice. Killing a subprocess is
+// only *mostly* deterministic (signal delivery races the pipe flush);
+// closing a queue pair is exact — frames pushed before the close are
+// still delivered, frames after it are dropped, precisely the semantics
+// of a SIGKILL racing buffered pipe bytes, but reproducible bit-for-bit
+// from a seed. The coordinator cannot tell the difference, which is the
+// point: every recovery path exercised here is the same code that runs
+// against real subprocess workers.
+#pragma once
+
+#include <thread>
+
+#include "dist/transport.hpp"
+#include "dse/kriging_policy.hpp"  // SimulatorFn
+
+namespace ace::dist {
+
+class InProcessTransport final : public Transport {
+ public:
+  /// Starts the worker thread immediately; it blocks waiting for HELLO.
+  explicit InProcessTransport(dse::SimulatorFn simulate);
+  ~InProcessTransport() override;
+
+  bool send_line(const std::string& line) override;
+  Recv recv_line(std::string& line, std::chrono::milliseconds timeout) override;
+
+  /// SIGKILL analogue: close both queues (the serve loop reads EOF and
+  /// unwinds) and join the worker thread. A simulation already in flight
+  /// runs to completion but its result is dropped at the closed queue.
+  void shutdown() override;
+
+  bool alive() const override;
+
+ private:
+  LineQueue to_worker_;
+  LineQueue from_worker_;
+  mutable util::Mutex lifecycle_mutex_;
+  std::thread worker_ ACE_GUARDED_BY(lifecycle_mutex_);
+  bool dead_ ACE_GUARDED_BY(lifecycle_mutex_) = false;
+};
+
+}  // namespace ace::dist

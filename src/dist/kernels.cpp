@@ -1,0 +1,69 @@
+#include "dist/kernels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ace::dist {
+namespace {
+
+/// The weighted-sum lattice metric used across the benches: cheap, smooth,
+/// and a pure function of w.
+double lattice_lambda(const dse::Config& w) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i)
+    acc += (0.4 + 0.03 * static_cast<double>(i)) * static_cast<double>(w[i]);
+  return acc;
+}
+
+/// ~100-200 µs of real arithmetic before returning the lattice metric —
+/// heavy enough that shipping it to a worker can pay for the pipe
+/// round-trip, which is what the overhead bench measures.
+double busy_lattice_lambda(const dse::Config& w) {
+  double acc = 0.0;
+  for (int k = 0; k < 60000; ++k) {
+    double x = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      x += static_cast<double>(w[i]) * (1.0 + 0.05 * static_cast<double>(i));
+    acc += std::sqrt(x + static_cast<double>(k));
+  }
+  // Fold the busywork in at a scale that cannot change any comparison but
+  // keeps the compiler from eliminating the loop.
+  return lattice_lambda(w) + acc * 1e-300;
+}
+
+/// Mildly nonlinear variant so kriging-rich runs have curvature to fit.
+double curved_lambda(const dse::Config& w) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double v = static_cast<double>(w[i]);
+    acc += (1.0 + 0.07 * static_cast<double>(i)) * std::sqrt(std::abs(v) + 1.0);
+  }
+  return acc;
+}
+
+struct Kernel {
+  const char* name;
+  double (*fn)(const dse::Config&);
+};
+
+constexpr Kernel kKernels[] = {
+    {"lattice", lattice_lambda},
+    {"busy-lattice", busy_lattice_lambda},
+    {"curved", curved_lambda},
+};
+
+}  // namespace
+
+dse::SimulatorFn find_kernel(const std::string& name) {
+  for (const Kernel& kernel : kKernels)
+    if (name == kernel.name) return dse::SimulatorFn(kernel.fn);
+  throw std::invalid_argument("unknown kernel: " + name);
+}
+
+std::vector<std::string> kernel_names() {
+  std::vector<std::string> names;
+  for (const Kernel& kernel : kKernels) names.emplace_back(kernel.name);
+  return names;
+}
+
+}  // namespace ace::dist

@@ -1,0 +1,27 @@
+// Named simulator kernels shared by the worker binary and the benches.
+//
+// A subprocess worker cannot receive a std::function over a pipe; it
+// receives a *name* (`ace_worker --kernel <name>`) and resolves it here.
+// The coordinator's local fallback resolves the same name, which is what
+// makes a local fallback result bit-identical to a worker result — both
+// sides run literally the same function. Every kernel is a pure,
+// deterministic function of the configuration (lint rules already ban
+// wall-clock and unseeded RNG in library code, but purity across *process
+// boundaries* is the property the distributed layer leans on).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dse/kriging_policy.hpp"  // SimulatorFn
+
+namespace ace::dist {
+
+/// Resolve a kernel by name. Throws std::invalid_argument for unknown
+/// names (the worker binary turns that into a usage error at startup).
+dse::SimulatorFn find_kernel(const std::string& name);
+
+/// All registered kernel names, for --help output and tests.
+std::vector<std::string> kernel_names();
+
+}  // namespace ace::dist

@@ -1,0 +1,85 @@
+#include "dist/pipe_transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ace::dist {
+
+std::unique_ptr<PipeTransport> PipeTransport::spawn(
+    const std::vector<std::string>& argv) {
+  return std::make_unique<PipeTransport>(util::Subprocess::spawn(argv));
+}
+
+PipeTransport::PipeTransport(util::Subprocess child)
+    : child_(std::move(child)) {}
+
+PipeTransport::~PipeTransport() {
+  shutdown();
+  // Reap and close fds. Contract: the reader thread has been joined by
+  // now, so no concurrent read_some() can touch the dying fds.
+  (void)child_.wait();
+}
+
+bool PipeTransport::send_line(const std::string& line) {
+  {
+    util::LockGuard lock(state_mutex_);
+    if (dead_) return false;
+  }
+  std::string framed = line;
+  framed += '\n';
+  return child_.write_all(framed.data(), framed.size());
+}
+
+Transport::Recv PipeTransport::recv_line(std::string& line,
+                                         std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return Recv::kLine;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return Recv::kTimeout;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    char chunk[4096];
+    std::size_t got = 0;
+    switch (child_.read_some(chunk, sizeof(chunk),
+                             std::max(remaining, std::chrono::milliseconds(1)),
+                             &got)) {
+      case util::ReadStatus::kData:
+        buffer_.append(chunk, got);
+        break;
+      case util::ReadStatus::kEof:
+        if (!buffer_.empty()) {
+          // The child died mid-frame. Never deliver the fragment — a
+          // partial RESULT that happened to parse would poison the merge.
+          truncated_tail_ = true;
+          buffer_.clear();
+        }
+        return Recv::kEof;
+      case util::ReadStatus::kTimeout:
+        return Recv::kTimeout;
+    }
+  }
+}
+
+void PipeTransport::shutdown() {
+  util::LockGuard lock(state_mutex_);
+  if (dead_) return;
+  dead_ = true;
+  // Signal only — fd teardown waits for the destructor so a concurrently
+  // blocked recv_line() observes a clean EOF instead of a closed fd.
+  child_.kill_hard();
+}
+
+bool PipeTransport::alive() const {
+  util::LockGuard lock(state_mutex_);
+  return !dead_;
+}
+
+bool PipeTransport::saw_truncated_tail() const { return truncated_tail_; }
+
+}  // namespace ace::dist

@@ -1,0 +1,53 @@
+// Subprocess worker transport: frames over stdin/stdout pipes.
+//
+// Wraps util::Subprocess with a receive buffer that reassembles
+// newline-delimited frames from arbitrary read chunks. A child killed
+// mid-frame leaves a partial tail in the buffer; recv_line() never
+// surfaces it as a line — it reports kEof and remembers the truncation
+// (`saw_truncated_tail()`), which the coordinator counts as a
+// kTruncatedPayload event.
+//
+// Threading: send_line() (coordinator thread) writes the stdin fd,
+// recv_line() (reader thread) reads the stdout fd — distinct fds, no
+// shared state, safe concurrently. shutdown() only signals (SIGKILL) and
+// never closes fds, so it is safe to race a blocked recv_line: the child
+// dying flips the pipe to EOF. Reaping and fd close happen in the
+// destructor, which the coordinator runs only after joining the reader.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/transport.hpp"
+#include "util/subprocess.hpp"
+
+namespace ace::dist {
+
+class PipeTransport final : public Transport {
+ public:
+  /// Spawn `argv` as a worker. Throws std::runtime_error when the spawn
+  /// itself fails (callers map that to a dead slot, not a crash).
+  static std::unique_ptr<PipeTransport> spawn(
+      const std::vector<std::string>& argv);
+
+  explicit PipeTransport(util::Subprocess child);
+  ~PipeTransport() override;
+
+  bool send_line(const std::string& line) override;
+  Recv recv_line(std::string& line, std::chrono::milliseconds timeout) override;
+  void shutdown() override;
+  bool alive() const override;
+
+  /// True when the stream ended inside an unterminated frame.
+  bool saw_truncated_tail() const;
+
+ private:
+  util::Subprocess child_;
+  std::string buffer_;          // Reader-thread only.
+  bool truncated_tail_ = false; // Written by reader, read after join.
+  mutable util::Mutex state_mutex_;
+  bool dead_ ACE_GUARDED_BY(state_mutex_) = false;
+};
+
+}  // namespace ace::dist

@@ -1,0 +1,42 @@
+#include "dist/transport.hpp"
+
+#include <utility>
+
+namespace ace::dist {
+
+bool LineQueue::push(std::string line) {
+  {
+    util::LockGuard lock(mutex_);
+    if (closed_) return false;
+    lines_.push_back(std::move(line));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void LineQueue::close() {
+  {
+    util::LockGuard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+Transport::Recv LineQueue::pop(std::string& line,
+                               std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::UniqueLock lock(mutex_);
+  for (;;) {
+    if (!lines_.empty()) {
+      line = std::move(lines_.front());
+      lines_.pop_front();
+      return Transport::Recv::kLine;
+    }
+    if (closed_) return Transport::Recv::kEof;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return Transport::Recv::kTimeout;
+    (void)lock.wait_for(cv_, deadline - now);
+  }
+}
+
+}  // namespace ace::dist

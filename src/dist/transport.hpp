@@ -1,0 +1,83 @@
+// Byte-channel abstraction between the coordinator and one worker.
+//
+// A Transport carries whole frames (newline-delimited lines, produced by
+// protocol.hpp) in both directions and models worker death explicitly:
+// send_line() returning false and recv_line() returning kEof both mean
+// "the peer is gone", which the coordinator treats as a routine,
+// recoverable event — never an exception.
+//
+// Two implementations live in the library:
+//  * InProcessTransport — runs the real worker serve() loop on a thread,
+//    connected by a pair of line queues. shutdown() is the SIGKILL
+//    analogue: both queues close, the loop sees EOF and unwinds. This is
+//    what the chaos harness drives, because a killed thread-worker is
+//    deterministic where a killed process is only mostly so.
+//  * PipeTransport (pipe_transport.hpp) — a real subprocess over
+//    stdin/stdout pipes via util::Subprocess.
+// FaultInjectingTransport (chaos.hpp) decorates either with seeded
+// failures.
+//
+// Threading contract: exactly one thread calls send_line() (the
+// coordinator) and exactly one thread calls recv_line() (that worker's
+// reader); shutdown() may be called from either, and also races worker
+// death. alive() is safe from any thread.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <string>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace ace::dist {
+
+class Transport {
+ public:
+  enum class Recv : unsigned char {
+    kLine = 0,  ///< A whole frame arrived.
+    kEof,       ///< Peer is gone; no more frames will ever arrive.
+    kTimeout,   ///< Deadline elapsed; the peer may still be alive.
+  };
+
+  virtual ~Transport() = default;
+
+  /// Send one frame (no trailing newline). False = peer gone.
+  virtual bool send_line(const std::string& line) = 0;
+
+  /// Wait up to `timeout` for one frame.
+  virtual Recv recv_line(std::string& line,
+                         std::chrono::milliseconds timeout) = 0;
+
+  /// Kill the peer and close the channel. Idempotent; safe to race with a
+  /// blocked recv_line (which then reports kEof).
+  virtual void shutdown() = 0;
+
+  /// False once shutdown() ran or the peer was observed dead.
+  virtual bool alive() const = 0;
+};
+
+/// Unbounded, close-aware MPSC queue of frames — the in-process stand-in
+/// for one direction of a pipe.
+class LineQueue {
+ public:
+  /// Returns false (dropping the line) once closed — like writing to a
+  /// pipe whose reader died.
+  bool push(std::string line);
+
+  /// Wakes every blocked pop() with kEof once drained. Idempotent.
+  void close();
+
+  /// Lines already queued are still delivered after close() (a pipe's
+  /// buffered bytes survive the writer); kEof only after the drain.
+  Transport::Recv pop(std::string& line, std::chrono::milliseconds timeout);
+
+ private:
+  mutable util::Mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> lines_ ACE_GUARDED_BY(mutex_);
+  bool closed_ ACE_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace ace::dist

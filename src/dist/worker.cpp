@@ -1,0 +1,92 @@
+#include "dist/worker.hpp"
+
+#include <chrono>
+
+#include "dist/protocol.hpp"
+#include "dse/fault.hpp"
+#include "util/retry.hpp"
+
+namespace ace::dist {
+
+bool StreamChannel::read_line(std::string& line) {
+  return static_cast<bool>(std::getline(in_, line));
+}
+
+bool StreamChannel::write_line(const std::string& line) {
+  out_ << line << '\n';
+  out_.flush();
+  return static_cast<bool>(out_);
+}
+
+bool QueueChannel::read_line(std::string& line) {
+  for (;;) {
+    switch (in_.pop(line, std::chrono::milliseconds(60'000))) {
+      case Transport::Recv::kLine:
+        return true;
+      case Transport::Recv::kEof:
+        return false;
+      case Transport::Recv::kTimeout:
+        continue;  // Workers have no deadline of their own; keep waiting.
+    }
+  }
+}
+
+bool QueueChannel::write_line(const std::string& line) {
+  return out_.push(line);
+}
+
+int serve(WorkerChannel& channel, const dse::SimulatorFn& simulate) {
+  std::string line;
+
+  // Handshake: the very first frame must be HELLO carrying the retry
+  // policy; nothing is simulated before it.
+  if (!channel.read_line(line)) return 1;
+  util::RetryOptions retry;
+  try {
+    const WireMessage hello = parse_message(decode_frame(line));
+    if (hello.type != MsgType::kHello) {
+      (void)channel.write_line(encode_err("expected HELLO"));
+      return 1;
+    }
+    retry = hello.retry;
+  } catch (const dse::PayloadError& error) {
+    (void)channel.write_line(encode_err(error.what()));
+    return 1;
+  }
+  if (!channel.write_line(encode_ready())) return 0;
+
+  while (channel.read_line(line)) {
+    WireMessage msg;
+    try {
+      msg = parse_message(decode_frame(line));
+    } catch (const dse::PayloadError& error) {
+      // A line that fails its checksum means the stream itself cannot be
+      // trusted (a partial write shifts every following frame). Report and
+      // exit; the coordinator respawns a clean worker.
+      (void)channel.write_line(encode_err(error.what()));
+      return 2;
+    }
+    switch (msg.type) {
+      case MsgType::kTask: {
+        const dse::Config config = msg.config;
+        const util::GuardedCall call = util::call_with_retry(
+            retry, dse::ConfigHash{}(config),
+            [&simulate, &config] { return simulate(config); });
+        if (!channel.write_line(encode_outcome(msg.id, call))) return 0;
+        break;
+      }
+      case MsgType::kPing:
+        if (!channel.write_line(encode_pong(msg.id))) return 0;
+        break;
+      case MsgType::kQuit:
+        return 0;
+      default:
+        (void)channel.write_line(
+            encode_err("unexpected message in serve loop"));
+        return 2;
+    }
+  }
+  return 0;  // Coordinator hung up; nothing left to do.
+}
+
+}  // namespace ace::dist

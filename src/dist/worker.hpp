@@ -1,0 +1,68 @@
+// Worker side of the protocol: the serve() loop and its byte channels.
+//
+// A worker is deliberately dumb — it owns no retry policy of its own (the
+// coordinator ships RetryOptions in HELLO, so fault classification is
+// bit-identical to an in-process run), no queue, and no state beyond the
+// handshake. All crash-tolerance logic lives in the coordinator; a worker
+// that receives garbage reports ERR and exits, trusting the coordinator
+// to respawn it.
+//
+// The same serve() runs in two habitats:
+//  * tools/ace_worker.cpp — a real subprocess over stdin/stdout
+//    (StreamChannel), killed with SIGKILL by the chaos sweeps;
+//  * InProcessTransport (in_process.hpp) — a thread over LineQueues
+//    (QueueChannel), "killed" by closing the queues.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "dist/transport.hpp"
+#include "dse/kriging_policy.hpp"  // SimulatorFn
+
+namespace ace::dist {
+
+/// Blocking line channel as seen from the worker.
+class WorkerChannel {
+ public:
+  virtual ~WorkerChannel() = default;
+  /// Blocking read of one frame; false on EOF (coordinator gone).
+  virtual bool read_line(std::string& line) = 0;
+  /// False when the peer is gone.
+  virtual bool write_line(const std::string& line) = 0;
+};
+
+/// stdin/stdout habitat (the ace_worker binary). Flushes every line —
+/// a buffered frame inside a SIGKILLed worker would otherwise vanish
+/// *after* the coordinator could have observed it.
+class StreamChannel final : public WorkerChannel {
+ public:
+  StreamChannel(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
+  bool read_line(std::string& line) override;
+  bool write_line(const std::string& line) override;
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+/// LineQueue habitat (InProcessTransport's worker thread).
+class QueueChannel final : public WorkerChannel {
+ public:
+  QueueChannel(LineQueue& in, LineQueue& out) : in_(in), out_(out) {}
+  bool read_line(std::string& line) override;
+  bool write_line(const std::string& line) override;
+
+ private:
+  LineQueue& in_;
+  LineQueue& out_;
+};
+
+/// Run the worker protocol until QUIT or EOF. Returns a process exit code:
+/// 0 clean (QUIT / coordinator hung up), 1 handshake failure, 2 poisoned
+/// stream (a frame failed to decode — the worker cannot resynchronise a
+/// line it cannot trust, so it reports ERR and exits).
+int serve(WorkerChannel& channel, const dse::SimulatorFn& simulate);
+
+}  // namespace ace::dist

@@ -1,5 +1,8 @@
 #include "dse/checkpoint.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -7,8 +10,6 @@
 #include <stdexcept>
 
 #include "dse/scheduler.hpp"
-#include "util/mutex.hpp"
-#include "util/thread_annotations.hpp"
 
 namespace ace::dse {
 
@@ -21,12 +22,35 @@ constexpr const char* kMagic = "ACE-CHECKPOINT";
 /// fields default to zero.
 constexpr int kVersion = 2;
 
-/// Serializes the write-tmp-then-rename sequence of save_checkpoint():
-/// two concurrent writers to the same path would otherwise interleave on
-/// the shared ".tmp" staging file and rename a half-written payload into
-/// place — exactly the torn checkpoint the atomic rename is meant to
-/// prevent.
-util::Mutex g_checkpoint_io_mutex;
+/// Staging-file name for the atomic tmp+rename write. The name is unique
+/// per process *and* per write (pid + a process-local counter), so two
+/// concurrent writers — two threads here, or two coordinator/worker
+/// processes checkpointing the same path — can never interleave on a
+/// shared ".tmp" file and rename a half-written payload into place.
+std::string unique_tmp_name(const std::string& path) {
+  static std::atomic<unsigned long> counter{0};
+  std::string tmp = path;
+  tmp += ".tmp.";
+  tmp += std::to_string(static_cast<long>(::getpid()));
+  tmp += '.';
+  tmp += std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  return tmp;
+}
+
+/// Unlinks the staging file unless the write completed: a failure anywhere
+/// on the open/write/rename path must not leave an orphaned .tmp behind.
+class TmpGuard {
+ public:
+  explicit TmpGuard(std::string path) : path_(std::move(path)) {}
+  ~TmpGuard() {
+    if (armed_) (void)std::remove(path_.c_str());
+  }
+  void disarm() { armed_ = false; }
+
+ private:
+  std::string path_;
+  bool armed_ = true;
+};
 
 // --- writing ---------------------------------------------------------------
 
@@ -175,18 +199,24 @@ class Reader {
  public:
   explicit Reader(std::istream& in) : in_(in) {}
 
+  // A cut-off stream (worker crash mid-write, truncated download) is
+  // reported as kTruncatedPayload, a token that exists but does not parse
+  // as kCorruptPayload — both typed, so a partial file can never load
+  // silently and callers can route the two failure classes differently.
   std::string token() {
     std::string t;
     if (!(in_ >> t))
-      throw std::runtime_error("checkpoint: unexpected end of file");
+      throw PayloadError(FaultCode::kTruncatedPayload,
+                         "checkpoint: unexpected end of file");
     return t;
   }
 
   void expect(const char* keyword) {
     const std::string t = token();
     if (t != keyword)
-      throw std::runtime_error(std::string("checkpoint: expected '") +
-                               keyword + "', got '" + t + "'");
+      throw PayloadError(FaultCode::kCorruptPayload,
+                         std::string("checkpoint: expected '") + keyword +
+                             "', got '" + t + "'");
   }
 
   std::size_t size() {
@@ -194,7 +224,8 @@ class Reader {
     char* end = nullptr;
     const unsigned long long v = std::strtoull(t.c_str(), &end, 10);
     if (end == t.c_str() || *end != '\0')
-      throw std::runtime_error("checkpoint: bad count '" + t + "'");
+      throw PayloadError(FaultCode::kCorruptPayload,
+                         "checkpoint: bad count '" + t + "'");
     return static_cast<std::size_t>(v);
   }
 
@@ -203,7 +234,8 @@ class Reader {
     char* end = nullptr;
     const long v = std::strtol(t.c_str(), &end, 10);
     if (end == t.c_str() || *end != '\0')
-      throw std::runtime_error("checkpoint: bad integer '" + t + "'");
+      throw PayloadError(FaultCode::kCorruptPayload,
+                         "checkpoint: bad integer '" + t + "'");
     return static_cast<int>(v);
   }
 
@@ -214,7 +246,8 @@ class Reader {
     char* end = nullptr;
     const double v = std::strtod(t.c_str(), &end);
     if (end == t.c_str() || *end != '\0')
-      throw std::runtime_error("checkpoint: bad double '" + t + "'");
+      throw PayloadError(FaultCode::kCorruptPayload,
+                         "checkpoint: bad double '" + t + "'");
     return v;
   }
 
@@ -281,8 +314,9 @@ Checkpoint parse(std::istream& in) {
   r.expect(kMagic);
   const int version = r.integer();
   if (version < 1 || version > kVersion)
-    throw std::runtime_error("checkpoint: unsupported version " +
-                             std::to_string(version));
+    throw PayloadError(FaultCode::kCorruptPayload,
+                       "checkpoint: unsupported version " +
+                           std::to_string(version));
   Checkpoint ck;
   r.expect("optimizer");
   ck.optimizer = r.token();
@@ -301,7 +335,13 @@ Checkpoint parse(std::istream& in) {
   const std::size_t qdim = r.size();
   ck.policy.quarantine.reserve(m);
   for (std::size_t i = 0; i < m; ++i) {
-    const auto code = static_cast<FaultCode>(r.integer());
+    const int raw_code = r.integer();
+    if (raw_code < 0 ||
+        raw_code > static_cast<int>(FaultCode::kTruncatedPayload))
+      throw PayloadError(FaultCode::kCorruptPayload,
+                         "checkpoint: bad fault code " +
+                             std::to_string(raw_code));
+    const auto code = static_cast<FaultCode>(raw_code);
     ck.policy.quarantine.emplace_back(read_config(r, qdim), code);
   }
   r.expect("fit_events");
@@ -352,17 +392,19 @@ void write_policy_checkpoint(KrigingPolicy& policy, Checkpoint& ck,
 
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
   const std::string payload = serialize(checkpoint);
-  const std::string tmp = path + ".tmp";
-  const util::LockGuard io_lock(g_checkpoint_io_mutex);
+  const std::string tmp = unique_tmp_name(path);
+  TmpGuard guard(tmp);
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
     out << payload;
+    out.flush();
     if (!out.good())
       throw std::runtime_error("checkpoint: write failed for " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0)
     throw std::runtime_error("checkpoint: rename to " + path + " failed");
+  guard.disarm();
 }
 
 std::optional<Checkpoint> load_checkpoint(const std::string& path) {

@@ -20,6 +20,10 @@ const char* to_string(FaultCode code) {
     case FaultCode::kTimeout: return "timeout";
     case FaultCode::kKrigingUnsolvable: return "kriging-unsolvable";
     case FaultCode::kContractViolation: return "contract-violation";
+    case FaultCode::kWorkerLost: return "worker-lost";
+    case FaultCode::kLeaseExpired: return "lease-expired";
+    case FaultCode::kCorruptPayload: return "corrupt-payload";
+    case FaultCode::kTruncatedPayload: return "truncated-payload";
   }
   return "unknown";
 }

@@ -7,6 +7,9 @@
 // value from a placeholder produced by a faulted candidate.
 #pragma once
 
+#include <stdexcept>
+#include <string>
+
 namespace ace::dse {
 
 /// Where an evaluation's value came from.
@@ -28,9 +31,36 @@ enum class FaultCode : unsigned char {
   kContractViolation,  ///< Simulator tripped a numerical contract
                        ///< (util::ContractViolation) — deterministic,
                        ///< never retried.
+  // Process-level faults of the coordinator/worker subsystem (src/dist/)
+  // and the persistence readers. New codes append so checkpoint files,
+  // which serialize the enumerator value, stay forward-compatible.
+  kWorkerLost,        ///< Worker process/thread died or its pipe closed
+                      ///< while it held a lease.
+  kLeaseExpired,      ///< A leased task missed its heartbeat deadline and
+                      ///< was stolen/re-dispatched.
+  kCorruptPayload,    ///< A wire frame or persisted payload failed its
+                      ///< checksum or did not parse.
+  kTruncatedPayload,  ///< A wire frame or persisted payload ended
+                      ///< mid-record (cut-off file, half-written line).
 };
 
 const char* to_string(EvalSource source);
 const char* to_string(FaultCode code);
+
+/// Typed parse/integrity failure of a persisted or transmitted payload
+/// (checkpoint file, trajectory CSV, dist wire frame). Derives from
+/// std::runtime_error so pre-existing catch sites keep working, but
+/// carries the FaultCode so callers can tell truncation from garbage and
+/// route the failure into the quarantine/retry machinery.
+class PayloadError : public std::runtime_error {
+ public:
+  PayloadError(FaultCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  FaultCode code() const { return code_; }
+
+ private:
+  FaultCode code_;
+};
 
 }  // namespace ace::dse

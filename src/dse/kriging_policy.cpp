@@ -7,11 +7,11 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "dse/batch_sim.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/vector.hpp"
 #include "util/contract.hpp"
-#include "util/thread_pool.hpp"
 
 namespace ace::dse {
 
@@ -392,10 +392,16 @@ void KrigingPolicy::restore(const PolicySnapshot& snapshot) {
 std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
     const std::vector<Config>& batch, const SimulatorFn& simulate,
     util::ThreadPool* pool) {
-  // Held across all three phases, including the pooled simulations of
-  // phase 2: the workers only call run_simulation (no guarded state), so
-  // holding the policy lock is deadlock-free and keeps the partition,
-  // simulate and fold steps one atomic policy transition.
+  PooledBatchSimulator backend(simulate, options_.retry, pool);
+  return evaluate_batch(batch, backend);
+}
+
+std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
+    const std::vector<Config>& batch, BatchSimulator& backend) {
+  // Held across all three phases, including the backend simulations of
+  // phase 2: the backend only executes guarded simulator calls (no policy
+  // state), so holding the policy lock is deadlock-free and keeps the
+  // partition, simulate and fold steps one atomic policy transition.
   const util::LockGuard lock(mutex_);
   const std::size_t n = batch.size();
   std::vector<EvalOutcome> outcomes(n);
@@ -516,31 +522,18 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
     owners.push_back(i);
   }
 
-  // Phase 2: run the pending simulations — on the pool when given, inline
-  // otherwise. Each guarded result lands in its own index-addressed slot,
-  // so the execution schedule cannot leak into the results, and a faulted
-  // candidate cannot abort its siblings: the retry guard captures
-  // simulator faults, and the collecting pool run captures anything that
-  // still escapes (folded below as a thrown-simulator fault).
-  std::vector<util::GuardedCall> sims(owners.size());
-  const std::vector<util::TaskError> errors = util::parallel_for_indexed_collect(
-      pool, owners.size(), [&](std::size_t s) {
-        sims[s] = run_simulation(batch[owners[s]], simulate);
-      });
-  for (const util::TaskError& err : errors) {
-    util::GuardedCall& g = sims[err.index];
-    g = {};
-    g.fault = util::CallFault::kThrew;
-    g.attempts = 1;
-    g.faulted_attempts = 1;
-    try {
-      std::rethrow_exception(err.error);
-    } catch (const std::exception& e) {
-      g.message = e.what();
-    } catch (...) {
-      g.message = "non-standard exception";
-    }
-  }
+  // Phase 2: hand the pending simulations to the backend — a thread pool,
+  // the distributed coordinator, or inline execution. Each guarded result
+  // lands in its own index-addressed slot, so neither the execution
+  // schedule nor the physical placement can leak into the results, and a
+  // faulted candidate cannot abort its siblings.
+  std::vector<Config> pending_configs;
+  pending_configs.reserve(owners.size());
+  for (const std::size_t owner : owners) pending_configs.push_back(batch[owner]);
+  std::vector<util::GuardedCall> sims = backend.simulate_many(pending_configs);
+  if (sims.size() != owners.size())
+    throw std::logic_error(
+        "evaluate_batch: backend returned wrong result count");
 
   // Phase 3 (serial): fold results into the store and the statistics in
   // candidate-index order — a deterministic reduction. Faulted candidates

@@ -218,6 +218,16 @@ class KrigingPolicy {
                                           util::ThreadPool* pool = nullptr)
       ACE_EXCLUDES(mutex_);
 
+  /// Backend overload: same partition and index-ordered fold, but the
+  /// pending simulations run through `backend` (a thread pool, a
+  /// coordinator sharding to worker processes, …). The backend is called
+  /// with the policy mutex held and must not call back into this policy.
+  /// The SimulatorFn overload above is exactly this with a
+  /// PooledBatchSimulator over (simulate, options().retry, pool).
+  std::vector<EvalOutcome> evaluate_batch(const std::vector<Config>& batch,
+                                          class BatchSimulator& backend)
+      ACE_EXCLUDES(mutex_);
+
   /// The store is internally synchronized; no policy lock involved.
   const SimulationStore& store() const { return store_; }
   const PolicyStats& stats() const ACE_EXCLUDES(mutex_) {

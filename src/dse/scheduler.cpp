@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "dse/batch_sim.hpp"
+
 namespace ace::dse {
 
 std::vector<Config> maximin_order(std::vector<Config> batch) {
@@ -67,6 +69,18 @@ BatchEvaluateFn policy_batch_evaluator(KrigingPolicy& policy,
           pool](const std::vector<Config>& batch) {
     const std::vector<EvalOutcome> outcomes =
         policy.evaluate_batch(batch, simulate, pool);
+    std::vector<double> values;
+    values.reserve(outcomes.size());
+    for (const EvalOutcome& o : outcomes) values.push_back(o.value);
+    return values;
+  };
+}
+
+BatchEvaluateFn policy_batch_evaluator(KrigingPolicy& policy,
+                                       BatchSimulator& backend) {
+  return [&policy, &backend](const std::vector<Config>& batch) {
+    const std::vector<EvalOutcome> outcomes =
+        policy.evaluate_batch(batch, backend);
     std::vector<double> values;
     values.reserve(outcomes.size());
     for (const EvalOutcome& o : outcomes) values.push_back(o.value);

@@ -45,4 +45,10 @@ BatchEvaluateFn policy_batch_evaluator(KrigingPolicy& policy,
                                        SimulatorFn simulate,
                                        util::ThreadPool* pool = nullptr);
 
+/// Backend variant: candidate sets run through the policy with pending
+/// simulations executed by `backend` (e.g. dist::Coordinator sharding to
+/// worker processes). References both arguments — must not outlive them.
+BatchEvaluateFn policy_batch_evaluator(KrigingPolicy& policy,
+                                       class BatchSimulator& backend);
+
 }  // namespace ace::dse

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "dse/fault.hpp"
 #include "util/csv.hpp"
 
 namespace ace::dse {
@@ -41,6 +42,11 @@ void save_trajectory(const Trajectory& trajectory, const std::string& path) {
     row.push_back(value.str());
     csv.write_row(row);
   }
+  // Integrity trailer: without a row count a file cut off at a row
+  // boundary loads as a silently shorter trajectory.
+  std::string trailer = "#end rows=";
+  trailer += std::to_string(trajectory.size());
+  csv.write_row({trailer});
 }
 
 Trajectory load_trajectory(const std::string& path) {
@@ -49,19 +55,47 @@ Trajectory load_trajectory(const std::string& path) {
 
   std::string line;
   if (!std::getline(in, line))
-    throw std::runtime_error("load_trajectory: missing header");
+    throw PayloadError(FaultCode::kTruncatedPayload,
+                       "load_trajectory: missing header");
   std::size_t columns = 1;
   for (char ch : line)
     if (ch == ',') ++columns;
   if (columns < 2)
-    throw std::runtime_error("load_trajectory: header needs >= 2 columns");
+    throw PayloadError(FaultCode::kCorruptPayload,
+                       "load_trajectory: header needs >= 2 columns");
   const std::size_t dims = columns - 1;
 
   Trajectory trajectory;
+  bool saw_trailer = false;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
+    if (line.front() == '#') {
+      // Directive line. "#end rows=N" is the integrity trailer; data after
+      // it means the file was concatenated or corrupted.
+      if (line.rfind("#end rows=", 0) == 0) {
+        char* end = nullptr;
+        const unsigned long long n =
+            std::strtoull(line.c_str() + 10, &end, 10);
+        if (end == line.c_str() + 10 || *end != '\0')
+          throw PayloadError(FaultCode::kCorruptPayload,
+                             "load_trajectory: bad trailer at line " +
+                                 std::to_string(line_no));
+        if (static_cast<std::size_t>(n) != trajectory.size())
+          throw PayloadError(
+              FaultCode::kTruncatedPayload,
+              "load_trajectory: trailer says " + std::to_string(n) +
+                  " rows, file holds " + std::to_string(trajectory.size()));
+        saw_trailer = true;
+        continue;
+      }
+      continue;  // Unknown directive/comment: skip.
+    }
+    if (saw_trailer)
+      throw PayloadError(FaultCode::kCorruptPayload,
+                         "load_trajectory: data after trailer at line " +
+                             std::to_string(line_no));
     std::stringstream row(line);
     std::string cell;
     Config config;
@@ -69,18 +103,24 @@ Trajectory load_trajectory(const std::string& path) {
     std::vector<std::string> cells;
     while (std::getline(row, cell, ',')) cells.push_back(cell);
     if (cells.size() != columns)
-      throw std::runtime_error("load_trajectory: ragged row at line " +
-                               std::to_string(line_no));
+      throw PayloadError(FaultCode::kTruncatedPayload,
+                         "load_trajectory: ragged row at line " +
+                             std::to_string(line_no));
     try {
       for (std::size_t i = 0; i < dims; ++i)
         config.push_back(std::stoi(cells[i]));
       trajectory.values.push_back(std::stod(cells[dims]));
     } catch (const std::exception&) {
-      throw std::runtime_error("load_trajectory: bad number at line " +
-                               std::to_string(line_no));
+      throw PayloadError(FaultCode::kCorruptPayload,
+                         "load_trajectory: bad number at line " +
+                             std::to_string(line_no));
     }
     trajectory.configs.push_back(std::move(config));
   }
+  if (!saw_trailer)
+    throw PayloadError(FaultCode::kTruncatedPayload,
+                       "load_trajectory: missing '#end rows=N' trailer — "
+                       "file is truncated or predates the integrity format");
   return trajectory;
 }
 

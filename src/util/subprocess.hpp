@@ -1,0 +1,82 @@
+// Minimal POSIX subprocess helper for the distributed evaluation layer.
+//
+// Subprocess::spawn() starts a child with its stdin/stdout connected to
+// pipes held by the parent (stderr is inherited, so a crashing worker's
+// diagnostics still reach the terminal). Reads carry a deadline via
+// poll(2), so a stalled child can never wedge the caller; writes detect a
+// dead peer (EPIPE) instead of raising SIGPIPE. kill_hard() escalates to
+// SIGKILL — the crash-tolerance layer above must treat a killed child as
+// a routine event, not an error path.
+//
+// Every syscall return in this file is checked (lint rule
+// `unchecked-syscall`): a silently ignored pipe/read/write failure is
+// exactly the kind of bug the coordinator's fault model cannot see.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ace::util {
+
+/// Outcome of a deadline read.
+enum class ReadStatus : unsigned char {
+  kData = 0,  ///< At least one byte was read.
+  kEof,       ///< The child closed its end (usually: it exited).
+  kTimeout,   ///< The deadline elapsed with no data.
+};
+
+class Subprocess {
+ public:
+  /// Fork+exec `argv` (argv[0] is the binary path, resolved via PATH when
+  /// it contains no '/'). Throws std::runtime_error when the pipes or the
+  /// spawn itself fail; an exec failure inside the child surfaces as an
+  /// immediate EOF on stdout plus a nonzero exit status.
+  static Subprocess spawn(const std::vector<std::string>& argv);
+
+  Subprocess() = default;
+  ~Subprocess();
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  bool running() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+
+  /// Write the whole buffer to the child's stdin. Returns false when the
+  /// child is gone (closed pipe / EPIPE); throws std::runtime_error on any
+  /// other I/O error.
+  bool write_all(const char* data, std::size_t size);
+
+  /// Read up to `capacity` bytes from the child's stdout, waiting at most
+  /// `timeout`. On kData, `*out_size` holds the byte count.
+  ReadStatus read_some(char* buffer, std::size_t capacity,
+                       std::chrono::milliseconds timeout,
+                       std::size_t* out_size);
+
+  /// Close the child's stdin (a line-oriented child reads EOF and exits).
+  void close_stdin();
+
+  /// SIGKILL the child. Safe to call repeatedly or after exit.
+  void kill_hard();
+
+  /// Reap the child and return its wait(2) status (0 if already reaped or
+  /// never started). Closes both pipe ends.
+  int wait();
+
+ private:
+  void close_fds();
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  bool reaped_ = false;
+  int status_ = 0;
+};
+
+}  // namespace ace::util

@@ -151,6 +151,49 @@ TEST(PolicySnapshot, RestoreContinuesBitIdentically) {
   expect_snapshots_equal(resumed.snapshot(), original.snapshot());
 }
 
+// A configuration can legitimately appear in both the quarantine list and
+// the store (it faulted once, then a later clean result lifted the
+// quarantine). restore() must replay the quarantine *before* the adds so
+// the lift happens exactly as it did live: active quarantine gone, audit
+// log entry kept, and the next evaluation served from the store.
+TEST(PolicySnapshot, RestoreReplaysQuarantineBeforeAddsAndLifts) {
+  d::PolicySnapshot snapshot;
+  snapshot.configs = {{4, 4}, {2, 2}, {5, 4}};  // {2,2} was lifted.
+  snapshot.values = {smooth({4, 4}), smooth({2, 2}), smooth({5, 4})};
+  snapshot.quarantine = {{{2, 2}, d::FaultCode::kSimulatorThrow},
+                         {{9, 9}, d::FaultCode::kTimeout}};
+  snapshot.stats.total = 5;
+  snapshot.stats.simulated = 3;
+  snapshot.stats.quarantined = 2;
+
+  d::KrigingPolicy policy(kriging_options());
+  policy.restore(snapshot);
+
+  // {2,2}'s quarantine was lifted by its add; {9,9}'s is still active.
+  EXPECT_FALSE(policy.store().quarantined({2, 2}).has_value());
+  ASSERT_TRUE(policy.store().quarantined({9, 9}).has_value());
+  EXPECT_EQ(*policy.store().quarantined({9, 9}), d::FaultCode::kTimeout);
+  // The audit log keeps both events.
+  EXPECT_EQ(policy.store().quarantine_count(), 2u);
+
+  // A lifted configuration is healthy support: evaluating it is a store
+  // hit, not a re-simulation (the simulator here would fail the test).
+  std::size_t simulator_calls = 0;
+  const d::EvalOutcome outcome =
+      policy.evaluate({2, 2}, [&simulator_calls](const d::Config& c) {
+        ++simulator_calls;
+        return smooth(c);
+      });
+  EXPECT_EQ(simulator_calls, 0u);
+  EXPECT_DOUBLE_EQ(outcome.value, smooth({2, 2}));
+
+  // And the re-snapshot reproduces the original lists bit-for-bit.
+  const d::PolicySnapshot again = policy.snapshot();
+  EXPECT_EQ(again.configs, snapshot.configs);
+  EXPECT_EQ(again.values, snapshot.values);
+  EXPECT_EQ(again.quarantine, snapshot.quarantine);
+}
+
 TEST(PolicySnapshot, RestoreRequiresFreshPolicy) {
   d::KrigingPolicy used(kriging_options());
   (void)used.evaluate({1, 1}, smooth);

@@ -4,7 +4,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "dse/fault.hpp"
 
 namespace {
 
@@ -106,10 +109,104 @@ TEST(TrajectoryIo, EmptyLinesAreSkipped) {
     out << "3,1.5\n";
     out << "\n";
     out << "4,2.5\n";
+    out << "#end rows=2\n";
   }
   const auto t = d::load_trajectory(path);
   EXPECT_EQ(t.size(), 2u);
   EXPECT_EQ(t.configs[1], (d::Config{4}));
+  std::remove(path.c_str());
+}
+
+// A file cut off at a row boundary is indistinguishable from a shorter run
+// without the trailer — it must fail typed, never load partially.
+TEST(TrajectoryIo, TruncationIsDetectedAndTyped) {
+  const auto path = temp_path("traj_truncated.csv");
+  const auto original = sample_trajectory();
+  d::save_trajectory(original, path);
+
+  // Read the full file, then rewrite ever-shorter prefixes (cutting at
+  // line boundaries first, then mid-line): every prefix must throw, and
+  // the row-boundary cuts must classify as truncation specifically.
+  std::string full;
+  {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    full = buffer.str();
+  }
+  // Drop the trailer line.
+  {
+    std::ofstream out(path);
+    out << full.substr(0, full.rfind("#end"));
+  }
+  try {
+    (void)d::load_trajectory(path);
+    FAIL() << "trailer-less file loaded";
+  } catch (const d::PayloadError& error) {
+    EXPECT_EQ(error.code(), d::FaultCode::kTruncatedPayload);
+  }
+  // Drop the last data row as well: the trailer row-count check fires.
+  {
+    std::string cut = full.substr(0, full.rfind("#end"));
+    cut = cut.substr(0, cut.rfind("15,15"));
+    std::ofstream out(path);
+    out << cut << "#end rows=3\n";
+  }
+  try {
+    (void)d::load_trajectory(path);
+    FAIL() << "row-count mismatch loaded";
+  } catch (const d::PayloadError& error) {
+    EXPECT_EQ(error.code(), d::FaultCode::kTruncatedPayload);
+  }
+  // Cut mid-row: a ragged final line is truncation too.
+  {
+    std::ofstream out(path);
+    out << "e0,e1,lambda\n16,16,90.25\n15,\n";
+  }
+  try {
+    (void)d::load_trajectory(path);
+    FAIL() << "mid-row cut loaded";
+  } catch (const d::PayloadError& error) {
+    EXPECT_EQ(error.code(), d::FaultCode::kTruncatedPayload);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrajectoryIo, CorruptionIsDetectedAndTyped) {
+  const auto path = temp_path("traj_corrupt.csv");
+  // Garbage cell.
+  {
+    std::ofstream out(path);
+    out << "e0,lambda\n3,oops\n#end rows=1\n";
+  }
+  try {
+    (void)d::load_trajectory(path);
+    FAIL() << "garbage cell loaded";
+  } catch (const d::PayloadError& error) {
+    EXPECT_EQ(error.code(), d::FaultCode::kCorruptPayload);
+  }
+  // Unparseable trailer.
+  {
+    std::ofstream out(path);
+    out << "e0,lambda\n3,1.5\n#end rows=banana\n";
+  }
+  try {
+    (void)d::load_trajectory(path);
+    FAIL() << "bad trailer loaded";
+  } catch (const d::PayloadError& error) {
+    EXPECT_EQ(error.code(), d::FaultCode::kCorruptPayload);
+  }
+  // Data after the trailer (concatenated files).
+  {
+    std::ofstream out(path);
+    out << "e0,lambda\n3,1.5\n#end rows=1\n4,2.5\n";
+  }
+  try {
+    (void)d::load_trajectory(path);
+    FAIL() << "data after trailer loaded";
+  } catch (const d::PayloadError& error) {
+    EXPECT_EQ(error.code(), d::FaultCode::kCorruptPayload);
+  }
   std::remove(path.c_str());
 }
 

@@ -8,6 +8,7 @@
 #include <limits>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 namespace {
 
@@ -137,6 +138,52 @@ TEST(Retry, BackoffIsDeterministicBoundedAndGrows) {
   u::RetryOptions immediate;
   immediate.base_backoff_ms = 0.0;
   EXPECT_DOUBLE_EQ(u::backoff_delay_ms(immediate, 5, 3), 0.0);
+}
+
+// The watchdog is post-hoc (a C++ callable cannot be pre-empted), so the
+// interesting deadline case is the *final* attempt stalling after earlier
+// attempts failed fast: the stall must still be classified kOverDeadline
+// with exact attempt accounting, and the computed value discarded.
+TEST(Retry, WatchdogCoversStalledFinalAttempt) {
+  u::RetryOptions options;
+  options.max_attempts = 3;
+  options.deadline_ms = 1.0;
+  std::size_t calls = 0;
+  const u::GuardedCall r = u::call_with_retry(options, 17, [&calls] {
+    if (++calls < 3) throw std::runtime_error("fast transient");
+    std::this_thread::sleep_for(std::chrono::milliseconds(8));
+    return 123.0;  // Stalled final attempt: computed but over budget.
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.fault, u::CallFault::kOverDeadline);
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(r.faulted_attempts, 3u);
+  EXPECT_EQ(r.timeouts, 1u);  // Only the stalled attempt, not the throws.
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+// The whole backoff schedule must be a pure function of the jitter seed:
+// a fixed seed reproduces every delay bit-for-bit, a different seed moves
+// them. This is what makes the coordinator's re-dispatch schedule (which
+// reuses backoff_delay_ms) replayable.
+TEST(Retry, JitterScheduleIsDeterministicPerSeed) {
+  u::RetryOptions options;
+  options.base_backoff_ms = 2.0;
+  options.jitter_fraction = 0.5;
+  options.jitter_seed = 0xfeedull;
+
+  std::vector<double> schedule;
+  for (std::size_t k = 0; k < 6; ++k)
+    schedule.push_back(u::backoff_delay_ms(options, 99, k));
+  for (std::size_t k = 0; k < 6; ++k)
+    EXPECT_DOUBLE_EQ(schedule[k], u::backoff_delay_ms(options, 99, k));
+
+  u::RetryOptions reseeded = options;
+  reseeded.jitter_seed = 0xbeefull;
+  bool any_differs = false;
+  for (std::size_t k = 0; k < 6; ++k)
+    any_differs |= u::backoff_delay_ms(reseeded, 99, k) != schedule[k];
+  EXPECT_TRUE(any_differs);
 }
 
 TEST(Retry, FaultNamesAreStable) {

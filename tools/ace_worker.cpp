@@ -1,0 +1,87 @@
+// The distributed evaluation worker binary.
+//
+// Speaks the dist wire protocol on stdin/stdout (stderr stays free for
+// diagnostics) and simulates with a named kernel from dist/kernels.hpp:
+//
+//   ace_worker --kernel lattice
+//
+// The optional fault-injection flags wrap the kernel in the same
+// deterministic FaultInjectingSimulator the in-process benches use, so a
+// chaos sweep can make real subprocess workers misbehave on schedule:
+//
+//   ace_worker --kernel lattice --fault-seed 7 --throw-p 0.1
+//              --nan-p 0.05 --faulty-calls 1000000
+//
+// Exit codes mirror dist::serve(): 0 clean, 1 handshake/usage failure,
+// 2 poisoned stream.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "dist/kernels.hpp"
+#include "dist/worker.hpp"
+#include "dse/fault_injection.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --kernel <name> [--fault-seed N] [--throw-p P] [--nan-p P]"
+               " [--latency-p P] [--latency-ms N] [--faulty-calls N]\n"
+               "kernels:";
+  for (const std::string& name : ace::dist::kernel_names())
+    std::cerr << ' ' << name;
+  std::cerr << '\n';
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string kernel;
+  ace::dse::FaultInjectionOptions faults;
+  bool inject = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--kernel" && has_value) {
+      kernel = argv[++i];
+    } else if (arg == "--fault-seed" && has_value) {
+      faults.seed = std::strtoull(argv[++i], nullptr, 10);
+      inject = true;
+    } else if (arg == "--throw-p" && has_value) {
+      faults.throw_probability = std::strtod(argv[++i], nullptr);
+      inject = true;
+    } else if (arg == "--nan-p" && has_value) {
+      faults.nan_probability = std::strtod(argv[++i], nullptr);
+      inject = true;
+    } else if (arg == "--latency-p" && has_value) {
+      faults.latency_probability = std::strtod(argv[++i], nullptr);
+      inject = true;
+    } else if (arg == "--latency-ms" && has_value) {
+      faults.latency_ms =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--faulty-calls" && has_value) {
+      faults.faulty_calls =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (kernel.empty()) return usage(argv[0]);
+
+  ace::dse::SimulatorFn simulate;
+  try {
+    simulate = ace::dist::find_kernel(kernel);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << argv[0] << ": " << error.what() << '\n';
+    return usage(argv[0]);
+  }
+  if (inject)
+    simulate = ace::dse::FaultInjectingSimulator(std::move(simulate), faults);
+
+  std::ios::sync_with_stdio(false);
+  ace::dist::StreamChannel channel(std::cin, std::cout);
+  return ace::dist::serve(channel, simulate);
+}

@@ -33,6 +33,13 @@ raw-distance-loop Hand-rolled distance accumulation
                   go through the util::simd kernels or the canonical
                   l1_distance/l2_distance helpers so the blocked SoA
                   paths and the scalar paths cannot drift apart.
+unchecked-syscall A pipe/process syscall (read, write, close, kill,
+                  waitpid, ...) called in statement position — its return
+                  value silently dropped — in the process-management layer
+                  (src/dist/ and the subprocess utility). Every syscall
+                  there must be checked or explicitly discarded with a
+                  (void) cast: a swallowed EPIPE/EINTR is exactly the kind
+                  of half-dead worker the coordinator has to detect.
 
 Suppression
 -----------
@@ -132,6 +139,17 @@ RULES = [
         "the canonical l1_distance/l2_distance helpers so scan paths stay "
         "bit-identical",
     ),
+    (
+        "unchecked-syscall",
+        re.compile(
+            r"^\s*(?:::)?"
+            r"(?:pipe2?|fork|execvp?|read|write|close|dup2|kill"
+            r"|waitpid|poll|fcntl|signal)\s*\("
+        ),
+        "syscall return value dropped in the process-management layer; "
+        "check it or discard explicitly with (void) — a swallowed "
+        "EPIPE/EINTR hides a half-dead worker",
+    ),
 ]
 
 ALLOW_RE = re.compile(r"ace-lint:\s*allow\(([^)]*)\)")
@@ -152,6 +170,13 @@ KRIGING_WRAPPER_SCOPE = re.compile(
 # The SIMD kernel layer is where the raw distance loops *live*; the
 # scalar reference twins are the canonical loop by definition.
 RAW_DISTANCE_EXEMPT = re.compile(r"(?:^|/)src/util/simd[^/]*$")
+
+# unchecked-syscall is scoped to where the raw syscalls live: the
+# coordinator/worker layer and the subprocess utility (the selftest
+# fixture unchecked_subprocess.cpp matches by basename).
+SYSCALL_SCOPE = re.compile(
+    r"(?:^|/)src/dist/[^/]+$|(?:^|/)[^/]*subprocess[^/]*$"
+)
 
 
 def strip_code(line: str) -> str:
@@ -241,6 +266,9 @@ def lint_file(path: Path) -> list[Finding]:
                     not KRIGING_WRAPPER_SCOPE.search(path.as_posix()):
                 continue
             if rule == "raw-distance-loop" and RAW_DISTANCE_EXEMPT.search(
+                    path.as_posix()):
+                continue
+            if rule == "unchecked-syscall" and not SYSCALL_SCOPE.search(
                     path.as_posix()):
                 continue
             if pattern.search(code):

@@ -1,0 +1,30 @@
+// Planted violations for the unchecked-syscall rule. The basename
+// contains "subprocess", so the rule is in scope; sibling fixtures
+// without that basename (and outside src/dist/) stay exempt.
+//
+// NOT REAL CODE — never compiled, only linted.
+
+#include <unistd.h>
+
+void leaky_teardown(int fd, int child) {
+  close(fd);  // expect(unchecked-syscall)
+  kill(child, 9);  // expect(unchecked-syscall)
+  waitpid(child, nullptr, 0);  // expect(unchecked-syscall)
+}
+
+void leaky_plumbing(int* fds, int fd, const char* buf, int n) {
+  pipe2(fds, 0);  // expect(unchecked-syscall)
+  write(fd, buf, static_cast<unsigned long>(n));  // expect(unchecked-syscall)
+  ::dup2(fds[0], 0);  // expect(unchecked-syscall)
+}
+
+int checked_calls_stay_silent(int fd, int child) {
+  if (close(fd) != 0) return -1;       // checked: fine
+  const int rc = kill(child, 9);       // captured: fine
+  (void)waitpid(child, nullptr, 0);    // explicit discard: fine
+  return rc;
+}
+
+void suppressed_plant(int fd) {
+  close(fd);  // ace-lint: allow(unchecked-syscall)
+}

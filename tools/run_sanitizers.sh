@@ -2,9 +2,10 @@
 # Sanitized verification flow for the fault-tolerant evaluation subsystem.
 #
 # Builds the ASan+UBSan and TSan trees (CMakePresets: asan / tsan) and runs
-# the dse / kriging / util test subset under each. TSan specifically covers
-# the concurrent surfaces: evaluate_batch on a pool, the collecting thread
-# pool, and the fault-injection counters.
+# the dse / kriging / dist / util test subset under each. TSan specifically
+# covers the concurrent surfaces: evaluate_batch on a pool, the collecting
+# thread pool, the fault-injection counters, and the coordinator/worker
+# reader threads plus the chaos-injected transports.
 #
 # Usage: tools/run_sanitizers.sh [address|thread|all]   (default: all)
 set -euo pipefail
@@ -17,11 +18,12 @@ run_flavour() {
   echo "=== [$preset] configure + build ==="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
-  echo "=== [$preset] dse/kriging/util test subset ==="
+  echo "=== [$preset] dse/kriging/dist/util test subset ==="
   # Run the gtest binaries directly: binary names carry the subsystem
   # prefix (ctest registers individual suite.case names, which don't).
   for bin in "build-$preset"/tests/test_util_* \
              "build-$preset"/tests/test_dse_* \
+             "build-$preset"/tests/test_dist_* \
              "build-$preset"/tests/test_kriging_*; do
     [ -x "$bin" ] || continue
     echo "--- $bin"
