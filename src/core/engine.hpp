@@ -46,7 +46,7 @@ class ErrorEvaluationEngine {
   dse::SensitivityResult analyze_sensitivity(
       const dse::SensitivityOptions& options);
 
-  const dse::PolicyStats& stats() const { return policy_.stats(); }
+  dse::PolicyStats stats() const { return policy_.stats(); }
   const dse::KrigingPolicy& policy() const { return policy_; }
   dse::MetricKind metric_kind() const { return metric_kind_; }
   std::size_t cache_hits() const { return cache_hits_; }

@@ -170,7 +170,7 @@ class EstimateOracle {
     return outcome.value;
   }
 
-  const dse::PolicyStats& stats() const { return policy_.stats(); }
+  dse::PolicyStats stats() const { return policy_.stats(); }
 
  private:
   dse::KrigingPolicy policy_;

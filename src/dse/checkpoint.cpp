@@ -390,6 +390,12 @@ void write_policy_checkpoint(KrigingPolicy& policy, Checkpoint& ck,
 
 }  // namespace
 
+std::string serialize_checkpoint(const Checkpoint& checkpoint) {
+  return serialize(checkpoint);
+}
+
+Checkpoint parse_checkpoint(std::istream& in) { return parse(in); }
+
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
   const std::string payload = serialize(checkpoint);
   const std::string tmp = unique_tmp_name(path);

@@ -12,6 +12,7 @@
 // leaves the previous checkpoint intact.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -43,6 +44,15 @@ struct Checkpoint {
   MinPlusOneCursor min_plus;
   SensitivityCursor sensitivity;
 };
+
+/// The versioned text payload save_checkpoint writes, as a string. The
+/// session layer parks sessions through this (in-memory, no file), so a
+/// parked session is exactly a checkpoint the on-disk tooling could read.
+std::string serialize_checkpoint(const Checkpoint& checkpoint);
+
+/// Parse a checkpoint payload from a stream. Throws std::runtime_error on
+/// a malformed payload or unsupported version.
+Checkpoint parse_checkpoint(std::istream& in);
 
 /// Serialize to `path` atomically. Throws std::runtime_error on I/O error.
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint);

@@ -18,7 +18,8 @@ std::vector<std::size_t> sorted_copy(const std::vector<std::size_t>& xs) {
 }  // namespace
 
 FactorCache::Entry* FactorCache::best_overlap(
-    const std::vector<std::size_t>& sorted_query, std::size_t& cost_out) {
+    const std::vector<std::size_t>& sorted_query, std::uint64_t generation,
+    std::size_t& cost_out) {
   // Editing an entry into the query costs one downdate per index only in
   // the entry and one append per index only in the query. Past roughly
   // half the support size a fresh incremental build is no more expensive,
@@ -27,7 +28,12 @@ FactorCache::Entry* FactorCache::best_overlap(
       std::max<std::size_t>(2, sorted_query.size() / 2);
   Entry* best = nullptr;
   std::size_t best_cost = limit + 1;
-  for (Entry& e : entries_) {
+  for (const auto& entry : entries_) {
+    Entry& e = *entry;
+    // A pinned entry has a live handle expecting its support to stay as
+    // acquired — editing it would corrupt that caller's solve. A stale
+    // generation's factors interpolate a superseded model.
+    if (e.pins > 0 || e.generation != generation) continue;
     std::vector<std::size_t> removals;
     std::size_t additions = 0;
     std::size_t i = 0, j = 0;
@@ -68,26 +74,51 @@ FactorCache::Entry* FactorCache::best_overlap(
   return best;
 }
 
-kriging::KrigingSystem* FactorCache::acquire(
+void FactorCache::trim(std::uint64_t generation) {
+  // Stale generations first: their factors can never be reused, so they
+  // are pure memory. Pinned stale entries survive until their pin drops.
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [generation](const auto& e) {
+                                  return e->pins == 0 &&
+                                         e->generation != generation;
+                                }),
+                 entries_.end());
+  // Then LRU among the unpinned until the capacity holds again.
+  while (entries_.size() > capacity_) {
+    auto lru = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if ((*it)->pins > 0) continue;
+      if (lru == entries_.end() || (*it)->last_used < (*lru)->last_used)
+        lru = it;
+    }
+    if (lru == entries_.end()) break;  // Everything pinned: defer.
+    entries_.erase(lru);
+  }
+}
+
+FactorCache::Pin FactorCache::acquire(
     const std::vector<std::size_t>& indices,
     const std::vector<std::vector<double>>& points,
     const std::vector<double>& values, const kriging::VariogramModel& model,
-    const kriging::DistanceFn& distance, FactorAcquire& outcome) {
+    const kriging::DistanceFn& distance, std::uint64_t generation,
+    FactorAcquire& outcome) {
   ++clock_;
   const std::vector<std::size_t> sorted_query = sorted_copy(indices);
 
-  // Exact index-set match: the whole factorization is reusable.
-  for (Entry& e : entries_)
-    if (e.sorted == sorted_query) {
-      e.last_used = clock_;
+  // Exact index-set match under the same model generation: the whole
+  // factorization is reusable.
+  for (const auto& entry : entries_)
+    if (entry->generation == generation && entry->sorted == sorted_query) {
+      entry->last_used = clock_;
       outcome = FactorAcquire::kHit;
-      return e.system.get();
+      return Pin(entry);
     }
 
   // Overlap edit: downdate the indices the query lost, append the ones it
-  // gained, and the factorization follows by Schur pivots.
+  // gained, and the factorization follows by Schur pivots. Pinned and
+  // stale entries are skipped inside best_overlap.
   std::size_t cost = 0;
-  if (Entry* e = best_overlap(sorted_query, cost)) {
+  if (Entry* e = best_overlap(sorted_query, generation, cost)) {
     std::unordered_map<std::size_t, std::size_t> query_pos;
     for (std::size_t p = 0; p < indices.size(); ++p)
       query_pos.emplace(indices[p], p);
@@ -109,36 +140,27 @@ kriging::KrigingSystem* FactorCache::acquire(
     e->sorted = sorted_query;
     e->last_used = clock_;
     outcome = FactorAcquire::kExtend;
-    return e->system.get();
+    for (const auto& entry : entries_)
+      if (entry.get() == e) return Pin(entry);
   }
 
   // Fresh build — incremental layout so later queries can edit it.
-  auto system = std::make_unique<kriging::KrigingSystem>(
+  auto entry = std::make_shared<Entry>();
+  entry->slots = indices;
+  entry->sorted = sorted_query;
+  entry->system = std::make_unique<kriging::KrigingSystem>(
       kriging::SystemSpec{kriging::SystemKind::kOrdinary}, points, values,
       model, distance, kriging::KrigingSystem::Layout::kIncremental);
+  entry->generation = generation;
+  entry->last_used = clock_;
   outcome = FactorAcquire::kFresh;
-  if (capacity_ == 0) {
-    scratch_ = std::move(system);
-    return scratch_.get();
-  }
-  if (entries_.size() >= capacity_) {
-    const auto lru = std::min_element(
-        entries_.begin(), entries_.end(),
-        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
-    entries_.erase(lru);
-  }
-  Entry e;
-  e.slots = indices;
-  e.sorted = sorted_query;
-  e.system = std::move(system);
-  e.last_used = clock_;
-  entries_.push_back(std::move(e));
-  return entries_.back().system.get();
+  Pin pin(entry);
+  if (capacity_ == 0) return pin;  // Uncached: the pin owns the system.
+  entries_.push_back(std::move(entry));
+  trim(generation);
+  return pin;
 }
 
-void FactorCache::clear() {
-  entries_.clear();
-  scratch_.reset();
-}
+void FactorCache::clear() { entries_.clear(); }
 
 }  // namespace ace::dse

@@ -11,22 +11,36 @@
 // superset/subset neighbourhood extends or downdates it by Schur pivots
 // instead of rebuilding.
 //
+// Lifetime: acquire() returns a *pinned handle*, not a raw pointer. A
+// live Pin keeps its entry's system alive (a later acquire() that would
+// evict or edit the entry defers to the pin), so two interleaved
+// acquire/solve sequences can never invalidate each other — the
+// use-after-free the raw-pointer API permitted once sessions share or
+// interleave on a cache. While pins are outstanding the cache may
+// transiently exceed its capacity; it trims back to capacity on the next
+// acquire() once the pins are gone.
+//
+// Staleness: every entry is stamped with the *variogram-model generation*
+// it was factored under. An acquire() under a newer generation never hits
+// a stale entry (exact index-set match or not) and drops unpinned stale
+// entries eagerly. KrigingPolicy still clears the cache on refit — the
+// stamp makes correctness independent of that clear-on-refit discipline,
+// which a shared or session-scoped cache would otherwise silently break.
+//
 // Thread-safety: the cache has no mutex of its own — it is owned by
 // KrigingPolicy and every member is annotated ACE_REQUIRES on the policy
 // mutex via the owner (the cache is only reachable from
-// KrigingPolicy::try_interpolate, which already holds it). Lock ordering
-// is therefore inherited from the policy: policy mutex first, store mutex
-// (inside gather/value reads) second — the cache itself takes no locks.
-//
-// Invalidation: KrigingPolicy clears the cache after every successful
-// variogram refit — the model (and, under regression kriging, the trend
-// residuals) changed, so every cached factorization is stale. Store
-// values are immutable once added, so between refits cached systems stay
-// valid indefinitely.
+// KrigingPolicy::try_interpolate and the batch pre-pass, which already
+// hold it). Pins must be released under the same lock domain they were
+// acquired in. Lock ordering is therefore inherited from the policy:
+// policy mutex first, store mutex (inside gather/value reads) second —
+// the cache itself takes no locks.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "kriging/empirical_variogram.hpp"
@@ -44,30 +58,6 @@ enum class FactorAcquire {
 
 /// LRU cache of KrigingSystem objects keyed by ascending store-index sets.
 class FactorCache {
- public:
-  /// `capacity` = max cached systems (0 disables; acquire then always
-  /// builds fresh and caches nothing).
-  explicit FactorCache(std::size_t capacity) : capacity_(capacity) {}
-
-  /// Find or build a system for the neighbourhood `indices` (ascending
-  /// store indices, as SimulationStore returns them). `points`/`values`
-  /// are the gathered support in the same order (values already
-  /// trend-reduced by the caller where applicable). The returned system is
-  /// owned by the cache (or by an internal scratch slot when capacity is
-  /// 0) and valid until the next acquire()/clear().
-  kriging::KrigingSystem* acquire(const std::vector<std::size_t>& indices,
-                                  const std::vector<std::vector<double>>& points,
-                                  const std::vector<double>& values,
-                                  const kriging::VariogramModel& model,
-                                  const kriging::DistanceFn& distance,
-                                  FactorAcquire& outcome);
-
-  /// Drop every entry (variogram/trend refit: all factorizations stale).
-  void clear();
-
-  std::size_t size() const { return entries_.size(); }
-  std::size_t capacity() const { return capacity_; }
-
  private:
   struct Entry {
     /// Store indices in *system slot order* (append order), plus the same
@@ -75,17 +65,94 @@ class FactorCache {
     std::vector<std::size_t> slots;
     std::vector<std::size_t> sorted;
     std::unique_ptr<kriging::KrigingSystem> system;
+    std::uint64_t generation = 0;  ///< Variogram model the factors assume.
     std::size_t last_used = 0;
+    int pins = 0;  ///< Live Pin handles; > 0 defers eviction and edits.
   };
 
+ public:
+  /// RAII handle pinning one cached system. While alive, the entry cannot
+  /// be evicted or edited by later acquire() calls, and — capacity 0 or a
+  /// clear()-ed cache — the handle itself keeps the system's storage
+  /// alive. Movable, not copyable; release under the acquiring lock.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept : entry_(std::move(other.entry_)) {}
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        unpin();
+        entry_ = std::move(other.entry_);
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { unpin(); }
+
+    kriging::KrigingSystem* get() const {
+      return entry_ ? entry_->system.get() : nullptr;
+    }
+    kriging::KrigingSystem* operator->() const { return get(); }
+    kriging::KrigingSystem& operator*() const { return *get(); }
+    explicit operator bool() const { return get() != nullptr; }
+
+   private:
+    friend class FactorCache;
+    explicit Pin(std::shared_ptr<Entry> entry) : entry_(std::move(entry)) {
+      if (entry_) ++entry_->pins;
+    }
+    void unpin() {
+      if (entry_) {
+        --entry_->pins;
+        entry_.reset();
+      }
+    }
+    /// Shared ownership: an entry evicted (or clear()-ed) while pinned
+    /// stays alive until the last pin releases.
+    std::shared_ptr<Entry> entry_;
+  };
+
+  /// `capacity` = max cached systems (0 disables; acquire then always
+  /// builds fresh and caches nothing — the returned Pin owns the system).
+  explicit FactorCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Find or build a system for the neighbourhood `indices` (ascending
+  /// store indices, as SimulationStore returns them). `points`/`values`
+  /// are the gathered support in the same order (values already
+  /// trend-reduced by the caller where applicable). `generation` is the
+  /// caller's variogram-model generation: only entries factored under the
+  /// same generation can hit or be edited, so an exact index-set match
+  /// can never resurrect factors of a superseded model. The returned Pin
+  /// keeps the system valid until it is released — later acquire() and
+  /// clear() calls cannot invalidate it.
+  Pin acquire(const std::vector<std::size_t>& indices,
+              const std::vector<std::vector<double>>& points,
+              const std::vector<double>& values,
+              const kriging::VariogramModel& model,
+              const kriging::DistanceFn& distance, std::uint64_t generation,
+              FactorAcquire& outcome);
+
+  /// Drop every entry (variogram/trend refit: all factorizations stale).
+  /// Outstanding pins keep their own entries alive; they are simply no
+  /// longer reachable through the cache.
+  void clear();
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
   Entry* best_overlap(const std::vector<std::size_t>& sorted_query,
-                      std::size_t& cost_out);
+                      std::uint64_t generation, std::size_t& cost_out);
+
+  /// Evict unpinned entries — stale generations first, then LRU — until
+  /// the cache fits its capacity. Pinned entries are never evicted; the
+  /// cache may therefore transiently exceed capacity while pins are live.
+  void trim(std::uint64_t generation);
 
   std::size_t capacity_ = 0;
   std::size_t clock_ = 0;  ///< LRU tick.
-  std::vector<Entry> entries_;
-  /// Capacity-0 scratch: keeps the just-built system alive for the caller.
-  std::unique_ptr<kriging::KrigingSystem> scratch_;
+  std::vector<std::shared_ptr<Entry>> entries_;
 };
 
 }  // namespace ace::dse

@@ -137,7 +137,10 @@ bool KrigingPolicy::refit_model_locked() {
   sims_at_last_fit_ = store_.size();
   ++stats_.refits;
   // The model (and, under regression kriging, the trend residuals) just
-  // changed: every cached factorization interpolates the old field.
+  // changed: every cached factorization interpolates the old field. The
+  // generation bump makes any surviving (pinned) entry unmatchable even
+  // without the clear — the cache's own staleness defence.
+  ++model_generation_;
   factor_cache_.clear();
   return true;
 }
@@ -200,8 +203,9 @@ std::optional<double> KrigingPolicy::try_interpolate(
     result = *presolved;
   } else if (options_.factor_cache_capacity > 0) {
     FactorAcquire how = FactorAcquire::kFresh;
-    kriging::KrigingSystem* system = factor_cache_.acquire(
-        neighborhood.indices, points, values, *model_, distance, how);
+    const FactorCache::Pin system = factor_cache_.acquire(
+        neighborhood.indices, points, values, *model_, distance,
+        model_generation_, how);
     if (how == FactorAcquire::kHit) ++stats_.factor_cache_hits;
     if (how == FactorAcquire::kExtend) ++stats_.factor_extends;
     const std::size_t before = system->stats().full_factorizations;
@@ -458,8 +462,8 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
         for (std::size_t k = 0; k < values.size(); ++k)
           values[k] -= trend_value(points[k]);
       FactorAcquire how = FactorAcquire::kFresh;
-      kriging::KrigingSystem* system = factor_cache_.acquire(
-          indices, points, values, *model_, distance, how);
+      const FactorCache::Pin system = factor_cache_.acquire(
+          indices, points, values, *model_, distance, model_generation_, how);
       if (how == FactorAcquire::kHit) ++stats_.factor_cache_hits;
       if (how == FactorAcquire::kExtend) ++stats_.factor_extends;
       // Members past the first would have been exact cache hits on the

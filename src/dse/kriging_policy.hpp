@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -230,22 +231,31 @@ class KrigingPolicy {
 
   /// The store is internally synchronized; no policy lock involved.
   const SimulationStore& store() const { return store_; }
-  const PolicyStats& stats() const ACE_EXCLUDES(mutex_) {
+
+  /// Statistics *snapshot*. Returned by value: a reference into the
+  /// mutex-guarded counters would be read after the guard released —
+  /// benign under a single caller, a data race the moment another thread
+  /// mutates the policy (the multi-session service does exactly that).
+  PolicyStats stats() const ACE_EXCLUDES(mutex_) {
     const util::LockGuard lock(mutex_);
     return stats_;
   }
   const PolicyOptions& options() const { return options_; }
 
-  /// Currently fitted variogram (nullptr before first fit).
-  const kriging::VariogramModel* model() const ACE_EXCLUDES(mutex_) {
+  /// Currently fitted variogram (nullptr before first fit). Shared
+  /// ownership snapshot: a refit replaces the policy's pointer but cannot
+  /// pull the model out from under a caller still holding this handle.
+  std::shared_ptr<const kriging::VariogramModel> model() const
+      ACE_EXCLUDES(mutex_) {
     const util::LockGuard lock(mutex_);
-    return model_.get();
+    return model_;
   }
 
   /// Fitted global trend coefficients [β0, β1, …, β_Nv] (empty before the
   /// first fit; size 1 when only a mean could be identified). Only
-  /// populated when options().drift == kLinear.
-  const std::vector<double>& trend() const ACE_EXCLUDES(mutex_) {
+  /// populated when options().drift == kLinear. Returned by value — same
+  /// snapshot rationale as stats().
+  std::vector<double> trend() const ACE_EXCLUDES(mutex_) {
     const util::LockGuard lock(mutex_);
     return trend_;
   }
@@ -316,7 +326,10 @@ class KrigingPolicy {
   PolicyOptions options_;  ///< Immutable after construction.
   SimulationStore store_;  ///< Internally synchronized.
   PolicyStats stats_ ACE_GUARDED_BY(mutex_);
-  std::unique_ptr<kriging::VariogramModel> model_ ACE_GUARDED_BY(mutex_);
+  /// Shared so model() can hand out a lifetime-safe snapshot; the policy
+  /// itself treats it as the unique owner (replaced only on refit).
+  std::shared_ptr<const kriging::VariogramModel> model_
+      ACE_GUARDED_BY(mutex_);
   /// Regression-kriging trend (may be empty).
   std::vector<double> trend_ ACE_GUARDED_BY(mutex_);
   /// Incrementally extended empirical variogram (constant drift only; the
@@ -329,6 +342,9 @@ class KrigingPolicy {
   /// ordering is the policy's (policy mutex, then the store's inside
   /// gather/value reads).
   FactorCache factor_cache_ ACE_GUARDED_BY(mutex_);
+  /// Bumped on every successful (re)fit; stamps FactorCache entries so an
+  /// exact index-set hit can never return factors of a superseded model.
+  std::uint64_t model_generation_ ACE_GUARDED_BY(mutex_) = 0;
   std::size_t sims_at_last_fit_ ACE_GUARDED_BY(mutex_) = 0;
   std::size_t sims_at_last_attempt_ ACE_GUARDED_BY(mutex_) = 0;
   bool fit_attempted_ ACE_GUARDED_BY(mutex_) = false;

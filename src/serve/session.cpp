@@ -1,0 +1,296 @@
+#include "serve/session.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "dse/checkpoint.hpp"
+#include "dse/scheduler.hpp"
+
+namespace ace::serve {
+
+namespace {
+
+const char* optimizer_tag(OptimizerKind kind) {
+  return kind == OptimizerKind::kMinPlusOne ? "min_plus_one"
+                                            : "steepest_descent";
+}
+
+}  // namespace
+
+SessionManager::SessionManager(SessionManagerOptions options)
+    : options_(options) {
+  if (options_.service_threads == 0) options_.service_threads = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.resident_capacity == 0) options_.resident_capacity = 1;
+  if (options_.backend != nullptr)
+    shared_backend_ = std::make_unique<SerializedBackend>(*options_.backend);
+  threads_.reserve(options_.service_threads);
+  for (std::size_t i = 0; i < options_.service_threads; ++i)
+    threads_.emplace_back([this] { service_loop(); });
+}
+
+SessionManager::~SessionManager() {
+  {
+    const util::LockGuard lock(mutex_);
+    stopping_ = true;
+  }
+  ready_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+SessionId SessionManager::create(SessionSpec spec) {
+  if (!spec.simulate)
+    throw std::invalid_argument("SessionManager: spec.simulate is null");
+  const std::size_t nv = spec.optimizer == OptimizerKind::kMinPlusOne
+                             ? spec.min_plus.nv
+                             : spec.sensitivity.nv;
+  if (nv == 0) throw std::invalid_argument("SessionManager: nv == 0");
+
+  const util::LockGuard lock(mutex_);
+  const SessionId id = ++next_id_;
+  auto session = std::make_unique<Session>();
+  session->id = id;
+  session->spec = std::move(spec);
+  // Cursor construction validates the optimizer options up front, so a
+  // bad spec fails at create() rather than inside a service thread.
+  if (session->spec.optimizer == OptimizerKind::kMinPlusOne)
+    session->min_cursor = dse::make_min_plus_one_cursor(session->spec.min_plus);
+  else
+    session->sens_cursor =
+        dse::make_sensitivity_cursor(session->spec.sensitivity);
+  sessions_.emplace(id, std::move(session));
+  ++stats_.sessions_created;
+  return id;
+}
+
+SessionManager::Session& SessionManager::session_locked(SessionId id) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end())
+    throw std::out_of_range("SessionManager: unknown session id");
+  return *it->second;
+}
+
+Ticket SessionManager::submit(SessionId id, std::size_t steps) {
+  util::UniqueLock lock(mutex_);
+  Session& s = session_locked(id);
+  bool waited = false;
+  while (pending_total_ >= options_.queue_capacity && !stopping_) {
+    waited = true;
+    lock.wait(space_cv_);
+  }
+  if (stopping_)
+    throw std::runtime_error("SessionManager: submit after shutdown");
+  if (waited) ++stats_.backpressure_waits;
+
+  Request request;
+  request.ticket = ++next_ticket_;
+  request.steps = steps;
+  request.submitted_ms = watch_.milliseconds();
+  s.pending.push_back(request);
+  ++pending_total_;
+  ++stats_.requests;
+  outstanding_.insert(request.ticket);
+  if (!s.in_service && !s.queued) {
+    s.queued = true;
+    ready_.push_back(s.id);
+    ready_cv_.notify_one();
+  }
+  return request.ticket;
+}
+
+void SessionManager::wait(Ticket ticket) {
+  util::UniqueLock lock(mutex_);
+  while (outstanding_.count(ticket) != 0) lock.wait(done_cv_);
+}
+
+void SessionManager::drain() {
+  util::UniqueLock lock(mutex_);
+  while (pending_total_ > 0 || in_service_count_ > 0) lock.wait(done_cv_);
+}
+
+void SessionManager::park(SessionId id) {
+  util::UniqueLock lock(mutex_);
+  Session& s = session_locked(id);
+  while (s.in_service || !s.pending.empty()) lock.wait(done_cv_);
+  if (s.policy) park_locked(s);
+}
+
+void SessionManager::ensure_resident_locked(Session& s) {
+  if (s.policy) return;
+  s.policy = std::make_unique<dse::KrigingPolicy>(s.spec.policy);
+  ++resident_;
+  if (!s.parked.empty()) {
+    std::istringstream in(s.parked);
+    const dse::Checkpoint checkpoint = dse::parse_checkpoint(in);
+    s.policy->restore(checkpoint.policy);
+    s.min_cursor = checkpoint.min_plus;
+    s.sens_cursor = checkpoint.sensitivity;
+    s.parked.clear();
+    ++stats_.resumes;
+  }
+}
+
+void SessionManager::park_locked(Session& s) {
+  dse::Checkpoint checkpoint;
+  // snapshot() without record_checkpoint(): parking is a residency
+  // decision, not a durability event, so the policy's statistics stay
+  // bit-identical to a standalone run that never parked.
+  checkpoint.policy = s.policy->snapshot();
+  checkpoint.optimizer = optimizer_tag(s.spec.optimizer);
+  checkpoint.min_plus = s.min_cursor;
+  checkpoint.sensitivity = s.sens_cursor;
+  s.parked = dse::serialize_checkpoint(checkpoint);
+  s.policy.reset();
+  --resident_;
+  ++stats_.parks;
+}
+
+void SessionManager::enforce_residency_locked(const Session* keep) {
+  while (resident_ > options_.resident_capacity) {
+    Session* victim = nullptr;
+    for (auto& [id, session] : sessions_) {
+      Session& s = *session;
+      if (!s.policy || s.in_service || s.queued || !s.pending.empty())
+        continue;
+      if (&s == keep) continue;
+      if (victim == nullptr || s.last_touch < victim->last_touch) victim = &s;
+    }
+    if (victim == nullptr) break;  // Everything live is busy: defer.
+    park_locked(*victim);
+  }
+}
+
+void SessionManager::service_loop() {
+  util::UniqueLock lock(mutex_);
+  for (;;) {
+    while (!stopping_ && ready_.empty()) lock.wait(ready_cv_);
+    if (stopping_) return;
+    const SessionId id = ready_.front();
+    ready_.pop_front();
+    Session& s = *sessions_.at(id);
+    s.queued = false;
+    s.in_service = true;
+    ++in_service_count_;
+    const Request request = s.pending.front();
+    s.pending.pop_front();
+    --pending_total_;
+    space_cv_.notify_all();
+
+    // Build or resume the policy, and make room by parking idle LRU
+    // residents. Both happen under the manager lock: a resume replays the
+    // checkpoint, which is the price of admission for bit-exactness.
+    ensure_resident_locked(s);
+    enforce_residency_locked(&s);
+    s.last_touch = ++clock_;
+
+    // The cursor is stepped on a local copy outside the lock; the session
+    // is flagged in_service, so no other thread touches its state (parking
+    // skips in-service sessions, a second service thread cannot pop it —
+    // it is not in ready_ while in_service).
+    dse::KrigingPolicy& policy = *s.policy;
+    const SessionSpec& spec = s.spec;
+    dse::MinPlusOneCursor min_cursor = s.min_cursor;
+    dse::SensitivityCursor sens_cursor = s.sens_cursor;
+    lock.unlock();
+
+    const dse::BatchEvaluateFn evaluate =
+        shared_backend_
+            ? dse::policy_batch_evaluator(policy, *shared_backend_)
+            : dse::policy_batch_evaluator(policy, spec.simulate,
+                                          options_.pool);
+    std::size_t executed = 0;
+    for (std::size_t i = 0; i < request.steps; ++i) {
+      bool more = false;
+      if (spec.optimizer == OptimizerKind::kMinPlusOne)
+        more = dse::min_plus_one_step(evaluate, spec.min_plus, min_cursor);
+      else
+        more = dse::steepest_descent_step(evaluate, spec.sensitivity,
+                                          sens_cursor);
+      ++executed;
+      if (!more) break;
+    }
+    const dse::PolicyStats policy_stats = policy.stats();
+
+    lock.lock();
+    s.min_cursor = std::move(min_cursor);
+    s.sens_cursor = std::move(sens_cursor);
+    s.last_stats = policy_stats;
+    s.executed_steps += executed;
+    stats_.steps += executed;
+    s.in_service = false;
+    --in_service_count_;
+    s.last_touch = ++clock_;
+    latencies_ms_.push_back(watch_.milliseconds() - request.submitted_ms);
+    outstanding_.erase(request.ticket);
+    if (!s.pending.empty() && !s.queued) {
+      s.queued = true;
+      ready_.push_back(s.id);
+      ready_cv_.notify_one();
+    }
+    done_cv_.notify_all();
+  }
+}
+
+SessionProgress SessionManager::progress(SessionId id) const {
+  const util::LockGuard lock(mutex_);
+  SessionProgress out;
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return out;
+  const Session& s = *it->second;
+  out.exists = true;
+  out.resident = s.policy != nullptr;
+  out.steps = s.executed_steps;
+  if (s.spec.optimizer == OptimizerKind::kMinPlusOne) {
+    out.finished = s.min_cursor.finished();
+    out.decisions = s.min_cursor.decisions;
+  } else {
+    out.finished = s.sens_cursor.finished();
+    out.decisions = s.sens_cursor.decisions;
+  }
+  // stats() is itself a snapshot accessor, so reading a live policy here
+  // is race-free even while a service thread steps it.
+  out.stats = s.policy ? s.policy->stats() : s.last_stats;
+  return out;
+}
+
+dse::MinPlusOneResult SessionManager::min_plus_one_result(
+    SessionId id) const {
+  const util::LockGuard lock(mutex_);
+  const Session& s = session_locked(id);
+  if (s.spec.optimizer != OptimizerKind::kMinPlusOne)
+    throw std::logic_error("SessionManager: session is not min+1");
+  return dse::min_plus_one_result(s.min_cursor, s.spec.min_plus);
+}
+
+dse::SensitivityResult SessionManager::sensitivity_result(
+    SessionId id) const {
+  const util::LockGuard lock(mutex_);
+  const Session& s = session_locked(id);
+  if (s.spec.optimizer != OptimizerKind::kSteepestDescent)
+    throw std::logic_error("SessionManager: session is not steepest-descent");
+  return dse::sensitivity_result(s.sens_cursor);
+}
+
+std::size_t SessionManager::session_count() const {
+  const util::LockGuard lock(mutex_);
+  return sessions_.size();
+}
+
+std::size_t SessionManager::resident_count() const {
+  const util::LockGuard lock(mutex_);
+  return resident_;
+}
+
+ServeStats SessionManager::stats() const {
+  const util::LockGuard lock(mutex_);
+  return stats_;
+}
+
+std::vector<double> SessionManager::request_latencies_ms() const {
+  const util::LockGuard lock(mutex_);
+  return latencies_ms_;
+}
+
+}  // namespace ace::serve

@@ -1,0 +1,236 @@
+// Concurrent multi-session DSE evaluation service.
+//
+// The paper's evaluator runs one optimizer over one store per process;
+// this layer owns N independent sessions — each bundling a KrigingPolicy
+// (store + variogram state) and a resumable optimizer cursor — and
+// multiplexes their evaluation requests onto shared simulation backends
+// (util::ThreadPool or any dse::BatchSimulator, including
+// dist::Coordinator).
+//
+// Determinism contract: requests for one session execute FIFO and one at
+// a time, each stepping the session's cursor through the same
+// min_plus_one_step / steepest_descent_step functions a standalone run
+// uses. A session's decision sequence is therefore a pure function of its
+// own (store state, cursor) and is bit-identical to running that session
+// alone, no matter how many sessions interleave on the service threads —
+// the same argument that makes evaluate_batch backend-independent.
+//
+// Session state vs policy state: the *session* is the durable object (its
+// spec, cursor and ticket queue live for the manager's lifetime); the
+// *policy* — store, variogram bins, fitted model, factor cache — is a
+// resident that can be parked at any quiescent point. Parking serializes
+// the policy snapshot and cursor through the dse/checkpoint text format
+// (in memory, no file), so a parked session is exactly a checkpoint the
+// on-disk tooling could read, and resuming replays it bit-identically.
+// An LRU cap on resident policies bounds memory: thousands of sessions
+// fit in a process with only `resident_capacity` stores live.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dse/batch_sim.hpp"
+#include "dse/kriging_policy.hpp"
+#include "dse/min_plus_one.hpp"
+#include "dse/steepest_descent.hpp"
+#include "util/mutex.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace ace::util {
+class ThreadPool;
+}
+
+namespace ace::serve {
+
+using SessionId = std::uint64_t;
+using Ticket = std::uint64_t;
+
+/// Which resumable optimizer drives a session.
+enum class OptimizerKind { kMinPlusOne, kSteepestDescent };
+
+/// Everything needed to (re)build a session's resident state from
+/// scratch. The simulator is part of the spec — it is the one piece the
+/// checkpoint format cannot carry.
+struct SessionSpec {
+  std::string name;
+  dse::PolicyOptions policy;
+  OptimizerKind optimizer = OptimizerKind::kMinPlusOne;
+  dse::MinPlusOneOptions min_plus;
+  dse::SensitivityOptions sensitivity;
+  dse::SimulatorFn simulate;
+};
+
+struct SessionManagerOptions {
+  std::size_t service_threads = 2;
+  /// Max queued (submitted, not yet started) requests across all
+  /// sessions; submit() blocks when full — the backpressure seam.
+  std::size_t queue_capacity = 64;
+  /// Max sessions with a live KrigingPolicy. Should be >= service_threads
+  /// (in-service sessions are never parked, so the cache can transiently
+  /// exceed the cap while they run).
+  std::size_t resident_capacity = 8;
+  /// Shared simulation pool for the default in-process backend (inline
+  /// when null).
+  util::ThreadPool* pool = nullptr;
+  /// Optional shared backend (e.g. dist::Coordinator). When set it
+  /// overrides `pool`; calls are serialized across sessions because a
+  /// BatchSimulator is not required to accept concurrent simulate_many.
+  dse::BatchSimulator* backend = nullptr;
+};
+
+/// Point-in-time view of one session.
+struct SessionProgress {
+  bool exists = false;
+  bool finished = false;
+  bool resident = false;             ///< Policy live (not parked).
+  std::size_t steps = 0;             ///< Optimizer steps executed so far.
+  std::vector<std::size_t> decisions;
+  dse::PolicyStats stats;
+};
+
+/// Service-level counters.
+struct ServeStats {
+  std::size_t sessions_created = 0;
+  std::size_t requests = 0;
+  std::size_t steps = 0;
+  std::size_t parks = 0;
+  std::size_t resumes = 0;
+  std::size_t backpressure_waits = 0;  ///< submit() calls that blocked.
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(SessionManagerOptions options = {});
+
+  /// Joins the service threads. Queued requests that have not started are
+  /// abandoned — call drain() first if they matter.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Register a session. Cheap: the policy is built lazily on the first
+  /// request. Throws std::invalid_argument on a null simulator or nv == 0.
+  SessionId create(SessionSpec spec) ACE_EXCLUDES(mutex_);
+
+  /// Queue `steps` optimizer steps for the session (0 = just make it
+  /// resident). Blocks while the request queue is at capacity. Requests
+  /// for one session run FIFO, one at a time. Throws std::out_of_range on
+  /// an unknown id.
+  Ticket submit(SessionId id, std::size_t steps) ACE_EXCLUDES(mutex_);
+
+  /// Block until the request behind `ticket` has completed (returns
+  /// immediately for unknown/already-completed tickets).
+  void wait(Ticket ticket) ACE_EXCLUDES(mutex_);
+
+  /// Block until every queued request has completed.
+  void drain() ACE_EXCLUDES(mutex_);
+
+  /// Serialize the session's policy + cursor into the in-memory
+  /// checkpoint and release the resident state. Waits for the session to
+  /// go idle first. No-op if already parked.
+  void park(SessionId id) ACE_EXCLUDES(mutex_);
+
+  SessionProgress progress(SessionId id) const ACE_EXCLUDES(mutex_);
+
+  /// Package the session's cursor as an optimizer result (valid mid-run:
+  /// reflects progress so far). Throws std::out_of_range on unknown id,
+  /// std::logic_error when the session runs the other optimizer.
+  dse::MinPlusOneResult min_plus_one_result(SessionId id) const
+      ACE_EXCLUDES(mutex_);
+  dse::SensitivityResult sensitivity_result(SessionId id) const
+      ACE_EXCLUDES(mutex_);
+
+  std::size_t session_count() const ACE_EXCLUDES(mutex_);
+  std::size_t resident_count() const ACE_EXCLUDES(mutex_);
+  ServeStats stats() const ACE_EXCLUDES(mutex_);
+
+  /// Per-request submit-to-completion latencies (milliseconds, steady
+  /// clock), in completion order — the bench's p50/p99 source.
+  std::vector<double> request_latencies_ms() const ACE_EXCLUDES(mutex_);
+
+ private:
+  struct Request {
+    Ticket ticket = 0;
+    std::size_t steps = 0;
+    double submitted_ms = 0.0;
+  };
+
+  struct Session {
+    SessionId id = 0;
+    SessionSpec spec;
+    dse::MinPlusOneCursor min_cursor;
+    dse::SensitivityCursor sens_cursor;
+    /// Live policy; null when parked (or never started).
+    std::unique_ptr<dse::KrigingPolicy> policy;
+    /// Serialized checkpoint of a parked session ("" = fresh start).
+    std::string parked;
+    std::deque<Request> pending;
+    bool in_service = false;  ///< A service thread is stepping it.
+    bool queued = false;      ///< Present in ready_.
+    std::size_t last_touch = 0;
+    dse::PolicyStats last_stats;  ///< Stats at last service completion.
+    std::size_t executed_steps = 0;
+  };
+
+  /// Serializes a shared BatchSimulator across service threads.
+  class SerializedBackend final : public dse::BatchSimulator {
+   public:
+    explicit SerializedBackend(dse::BatchSimulator& inner) : inner_(inner) {}
+    std::vector<util::GuardedCall> simulate_many(
+        const std::vector<dse::Config>& configs) override {
+      const util::LockGuard lock(mutex_);
+      return inner_.simulate_many(configs);
+    }
+
+   private:
+    dse::BatchSimulator& inner_;
+    util::Mutex mutex_;
+  };
+
+  void service_loop();
+  Session& session_locked(SessionId id) const ACE_REQUIRES(mutex_);
+  /// Build (or restore from the parked checkpoint) the session's policy.
+  void ensure_resident_locked(Session& s) ACE_REQUIRES(mutex_);
+  /// Serialize and drop the policy of an idle resident session.
+  void park_locked(Session& s) ACE_REQUIRES(mutex_);
+  /// LRU-park idle residents until the resident cap holds (sessions in
+  /// service or with queued work are never victims).
+  void enforce_residency_locked(const Session* keep) ACE_REQUIRES(mutex_);
+
+  SessionManagerOptions options_;
+  std::unique_ptr<SerializedBackend> shared_backend_;
+  util::Stopwatch watch_;
+
+  mutable util::Mutex mutex_;
+  std::condition_variable ready_cv_;  ///< Work available / stopping.
+  std::condition_variable space_cv_;  ///< Queue capacity freed.
+  std::condition_variable done_cv_;   ///< A request completed.
+
+  std::unordered_map<SessionId, std::unique_ptr<Session>> sessions_
+      ACE_GUARDED_BY(mutex_);
+  std::deque<SessionId> ready_ ACE_GUARDED_BY(mutex_);
+  std::unordered_set<Ticket> outstanding_ ACE_GUARDED_BY(mutex_);
+  std::size_t pending_total_ ACE_GUARDED_BY(mutex_) = 0;
+  std::size_t in_service_count_ ACE_GUARDED_BY(mutex_) = 0;
+  std::size_t resident_ ACE_GUARDED_BY(mutex_) = 0;
+  std::size_t clock_ ACE_GUARDED_BY(mutex_) = 0;
+  SessionId next_id_ ACE_GUARDED_BY(mutex_) = 0;
+  Ticket next_ticket_ ACE_GUARDED_BY(mutex_) = 0;
+  bool stopping_ ACE_GUARDED_BY(mutex_) = false;
+  ServeStats stats_ ACE_GUARDED_BY(mutex_);
+  std::vector<double> latencies_ms_ ACE_GUARDED_BY(mutex_);
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ace::serve

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dse/factor_cache.hpp"
@@ -45,12 +46,13 @@ struct Universe {
   }
 };
 
-k::KrigingSystem* acquire(d::FactorCache& cache, const Universe& u,
-                          const std::vector<std::size_t>& idx,
-                          const k::VariogramModel& model,
-                          d::FactorAcquire& how) {
+d::FactorCache::Pin acquire(d::FactorCache& cache, const Universe& u,
+                            const std::vector<std::size_t>& idx,
+                            const k::VariogramModel& model,
+                            d::FactorAcquire& how,
+                            std::uint64_t generation = 0) {
   return cache.acquire(idx, u.gather_points(idx), u.gather_values(idx),
-                       model, k::l1_distance, how);
+                       model, k::l1_distance, generation, how);
 }
 
 TEST(FactorCache, HitExtendFreshLifecycle) {
@@ -59,22 +61,32 @@ TEST(FactorCache, HitExtendFreshLifecycle) {
   d::FactorCache cache(4);
   d::FactorAcquire how = d::FactorAcquire::kHit;
 
-  k::KrigingSystem* first = acquire(cache, u, {0, 1, 2}, model, how);
-  ASSERT_NE(first, nullptr);
-  EXPECT_EQ(how, d::FactorAcquire::kFresh);
-  EXPECT_EQ(cache.size(), 1u);
+  k::KrigingSystem* first = nullptr;
+  {
+    const d::FactorCache::Pin pin = acquire(cache, u, {0, 1, 2}, model, how);
+    ASSERT_TRUE(pin);
+    first = pin.get();
+    EXPECT_EQ(how, d::FactorAcquire::kFresh);
+    EXPECT_EQ(cache.size(), 1u);
+  }
 
   // Same index set (any order): exact hit on the same system object.
-  k::KrigingSystem* again = acquire(cache, u, {2, 0, 1}, model, how);
-  EXPECT_EQ(how, d::FactorAcquire::kHit);
-  EXPECT_EQ(again, first);
+  {
+    const d::FactorCache::Pin again =
+        acquire(cache, u, {2, 0, 1}, model, how);
+    EXPECT_EQ(how, d::FactorAcquire::kHit);
+    EXPECT_EQ(again.get(), first);
+  }
 
   // Superset: the entry is extended in place, not rebuilt.
-  k::KrigingSystem* extended = acquire(cache, u, {0, 1, 2, 3}, model, how);
-  EXPECT_EQ(how, d::FactorAcquire::kExtend);
-  EXPECT_EQ(extended, first);
-  EXPECT_EQ(extended->support_size(), 4u);
-  EXPECT_EQ(cache.size(), 1u);
+  {
+    const d::FactorCache::Pin extended =
+        acquire(cache, u, {0, 1, 2, 3}, model, how);
+    EXPECT_EQ(how, d::FactorAcquire::kExtend);
+    EXPECT_EQ(extended.get(), first);
+    EXPECT_EQ(extended->support_size(), 4u);
+    EXPECT_EQ(cache.size(), 1u);
+  }
 
   // Disjoint set: fresh entry.
   (void)acquire(cache, u, {10, 11, 12}, model, how);
@@ -96,7 +108,8 @@ TEST(FactorCache, ExtendedSystemAnswersLikeScratch) {
   (void)acquire(cache, u, {0, 1, 2, 3}, model, how);
   // Shrink-and-grow: drop 3, add 4 (one downdate + one append — within
   // the edit-cost limit; the dropped slot is an appended, removable row).
-  k::KrigingSystem* edited = acquire(cache, u, {0, 1, 2, 4}, model, how);
+  const d::FactorCache::Pin edited =
+      acquire(cache, u, {0, 1, 2, 4}, model, how);
   ASSERT_EQ(how, d::FactorAcquire::kExtend);
 
   const std::vector<std::size_t> idx = {0, 1, 2, 4};
@@ -131,11 +144,123 @@ TEST(FactorCache, CapacityZeroNeverCaches) {
   const Universe u(8);
   d::FactorCache cache(0);
   d::FactorAcquire how = d::FactorAcquire::kHit;
-  ASSERT_NE(acquire(cache, u, {0, 1, 2}, model, how), nullptr);
+  ASSERT_TRUE(acquire(cache, u, {0, 1, 2}, model, how));
   EXPECT_EQ(how, d::FactorAcquire::kFresh);
   EXPECT_EQ(cache.size(), 0u);
-  ASSERT_NE(acquire(cache, u, {0, 1, 2}, model, how), nullptr);
+  ASSERT_TRUE(acquire(cache, u, {0, 1, 2}, model, how));
   EXPECT_EQ(how, d::FactorAcquire::kFresh);
+}
+
+// Regression (ISSUE 8): acquire() used to return a raw KrigingSystem*
+// that the next acquire() could invalidate by LRU-evicting the entry (or
+// reallocating entries_). Two interleaved acquire/solve sequences at
+// capacity 1 turned into a use-after-free. The Pin handle must keep both
+// systems alive and answering correctly, with eviction deferred.
+TEST(FactorCache, PinSurvivesInterleavedAcquiresAtCapacityOne) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  const Universe u(16);
+  d::FactorCache cache(1);
+  d::FactorAcquire how = d::FactorAcquire::kHit;
+
+  const std::vector<std::size_t> ia = {0, 1, 2};
+  const std::vector<std::size_t> ib = {8, 9, 10};
+  const d::FactorCache::Pin a = acquire(cache, u, ia, model, how);
+  ASSERT_TRUE(a);
+  // Disjoint set at capacity 1: without pinning this evicts A's entry
+  // and frees the system `a` points at.
+  const d::FactorCache::Pin b = acquire(cache, u, ib, model, how);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(how, d::FactorAcquire::kFresh);
+  EXPECT_NE(a.get(), b.get());
+
+  // Interleaved solves through both pins still match scratch systems.
+  const std::vector<double> q = {1.5, 2.0};
+  k::KrigingSystem sa({k::SystemKind::kOrdinary}, u.gather_points(ia),
+                      u.gather_values(ia), model);
+  k::KrigingSystem sb({k::SystemKind::kOrdinary}, u.gather_points(ib),
+                      u.gather_values(ib), model);
+  const auto ra = a->query(q);
+  const auto rb = b->query(q);
+  const auto ea = sa.query(q);
+  const auto eb = sb.query(q);
+  ASSERT_TRUE(ra && rb && ea && eb);
+  EXPECT_NEAR(ra->estimate, ea->estimate, 1e-10);
+  EXPECT_NEAR(rb->estimate, eb->estimate, 1e-10);
+
+  // Deferred eviction: both entries resident while pinned, trimmed back
+  // to capacity once the pins are gone and a new acquire runs.
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// Companion: once the pins drop, the next acquire() trims back to
+// capacity and the cache behaves like a plain LRU again.
+TEST(FactorCache, DeferredEvictionTrimsAfterPinsRelease) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  const Universe u(16);
+  d::FactorCache cache(1);
+  d::FactorAcquire how = d::FactorAcquire::kHit;
+  {
+    const d::FactorCache::Pin a = acquire(cache, u, {0, 1, 2}, model, how);
+    const d::FactorCache::Pin b = acquire(cache, u, {8, 9, 10}, model, how);
+    EXPECT_EQ(cache.size(), 2u);
+  }
+  (void)acquire(cache, u, {12, 13, 14}, model, how);
+  EXPECT_EQ(how, d::FactorAcquire::kFresh);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// Regression (ISSUE 8): an exact index-set hit must not resurrect a
+// system factored under a different variogram model. Entries are stamped
+// with the caller's model generation; a query under a newer generation
+// builds fresh and answers with the new model's numbers.
+TEST(FactorCache, GenerationStampPreventsCrossModelHits) {
+  const k::SphericalVariogram old_model(0.1, 2.0, 8.0);
+  const k::SphericalVariogram new_model(0.5, 9.0, 3.0);
+  const Universe u(16);
+  d::FactorCache cache(4);
+  d::FactorAcquire how = d::FactorAcquire::kHit;
+
+  const std::vector<std::size_t> idx = {0, 1, 2, 3};
+  (void)acquire(cache, u, idx, old_model, how, /*generation=*/0);
+  ASSERT_EQ(how, d::FactorAcquire::kFresh);
+
+  // Same index set, newer generation: must NOT hit (or edit) the stale
+  // entry, and the answer must come from the new model.
+  const d::FactorCache::Pin fresh =
+      acquire(cache, u, idx, new_model, how, /*generation=*/1);
+  EXPECT_EQ(how, d::FactorAcquire::kFresh);
+  k::KrigingSystem scratch({k::SystemKind::kOrdinary}, u.gather_points(idx),
+                           u.gather_values(idx), new_model);
+  const std::vector<double> q = {1.5, 2.0};
+  const auto got = fresh->query(q);
+  const auto want = scratch.query(q);
+  ASSERT_TRUE(got && want);
+  EXPECT_NEAR(got->estimate, want->estimate, 1e-10);
+  EXPECT_NEAR(got->variance, want->variance, 1e-10);
+
+  // The stale-generation entry was dropped during trim, not kept around.
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// A pinned entry must not be edited by an overlapping acquire(): the
+// live pin expects the support it acquired. The overlap path builds
+// fresh instead.
+TEST(FactorCache, PinnedEntryIsNeverEditedByOverlap) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  const Universe u(16);
+  d::FactorCache cache(4);
+  d::FactorAcquire how = d::FactorAcquire::kHit;
+
+  const d::FactorCache::Pin held = acquire(cache, u, {0, 1, 2, 3}, model, how);
+  ASSERT_TRUE(held);
+  const std::size_t held_support = held->support_size();
+
+  // Overlapping query that would normally edit the held entry in place.
+  const d::FactorCache::Pin other =
+      acquire(cache, u, {0, 1, 2, 4}, model, how);
+  EXPECT_EQ(how, d::FactorAcquire::kFresh);
+  EXPECT_NE(other.get(), held.get());
+  EXPECT_EQ(held->support_size(), held_support);
 }
 
 /// Deterministic smooth simulator over the word-length lattice.

@@ -18,12 +18,13 @@ run_flavour() {
   echo "=== [$preset] configure + build ==="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
-  echo "=== [$preset] dse/kriging/dist/util test subset ==="
+  echo "=== [$preset] dse/kriging/dist/serve/util test subset ==="
   # Run the gtest binaries directly: binary names carry the subsystem
   # prefix (ctest registers individual suite.case names, which don't).
   for bin in "build-$preset"/tests/test_util_* \
              "build-$preset"/tests/test_dse_* \
              "build-$preset"/tests/test_dist_* \
+             "build-$preset"/tests/test_serve_* \
              "build-$preset"/tests/test_kriging_*; do
     [ -x "$bin" ] || continue
     echo "--- $bin"
