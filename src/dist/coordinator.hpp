@@ -135,7 +135,8 @@ class Coordinator final : public dse::BatchSimulator {
     bool pop(Event& event, Clock::time_point deadline);
 
    private:
-    util::Mutex mutex_;
+    util::Mutex mutex_{util::lock_order::Rank::kEventQueue,
+                       "dist.event_queue"};
     std::condition_variable cv_;
     std::deque<Event> events_ ACE_GUARDED_BY(mutex_);
   };

@@ -29,12 +29,24 @@ Transport::Recv InProcessTransport::recv_line(std::string& line,
 }
 
 void InProcessTransport::shutdown() {
-  util::LockGuard lock(lifecycle_mutex_);
+  util::UniqueLock lock(lifecycle_mutex_);
+  // A concurrent shutdown is mid-join: wait for it rather than racing it,
+  // so every caller still returns only once the worker is gone.
+  while (joiner_active_) lock.wait(join_cv_);
   if (dead_) return;
   dead_ = true;
   to_worker_.close();
   from_worker_.close();
-  if (worker_.joinable()) worker_.join();
+  std::thread worker = std::move(worker_);
+  joiner_active_ = true;
+  lock.unlock();
+  // The join can block for as long as an in-flight simulation runs; doing
+  // it under lifecycle_mutex_ would stall every alive()/send poller (and
+  // trips the blocking-under-lock lint).
+  if (worker.joinable()) worker.join();
+  lock.lock();
+  joiner_active_ = false;
+  join_cv_.notify_all();
 }
 
 bool InProcessTransport::alive() const {

@@ -11,6 +11,7 @@
 // against real subprocess workers.
 #pragma once
 
+#include <condition_variable>
 #include <thread>
 
 #include "dist/transport.hpp"
@@ -37,9 +38,16 @@ class InProcessTransport final : public Transport {
  private:
   LineQueue to_worker_;
   LineQueue from_worker_;
-  mutable util::Mutex lifecycle_mutex_;
+  /// Taken before the LineQueue locks (shutdown closes the queues while
+  /// holding it); the worker join itself happens OUTSIDE this lock —
+  /// joiner_active_/join_cv_ keep the "returns only once joined" contract.
+  mutable util::Mutex lifecycle_mutex_{
+      util::lock_order::Rank::kTransportLifecycle, "dist.in_process"};
   std::thread worker_ ACE_GUARDED_BY(lifecycle_mutex_);
   bool dead_ ACE_GUARDED_BY(lifecycle_mutex_) = false;
+  /// True while a shutdown caller is joining the worker off-lock.
+  bool joiner_active_ ACE_GUARDED_BY(lifecycle_mutex_) = false;
+  std::condition_variable join_cv_;
 };
 
 }  // namespace ace::dist

@@ -46,7 +46,8 @@ class PipeTransport final : public Transport {
   util::Subprocess child_;
   std::string buffer_;          // Reader-thread only.
   bool truncated_tail_ = false; // Written by reader, read after join.
-  mutable util::Mutex state_mutex_;
+  mutable util::Mutex state_mutex_{
+      util::lock_order::Rank::kTransportLifecycle, "dist.pipe"};
   bool dead_ ACE_GUARDED_BY(state_mutex_) = false;
 };
 

@@ -74,7 +74,10 @@ class LineQueue {
   Transport::Recv pop(std::string& line, std::chrono::milliseconds timeout);
 
  private:
-  mutable util::Mutex mutex_;
+  /// Innermost rank in the hierarchy: transports push/close queues while
+  /// holding their lifecycle locks, and nothing is acquired under this.
+  mutable util::Mutex mutex_{util::lock_order::Rank::kLineQueue,
+                             "dist.line_queue"};
   std::condition_variable cv_;
   std::deque<std::string> lines_ ACE_GUARDED_BY(mutex_);
   bool closed_ ACE_GUARDED_BY(mutex_) = false;

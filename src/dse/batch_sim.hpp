@@ -17,7 +17,9 @@
 
 #include "dse/config.hpp"
 #include "dse/kriging_policy.hpp"  // SimulatorFn
+#include "util/mutex.hpp"
 #include "util/retry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ace::util {
 class ThreadPool;
@@ -58,6 +60,35 @@ class PooledBatchSimulator final : public BatchSimulator {
   SimulatorFn simulate_;
   util::RetryOptions retry_;
   util::ThreadPool* pool_;
+};
+
+/// Serializes a shared BatchSimulator that is not required to accept
+/// concurrent simulate_many calls (dist::Coordinator, external services)
+/// across caller threads. serve::SessionManager wraps its shared backend
+/// in one of these; any other multi-client composition should too, rather
+/// than growing an ad-hoc mutex.
+///
+/// Rank kBackendSerialize sits between the policy locks and the
+/// transport/queue locks: a caller typically holds its policy mutex on
+/// entry (evaluate_batch), and the inner backend may take event-queue and
+/// transport locks below.
+class SerializingBatchSimulator final : public BatchSimulator {
+ public:
+  explicit SerializingBatchSimulator(BatchSimulator& inner) : inner_(inner) {}
+
+  std::vector<util::GuardedCall> simulate_many(
+      const std::vector<Config>& configs) override ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    // The serialized call IS this class's purpose: the inner backend must
+    // see one batch at a time, so it runs under mutex_ by construction.
+    // ace-lint: allow(blocking-under-lock)
+    return inner_.simulate_many(configs);
+  }
+
+ private:
+  BatchSimulator& inner_;
+  util::Mutex mutex_{util::lock_order::Rank::kBackendSerialize,
+                     "dse.backend_serialize"};
 };
 
 }  // namespace ace::dse

@@ -35,8 +35,11 @@ struct FaultInjectingSimulator::State {
   std::atomic<std::size_t> latency{0};
 
   // Per-configuration faulted-call counts for the transient-recovery
-  // model. Guarded: pool workers call concurrently.
-  util::Mutex mutex;
+  // model. Guarded: pool workers call concurrently. Ranked above the pool
+  // locks: the run_indexed_collect caller thread executes tasks inline
+  // while holding run_mutex_, and those tasks land here.
+  util::Mutex mutex{util::lock_order::Rank::kFaultInjection,
+                    "dse.fault_injection"};
   std::unordered_map<Config, std::size_t, ConfigHash> fault_calls
       ACE_GUARDED_BY(mutex);
 };

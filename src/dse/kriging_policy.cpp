@@ -332,7 +332,10 @@ EvalOutcome KrigingPolicy::evaluate(const Config& config,
   }
 
   // Simulation path (lines 19-23): evaluate under the fault guard and
-  // enrich the store (or the quarantine list) with the result.
+  // enrich the store (or the quarantine list) with the result. Held lock
+  // is the documented contract: the simulator is called with the policy
+  // mutex held and must not call back into this policy (see evaluate()).
+  // ace-lint: allow(blocking-under-lock)
   fold_simulation(config, run_simulation(config, simulate), outcome);
   return outcome;
 }
@@ -534,6 +537,11 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
   std::vector<Config> pending_configs;
   pending_configs.reserve(owners.size());
   for (const std::size_t owner : owners) pending_configs.push_back(batch[owner]);
+  // The backend runs with the policy mutex held by documented contract
+  // (BatchSimulator must never call back into the invoking policy); the
+  // partition/fold bit-exactness argument depends on the store being
+  // frozen across the whole batch.
+  // ace-lint: allow(blocking-under-lock)
   std::vector<util::GuardedCall> sims = backend.simulate_many(pending_configs);
   if (sims.size() != owners.size())
     throw std::logic_error(

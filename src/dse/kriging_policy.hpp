@@ -353,7 +353,7 @@ class KrigingPolicy {
   /// Store size at every refit_model() entry, in call order — the replay
   /// script that makes snapshot()/restore() bit-exact.
   std::vector<std::size_t> fit_events_ ACE_GUARDED_BY(mutex_);
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::lock_order::Rank::kPolicy, "dse.policy"};
 };
 
 }  // namespace ace::dse

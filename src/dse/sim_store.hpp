@@ -188,7 +188,7 @@ class SimulationStore {
       ACE_GUARDED_BY(mutex_);
   std::vector<std::pair<Config, FaultCode>> quarantine_log_
       ACE_GUARDED_BY(mutex_);
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::lock_order::Rank::kStore, "dse.store"};
 };
 
 }  // namespace ace::dse

@@ -122,7 +122,8 @@ class EmpiricalVariogram {
   double value_mean_ ACE_GUARDED_BY(mutex_) = 0.0;
   double value_m2_ ACE_GUARDED_BY(mutex_) = 0.0;
   double value_variance_ ACE_GUARDED_BY(mutex_) = 0.0;
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::lock_order::Rank::kVariogram,
+                             "kriging.variogram"};
 };
 
 }  // namespace ace::kriging

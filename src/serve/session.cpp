@@ -24,7 +24,8 @@ SessionManager::SessionManager(SessionManagerOptions options)
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.resident_capacity == 0) options_.resident_capacity = 1;
   if (options_.backend != nullptr)
-    shared_backend_ = std::make_unique<SerializedBackend>(*options_.backend);
+    shared_backend_ =
+        std::make_unique<dse::SerializingBatchSimulator>(*options_.backend);
   threads_.reserve(options_.service_threads);
   for (std::size_t i = 0; i < options_.service_threads; ++i)
     threads_.emplace_back([this] { service_loop(); });
@@ -113,41 +114,46 @@ void SessionManager::drain() {
 void SessionManager::park(SessionId id) {
   util::UniqueLock lock(mutex_);
   Session& s = session_locked(id);
-  while (s.in_service || !s.pending.empty()) lock.wait(done_cv_);
-  if (s.policy) park_locked(s);
+  while (s.in_service || !s.pending.empty() || s.parking) lock.wait(done_cv_);
+  if (!s.policy) return;
+  // Two phases: snapshot + detach under the lock (cheap copies), render
+  // the checkpoint text outside it. `parking` keeps resumers away until
+  // the commit makes `parked` valid.
+  ParkJob job = detach_park_locked(s);
+  lock.unlock();
+  std::string text = dse::serialize_checkpoint(job.checkpoint);
+  lock.lock();
+  // `s` stays valid across the gap: sessions are never destroyed before
+  // the manager, and `parking` pins its residency state.
+  commit_park_locked(s, std::move(text));
 }
 
-void SessionManager::ensure_resident_locked(Session& s) {
-  if (s.policy) return;
-  s.policy = std::make_unique<dse::KrigingPolicy>(s.spec.policy);
-  ++resident_;
-  if (!s.parked.empty()) {
-    std::istringstream in(s.parked);
-    const dse::Checkpoint checkpoint = dse::parse_checkpoint(in);
-    s.policy->restore(checkpoint.policy);
-    s.min_cursor = checkpoint.min_plus;
-    s.sens_cursor = checkpoint.sensitivity;
-    s.parked.clear();
-    ++stats_.resumes;
-  }
-}
-
-void SessionManager::park_locked(Session& s) {
-  dse::Checkpoint checkpoint;
+SessionManager::ParkJob SessionManager::detach_park_locked(Session& s) {
+  ParkJob job;
+  job.id = s.id;
   // snapshot() without record_checkpoint(): parking is a residency
   // decision, not a durability event, so the policy's statistics stay
   // bit-identical to a standalone run that never parked.
-  checkpoint.policy = s.policy->snapshot();
-  checkpoint.optimizer = optimizer_tag(s.spec.optimizer);
-  checkpoint.min_plus = s.min_cursor;
-  checkpoint.sensitivity = s.sens_cursor;
-  s.parked = dse::serialize_checkpoint(checkpoint);
+  job.checkpoint.policy = s.policy->snapshot();
+  job.checkpoint.optimizer = optimizer_tag(s.spec.optimizer);
+  job.checkpoint.min_plus = s.min_cursor;
+  job.checkpoint.sensitivity = s.sens_cursor;
   s.policy.reset();
   --resident_;
-  ++stats_.parks;
+  s.parking = true;
+  return job;
 }
 
-void SessionManager::enforce_residency_locked(const Session* keep) {
+void SessionManager::commit_park_locked(Session& s, std::string text) {
+  s.parked = std::move(text);
+  s.parking = false;
+  ++stats_.parks;
+  done_cv_.notify_all();
+}
+
+std::vector<SessionManager::ParkJob> SessionManager::collect_victims_locked(
+    const Session* keep) {
+  std::vector<ParkJob> jobs;
   while (resident_ > options_.resident_capacity) {
     Session* victim = nullptr;
     for (auto& [id, session] : sessions_) {
@@ -158,8 +164,9 @@ void SessionManager::enforce_residency_locked(const Session* keep) {
       if (victim == nullptr || s.last_touch < victim->last_touch) victim = &s;
     }
     if (victim == nullptr) break;  // Everything live is busy: defer.
-    park_locked(*victim);
+    jobs.push_back(detach_park_locked(*victim));
   }
+  return jobs;
 }
 
 void SessionManager::service_loop() {
@@ -178,12 +185,68 @@ void SessionManager::service_loop() {
     --pending_total_;
     space_cv_.notify_all();
 
+    // A parker may hold this session's detached snapshot while rendering
+    // its checkpoint off-lock; resuming before the commit would lose it.
+    while (s.parking) lock.wait(done_cv_);
+
     // Build or resume the policy, and make room by parking idle LRU
-    // residents. Both happen under the manager lock: a resume replays the
-    // checkpoint, which is the price of admission for bit-exactness.
-    ensure_resident_locked(s);
-    enforce_residency_locked(&s);
-    s.last_touch = ++clock_;
+    // victims. The blocking work — checkpoint parse, restore replay,
+    // victim serialization — runs OUTSIDE the manager lock: a slow resume
+    // must not stall submits and steps for every other session. The
+    // resident slot is reserved up front so concurrent residency
+    // enforcement counts this session; in_service keeps every other
+    // thread away from its cursors and policy slot, and spec is immutable
+    // after create(), so the off-lock reads are race-free.
+    const bool resume = s.policy == nullptr;
+    std::vector<ParkJob> victims;
+    if (resume) {
+      ++resident_;
+      std::string parked = std::move(s.parked);
+      s.parked.clear();
+      victims = collect_victims_locked(&s);
+      s.last_touch = ++clock_;
+      lock.unlock();
+
+      std::vector<std::pair<SessionId, std::string>> rendered;
+      rendered.reserve(victims.size());
+      for (ParkJob& job : victims)
+        rendered.emplace_back(job.id,
+                              dse::serialize_checkpoint(job.checkpoint));
+      auto policy = std::make_unique<dse::KrigingPolicy>(s.spec.policy);
+      dse::Checkpoint checkpoint;
+      const bool restored = !parked.empty();
+      if (restored) {
+        std::istringstream in(parked);
+        checkpoint = dse::parse_checkpoint(in);
+        // Replay is bit-exact: the rebuilt store, variogram and model are
+        // exactly the snapshotted policy's (checkpoint.hpp contract).
+        policy->restore(checkpoint.policy);
+      }
+
+      lock.lock();
+      for (auto& [vid, text] : rendered)
+        commit_park_locked(*sessions_.at(vid), std::move(text));
+      s.policy = std::move(policy);
+      if (restored) {
+        s.min_cursor = checkpoint.min_plus;
+        s.sens_cursor = checkpoint.sensitivity;
+        ++stats_.resumes;
+      }
+    } else {
+      victims = collect_victims_locked(&s);
+      s.last_touch = ++clock_;
+      if (!victims.empty()) {
+        lock.unlock();
+        std::vector<std::pair<SessionId, std::string>> rendered;
+        rendered.reserve(victims.size());
+        for (ParkJob& job : victims)
+          rendered.emplace_back(job.id,
+                                dse::serialize_checkpoint(job.checkpoint));
+        lock.lock();
+        for (auto& [vid, text] : rendered)
+          commit_park_locked(*sessions_.at(vid), std::move(text));
+      }
+    }
 
     // The cursor is stepped on a local copy outside the lock; the session
     // is flagged in_service, so no other thread touches its state (parking

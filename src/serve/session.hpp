@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "dse/batch_sim.hpp"
+#include "dse/checkpoint.hpp"
 #include "dse/kriging_policy.hpp"
 #include "dse/min_plus_one.hpp"
 #include "dse/steepest_descent.hpp"
@@ -177,41 +178,48 @@ class SessionManager {
     std::deque<Request> pending;
     bool in_service = false;  ///< A service thread is stepping it.
     bool queued = false;      ///< Present in ready_.
+    /// Policy detached by a service thread that is serializing the
+    /// checkpoint off-lock; `parked` is not yet valid. Nobody may resume
+    /// the session until the serializer commits and clears this.
+    bool parking = false;
     std::size_t last_touch = 0;
     dse::PolicyStats last_stats;  ///< Stats at last service completion.
     std::size_t executed_steps = 0;
   };
 
-  /// Serializes a shared BatchSimulator across service threads.
-  class SerializedBackend final : public dse::BatchSimulator {
-   public:
-    explicit SerializedBackend(dse::BatchSimulator& inner) : inner_(inner) {}
-    std::vector<util::GuardedCall> simulate_many(
-        const std::vector<dse::Config>& configs) override {
-      const util::LockGuard lock(mutex_);
-      return inner_.simulate_many(configs);
-    }
-
-   private:
-    dse::BatchSimulator& inner_;
-    util::Mutex mutex_;
+  /// A policy detached from its session for off-lock serialization: the
+  /// snapshot is taken under the manager lock (cheap — copies of columnar
+  /// store state), the checkpoint text is rendered outside it.
+  struct ParkJob {
+    SessionId id = 0;
+    dse::Checkpoint checkpoint;
   };
 
   void service_loop();
   Session& session_locked(SessionId id) const ACE_REQUIRES(mutex_);
-  /// Build (or restore from the parked checkpoint) the session's policy.
-  void ensure_resident_locked(Session& s) ACE_REQUIRES(mutex_);
-  /// Serialize and drop the policy of an idle resident session.
-  void park_locked(Session& s) ACE_REQUIRES(mutex_);
-  /// LRU-park idle residents until the resident cap holds (sessions in
-  /// service or with queued work are never victims).
-  void enforce_residency_locked(const Session* keep) ACE_REQUIRES(mutex_);
+  /// Snapshot the policy + cursors and release the resident slot; the
+  /// session is left `parking` until commit_park_locked. Caller serializes
+  /// the returned checkpoint OUTSIDE the lock.
+  ParkJob detach_park_locked(Session& s) ACE_REQUIRES(mutex_);
+  /// Store the rendered checkpoint text and clear `parking`.
+  void commit_park_locked(Session& s, std::string text) ACE_REQUIRES(mutex_);
+  /// LRU-detach idle residents until the resident cap holds (sessions in
+  /// service or with queued work are never victims). Returned jobs are
+  /// serialized by the caller off-lock and committed afterwards.
+  std::vector<ParkJob> collect_victims_locked(const Session* keep)
+      ACE_REQUIRES(mutex_);
 
   SessionManagerOptions options_;
-  std::unique_ptr<SerializedBackend> shared_backend_;
+  std::unique_ptr<dse::SerializingBatchSimulator> shared_backend_;
   util::Stopwatch watch_;
 
-  mutable util::Mutex mutex_;
+  /// Outermost rank in the lock hierarchy — everything the service
+  /// reaches (policy, store, backend, transports) ranks above it. Nothing
+  /// blocking runs under it: checkpoint parse/serialize and restore
+  /// replay happen off-lock in service_loop/park (two-phase via
+  /// Session::parking), simulations off-lock via the in_service flag.
+  mutable util::Mutex mutex_{util::lock_order::Rank::kSessionManager,
+                             "serve.manager"};
   std::condition_variable ready_cv_;  ///< Work available / stopping.
   std::condition_variable space_cv_;  ///< Queue capacity freed.
   std::condition_variable done_cv_;   ///< A request completed.

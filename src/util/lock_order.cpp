@@ -1,0 +1,223 @@
+#include "util/lock_order.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace ace::util::lock_order {
+
+namespace {
+
+struct Held {
+  const void* mutex = nullptr;
+  int rank = 0;
+  const char* name = "mutex";
+};
+
+// Each thread's stack of currently held (well: acquired-or-acquiring)
+// wrapped mutexes, innermost last. Out-of-order release (UniqueLock
+// unlock gaps) removes from the middle.
+thread_local std::vector<Held> t_held;
+
+struct Edge {
+  /// The held-lock chain of the thread that first recorded this edge —
+  /// one half of the "both acquisition stacks" diagnosis.
+  std::string chain;
+};
+
+struct Node {
+  int rank = 0;
+  const char* name = "mutex";
+  std::unordered_map<const void*, Edge> out;
+};
+
+// The process-wide acquisition graph. A raw std::mutex by necessity: the
+// registry cannot be guarded by the very wrappers it instruments.
+std::mutex g_mutex;  // ace-lint: allow(raw-mutex)
+std::unordered_map<const void*, Node> g_nodes;
+std::size_t g_violations = 0;
+
+void default_handler(const char* kind, const char* detail) {
+  std::fprintf(stderr, "ace lock-order validator: %s\n%s\n", kind, detail);
+  std::abort();
+}
+
+FailureHandler g_handler = &default_handler;
+
+std::string describe(const void* mutex, int rank, const char* name) {
+  std::string out = name;
+  out += " (rank ";
+  out += std::to_string(rank);
+  out += ", @";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%p", mutex);
+  out += buf;
+  out += ")";
+  return out;
+}
+
+std::string held_chain() {
+  if (t_held.empty()) return "  (no locks held)";
+  std::string out;
+  for (const Held& h : t_held) {
+    out += "  held: ";
+    out += describe(h.mutex, h.rank, h.name);
+    out += "\n";
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+/// Is `target` reachable from `from` over recorded edges? Iterative DFS;
+/// fills `path` with the node sequence from → … → target when found.
+bool reachable(const void* from, const void* target,
+               std::vector<const void*>& path) {
+  std::unordered_set<const void*> seen;
+  seen.insert(from);
+  std::vector<std::pair<const void*, std::size_t>> stack;
+  stack.push_back({from, 0});
+  path.assign(1, from);
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (node == target) return true;
+    const auto it = g_nodes.find(node);
+    if (it == g_nodes.end() || next >= it->second.out.size()) {
+      stack.pop_back();
+      path.pop_back();
+      continue;
+    }
+    auto edge = it->second.out.begin();
+    std::advance(edge, next);
+    ++next;
+    if (!seen.insert(edge->first).second) continue;
+    stack.push_back({edge->first, 0});
+    path.push_back(edge->first);
+  }
+  return false;
+}
+
+/// Diagnose outside g_mutex (the handler may abort, throw, or log; none
+/// of that should happen while the registry is locked).
+void report(const char* kind, std::string detail) {
+  FailureHandler handler;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);  // ace-lint: allow(raw-mutex)
+    ++g_violations;
+    handler = g_handler;
+  }
+  handler(kind, detail.c_str());
+}
+
+}  // namespace
+
+FailureHandler set_failure_handler(FailureHandler handler) {
+  const std::lock_guard<std::mutex> lock(g_mutex);  // ace-lint: allow(raw-mutex)
+  const FailureHandler previous = g_handler;
+  g_handler = handler != nullptr ? handler : &default_handler;
+  return previous;
+}
+
+std::size_t violation_count() {
+  const std::lock_guard<std::mutex> lock(g_mutex);  // ace-lint: allow(raw-mutex)
+  return g_violations;
+}
+
+void reset_for_testing() {
+  const std::lock_guard<std::mutex> lock(g_mutex);  // ace-lint: allow(raw-mutex)
+  g_nodes.clear();
+  g_violations = 0;
+}
+
+void on_acquire(const void* mutex, int rank, const char* name) {
+  // 1. Recursive acquisition: self-deadlock on a non-recursive mutex.
+  for (const Held& h : t_held) {
+    if (h.mutex == mutex) {
+      report("recursive acquisition",
+             "thread re-acquires " + describe(mutex, rank, name) +
+                 " it already holds\n" + held_chain());
+      break;
+    }
+  }
+
+  // 2. Rank check: a ranked acquisition must strictly dominate every
+  //    ranked lock already held. Reported on first occurrence, on the
+  //    offending thread, with no second thread needed.
+  if (rank != 0) {
+    for (const Held& h : t_held) {
+      if (h.rank != 0 && h.rank >= rank && h.mutex != mutex) {
+        report("lock-rank inversion",
+               "acquiring " + describe(mutex, rank, name) +
+                   " while holding " + describe(h.mutex, h.rank, h.name) +
+                   " violates the lock hierarchy (DESIGN.md §13); "
+                   "current chain:\n" + held_chain());
+        break;
+      }
+    }
+  }
+
+  // 3. Acquisition graph: record innermost-held → acquiring, detect the
+  //    cycle the moment the second direction is ever observed. (Skipped
+  //    for a re-acquisition already reported above — a self-edge would
+  //    make every later query trivially cyclic.)
+  if (!t_held.empty() && t_held.back().mutex != mutex) {
+    const Held inner = t_held.back();
+    std::string diagnosis;
+    {
+      const std::lock_guard<std::mutex> lock(g_mutex);  // ace-lint: allow(raw-mutex)
+      Node& from = g_nodes[inner.mutex];
+      from.rank = inner.rank;
+      from.name = inner.name;
+      Node& to = g_nodes[mutex];
+      to.rank = rank;
+      to.name = name;
+      if (from.out.find(mutex) == from.out.end()) {
+        std::vector<const void*> path;
+        if (reachable(mutex, inner.mutex, path)) {
+          diagnosis = "acquiring " + describe(mutex, rank, name) +
+                      " while holding " + describe(inner.mutex, inner.rank,
+                                                   inner.name) +
+                      " closes an acquisition cycle.\nthis thread's chain:\n" +
+                      held_chain() + "\nestablished opposite path:";
+          for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            const Node& n = g_nodes[path[i]];
+            const auto e = n.out.find(path[i + 1]);
+            diagnosis += "\n  " + describe(path[i], n.rank, n.name) +
+                         " -> " +
+                         describe(path[i + 1], g_nodes[path[i + 1]].rank,
+                                  g_nodes[path[i + 1]].name);
+            if (e != n.out.end() && !e->second.chain.empty())
+              diagnosis += "\n  recorded while:\n" + e->second.chain;
+          }
+        } else {
+          from.out.emplace(mutex, Edge{held_chain()});
+        }
+      }
+    }
+    if (!diagnosis.empty()) report("lock-order cycle", std::move(diagnosis));
+  }
+
+  t_held.push_back({mutex, rank, name});
+}
+
+void on_release(const void* mutex) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void on_destroy(const void* mutex) {
+  const std::lock_guard<std::mutex> lock(g_mutex);  // ace-lint: allow(raw-mutex)
+  g_nodes.erase(mutex);
+  for (auto& [addr, node] : g_nodes) node.out.erase(mutex);
+}
+
+}  // namespace ace::util::lock_order

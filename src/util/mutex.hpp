@@ -1,4 +1,5 @@
-// Annotated mutex wrappers for the Clang capability analysis.
+// Annotated mutex wrappers for the Clang capability analysis, carrying
+// the global lock hierarchy.
 //
 // util::Mutex / util::LockGuard / util::UniqueLock are drop-in analogues
 // of std::mutex / std::lock_guard / std::unique_lock that carry the
@@ -7,6 +8,15 @@
 // src/util/ must use these wrappers instead of the raw std types
 // (lint rule `raw-mutex`); the wrappers themselves are the one place the
 // raw types may appear.
+//
+// Every long-lived library mutex is additionally constructed with a rank
+// from the global lock hierarchy (util/lock_order.hpp, DESIGN.md §13).
+// In Debug builds (or any TU compiled with -DACE_LOCK_ORDER=1) each
+// acquisition runs through the lock-order validator: a thread acquiring a
+// ranked mutex while holding one of equal or higher rank, or closing a
+// cycle in the global acquisition graph, is diagnosed on the spot — with
+// both acquisition chains — even when the interleaving never deadlocks in
+// that run. Release builds compile the hooks away entirely.
 //
 // UniqueLock supports the condition-variable protocol: wait(cv) releases
 // and reacquires internally (net effect: held before, held after — which
@@ -19,23 +29,72 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/lock_order.hpp"
 #include "util/thread_annotations.hpp"
+
+// Debug-on / Release-off, same convention (and same per-TU override
+// mechanism) as ACE_CONTRACTS in util/contract.hpp.
+#ifndef ACE_LOCK_ORDER
+#ifdef NDEBUG
+#define ACE_LOCK_ORDER 0
+#else
+#define ACE_LOCK_ORDER 1
+#endif
+#endif
 
 namespace ace::util {
 
-/// std::mutex carrying the `capability` attribute.
+/// std::mutex carrying the `capability` attribute, a name, and a rank in
+/// the global lock hierarchy. The default constructor yields an unranked
+/// mutex (exempt from the rank check, still cycle-checked); long-lived
+/// library mutexes must use the ranked constructor.
 class ACE_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  Mutex(lock_order::Rank rank, const char* name)
+      : rank_(static_cast<int>(rank)), name_(name) {}
+  ~Mutex() {
+#if ACE_LOCK_ORDER
+    lock_order::on_destroy(this);
+#endif
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACE_ACQUIRE() { raw_.lock(); }
-  void unlock() ACE_RELEASE() { raw_.unlock(); }
-  bool try_lock() ACE_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+  void lock() ACE_ACQUIRE() {
+    note_acquire();
+    raw_.lock();
+  }
+  void unlock() ACE_RELEASE() {
+    raw_.unlock();
+    note_release();
+  }
+  bool try_lock() ACE_TRY_ACQUIRE(true) {
+    const bool acquired = raw_.try_lock();
+    // A successful try_lock cannot deadlock by itself, but it installs
+    // the same hierarchy edge a blocking lock would — record (and check)
+    // it so the *other* side of an inversion is still diagnosed.
+    if (acquired) note_acquire();
+    return acquired;
+  }
 
  private:
+  friend class LockGuard;
   friend class UniqueLock;
+
+  void note_acquire() {
+#if ACE_LOCK_ORDER
+    lock_order::on_acquire(this, rank_, name_);
+#endif
+  }
+  void note_release() {
+#if ACE_LOCK_ORDER
+    lock_order::on_release(this);
+#endif
+  }
+
+  int rank_ = 0;
+  const char* name_ = "mutex";
   std::mutex raw_;
 };
 
@@ -56,19 +115,38 @@ class ACE_SCOPED_CAPABILITY LockGuard {
 /// condition-variable support.
 class ACE_SCOPED_CAPABILITY UniqueLock {
  public:
-  explicit UniqueLock(Mutex& m) ACE_ACQUIRE(m) : lock_(m.raw_) {}
-  ~UniqueLock() ACE_RELEASE() {}  // releases iff still held (RAII).
+  explicit UniqueLock(Mutex& m) ACE_ACQUIRE(m)
+      : mutex_(m), lock_(m.raw_, std::defer_lock) {
+    mutex_.note_acquire();
+    lock_.lock();
+  }
+  ~UniqueLock() ACE_RELEASE() {
+    // Releases iff still held (RAII).
+    if (lock_.owns_lock()) {
+      lock_.unlock();
+      mutex_.note_release();
+    }
+  }
 
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;
 
-  void lock() ACE_ACQUIRE() { lock_.lock(); }
-  void unlock() ACE_RELEASE() { lock_.unlock(); }
+  void lock() ACE_ACQUIRE() {
+    mutex_.note_acquire();
+    lock_.lock();
+  }
+  void unlock() ACE_RELEASE() {
+    lock_.unlock();
+    mutex_.note_release();
+  }
 
   /// Block on `cv`. The mutex is released while sleeping and reacquired
   /// before returning; callers loop on their guarded predicate themselves
   /// so the reads stay visible to the analysis:
   ///   while (!predicate_over_guarded_state) lock.wait(cv);
+  /// The held-lock stack deliberately keeps the mutex across the sleep:
+  /// held-before and held-after is the net effect, and the sleeping
+  /// thread acquires nothing in between.
   void wait(std::condition_variable& cv) { cv.wait(lock_); }
 
   /// Timed variant for deadline-driven loops (lease expiry, event-queue
@@ -80,6 +158,7 @@ class ACE_SCOPED_CAPABILITY UniqueLock {
   }
 
  private:
+  Mutex& mutex_;
   std::unique_lock<std::mutex> lock_;
 };
 

@@ -52,6 +52,20 @@
 /// Caller must NOT hold the capabilities (deadlock prevention).
 #define ACE_EXCLUDES(...) ACE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
 
+/// Lock-hierarchy edge: this capability must be acquired before the listed
+/// ones. Enforced by Clang under -Wthread-safety-beta (the `tidy` preset);
+/// the same ordering is checked at runtime in Debug builds by the
+/// lock-order validator (util/lock_order.hpp), which also covers edges the
+/// attribute cannot express — ordering between mutexes of *different*
+/// classes, where neither declaration can name the other.
+#define ACE_ACQUIRED_BEFORE(...) \
+  ACE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Lock-hierarchy edge: this capability must be acquired after the listed
+/// ones (the dual of ACE_ACQUIRED_BEFORE; same enforcement).
+#define ACE_ACQUIRED_AFTER(...) \
+  ACE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
 /// Function returns a reference to the given capability.
 #define ACE_RETURN_CAPABILITY(x) ACE_THREAD_ANNOTATION_(lock_returned(x))
 

@@ -88,6 +88,10 @@ class ThreadPool {
         lock.lock();
         ++batch.done;
       }
+      // Draining under run_mutex_ IS the batch serialization seam: one
+      // run_indexed at a time, and the workers that must wake us never
+      // take run_mutex_.
+      // ace-lint: allow(cv-wait-foreign-lock)
       while (batch.done != batch.count) lock.wait(done_);
       batch_ = nullptr;
       // All tasks have completed and the pool is idle again; move the
@@ -152,8 +156,10 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  Mutex run_mutex_;  ///< One run_indexed() at a time.
-  Mutex mutex_;
+  /// One run_indexed() at a time; always taken before mutex_.
+  Mutex run_mutex_ ACE_ACQUIRED_BEFORE(mutex_){lock_order::Rank::kPoolRun,
+                                               "util.pool_run"};
+  Mutex mutex_{lock_order::Rank::kPool, "util.pool"};
   std::condition_variable wake_;  ///< Workers wait here for a batch.
   std::condition_variable done_;  ///< run_indexed() waits here for drain.
   Batch* batch_ ACE_GUARDED_BY(mutex_) = nullptr;

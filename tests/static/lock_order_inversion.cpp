@@ -1,0 +1,25 @@
+// Compile-time lock-order fixture — this TU MUST FAIL to compile under
+// clang++ -Wthread-safety -Wthread-safety-beta -Werror: the function
+// below acquires the two mutexes against their declared
+// ACE_ACQUIRED_AFTER edge. tools/run_static_analysis.sh compiles it and
+// treats SUCCESS as the failure — if this ever starts compiling, the
+// acquisition-order annotations have silently stopped being enforced.
+// The correctly-ordered twin (lock_order_ordered.cpp) must keep
+// compiling, so the rejection is attributable to the inversion alone.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+ace::util::Mutex first_lock;
+ace::util::Mutex second_lock ACE_ACQUIRED_AFTER(first_lock);
+
+int inverted() {
+  const ace::util::LockGuard outer(second_lock);
+  const ace::util::LockGuard inner(first_lock);  // Out of declared order.
+  return 0;
+}
+
+}  // namespace
+
+int main() { return inverted(); }

@@ -1,0 +1,24 @@
+// Compile-time lock-order fixture — the passing twin of
+// lock_order_inversion.cpp. tools/run_static_analysis.sh syntax-checks
+// this TU with clang++ -Wthread-safety -Wthread-safety-beta -Werror and
+// requires it to be ACCEPTED: the declared ACE_ACQUIRED_AFTER edge is
+// honoured, so the analysis has nothing to reject — proving the
+// inversion twin's rejection comes from the ordering violation and not
+// from some unrelated diagnostic in these headers.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+ace::util::Mutex first_lock;
+ace::util::Mutex second_lock ACE_ACQUIRED_AFTER(first_lock);
+
+int ordered() {
+  const ace::util::LockGuard outer(first_lock);
+  const ace::util::LockGuard inner(second_lock);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return ordered(); }

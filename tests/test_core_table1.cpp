@@ -81,7 +81,12 @@ TEST(MeasureSpeedup, ReportsConsistentNumbers) {
   EXPECT_GE(timing.krig_seconds, 0.0);
   EXPECT_GE(timing.p, 0.0);
   EXPECT_LE(timing.p, 1.0);
-  EXPECT_GE(timing.speedup, 1.0);  // Interpolation is cheaper than sim.
+#ifdef NDEBUG
+  // Interpolation is cheaper than sim — but only in optimized builds; in
+  // Debug the contract checks dominate this micro-sized workload and the
+  // wall-clock ratio is meaningless.
+  EXPECT_GE(timing.speedup, 1.0);
+#endif
   EXPECT_THROW((void)c::measure_speedup(bench, result, 99),
                std::invalid_argument);
 }

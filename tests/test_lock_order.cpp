@@ -1,0 +1,166 @@
+// Runtime lock-order validator tests. This TU is compiled with
+// ACE_LOCK_ORDER=1 (see tests/CMakeLists.txt), so the util::Mutex hooks
+// are live regardless of the build type — mirroring the per-TU pinning
+// the contract tests use. A recording failure handler replaces the
+// default abort so a diagnosed violation becomes an assertable fact.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/lock_order.hpp"
+#include "util/mutex.hpp"
+
+namespace lock_order = ace::util::lock_order;
+using ace::util::LockGuard;
+using ace::util::Mutex;
+using ace::util::UniqueLock;
+
+namespace {
+
+// The handler is a plain function pointer, so the record lives in
+// globals. Tests in this binary run sequentially and each fixture resets.
+std::vector<std::string> g_kinds;
+std::vector<std::string> g_details;
+
+void record_violation(const char* kind, const char* detail) {
+  g_kinds.emplace_back(kind);
+  g_details.emplace_back(detail);
+}
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lock_order::reset_for_testing();
+    g_kinds.clear();
+    g_details.clear();
+    previous_ = lock_order::set_failure_handler(&record_violation);
+  }
+  void TearDown() override {
+    lock_order::set_failure_handler(previous_);
+    lock_order::reset_for_testing();
+  }
+
+ private:
+  lock_order::FailureHandler previous_ = nullptr;
+};
+
+TEST_F(LockOrderTest, CorrectHierarchyOrderIsQuiet) {
+  Mutex manager{lock_order::Rank::kSessionManager, "test.manager"};
+  Mutex policy{lock_order::Rank::kPolicy, "test.policy"};
+  Mutex store{lock_order::Rank::kStore, "test.store"};
+  for (int i = 0; i < 3; ++i) {
+    const LockGuard a(manager);
+    const LockGuard b(policy);
+    const LockGuard c(store);
+    EXPECT_EQ(lock_order::violation_count(), 0u);
+  }
+  EXPECT_TRUE(g_kinds.empty());
+}
+
+TEST_F(LockOrderTest, RankInversionFiresOnFirstOccurrence) {
+  Mutex manager{lock_order::Rank::kSessionManager, "test.manager"};
+  Mutex policy{lock_order::Rank::kPolicy, "test.policy"};
+  {
+    const LockGuard inner(policy);
+    const LockGuard outer(manager);  // 10 under 30: inversion.
+  }
+  ASSERT_EQ(g_kinds.size(), 1u);
+  EXPECT_EQ(g_kinds[0], "lock-rank inversion");
+  EXPECT_NE(g_details[0].find("test.manager"), std::string::npos);
+  EXPECT_NE(g_details[0].find("test.policy"), std::string::npos);
+  EXPECT_EQ(lock_order::violation_count(), 1u);
+}
+
+TEST_F(LockOrderTest, EqualRanksMayNeverBeHeldTogether) {
+  Mutex a{lock_order::Rank::kStore, "test.store_a"};
+  Mutex b{lock_order::Rank::kStore, "test.store_b"};
+  {
+    const LockGuard first(a);
+    const LockGuard second(b);
+  }
+  ASSERT_EQ(g_kinds.size(), 1u);
+  EXPECT_EQ(g_kinds[0], "lock-rank inversion");
+}
+
+TEST_F(LockOrderTest, CycleAcrossThreadsCaughtWithoutDeadlock) {
+  // Unranked mutexes: the rank check is silent, so only the acquisition
+  // graph can see this. Neither thread ever blocks — the inversion is
+  // diagnosed from the recorded A->B edge the moment B->A is attempted,
+  // not from an actual deadlock interleaving.
+  Mutex a;
+  Mutex b;
+  std::thread t1([&] {
+    const LockGuard first(a);
+    const LockGuard second(b);
+  });
+  t1.join();
+  EXPECT_EQ(lock_order::violation_count(), 0u);
+  std::thread t2([&] {
+    const LockGuard first(b);
+    const LockGuard second(a);
+  });
+  t2.join();
+  ASSERT_EQ(g_kinds.size(), 1u);
+  EXPECT_EQ(g_kinds[0], "lock-order cycle");
+  // Both halves of the diagnosis: the current chain and the recorded
+  // opposite edge.
+  EXPECT_NE(g_details[0].find("this thread's chain"), std::string::npos);
+  EXPECT_NE(g_details[0].find("established opposite path"),
+            std::string::npos);
+}
+
+TEST_F(LockOrderTest, UniqueLockGapReleasesHeldState) {
+  Mutex manager{lock_order::Rank::kSessionManager, "test.manager"};
+  Mutex policy{lock_order::Rank::kPolicy, "test.policy"};
+  {
+    UniqueLock lock(manager);
+    lock.unlock();
+    // Gap: manager is NOT held, so taking policy then re-taking manager
+    // is the textbook inversion the validator must still see.
+    const LockGuard inner(policy);
+    lock.lock();
+  }
+  ASSERT_EQ(g_kinds.size(), 1u);
+  EXPECT_EQ(g_kinds[0], "lock-rank inversion");
+}
+
+TEST_F(LockOrderTest, DestroyedMutexLeavesNoStaleEdges) {
+  {
+    Mutex a;
+    Mutex b;
+    const LockGuard first(a);
+    const LockGuard second(b);
+  }  // A->B recorded, then both destroyed (and their edges dropped).
+  Mutex c;
+  Mutex d;
+  // Even if c/d reuse the freed addresses, the opposite order is clean.
+  const LockGuard first(d);
+  const LockGuard second(c);
+  EXPECT_EQ(lock_order::violation_count(), 0u);
+}
+
+TEST_F(LockOrderTest, TryLockRecordsTheSameHierarchyEdge) {
+  Mutex policy{lock_order::Rank::kPolicy, "test.policy"};
+  Mutex manager{lock_order::Rank::kSessionManager, "test.manager"};
+  const LockGuard inner(policy);
+  ASSERT_TRUE(manager.try_lock());  // Succeeds, but installs 10-under-30.
+  manager.unlock();
+  ASSERT_EQ(g_kinds.size(), 1u);
+  EXPECT_EQ(g_kinds[0], "lock-rank inversion");
+}
+
+TEST_F(LockOrderTest, SetFailureHandlerReturnsThePrevious) {
+  // SetUp installed record_violation; swapping again hands it back.
+  lock_order::FailureHandler ours =
+      lock_order::set_failure_handler(&record_violation);
+  EXPECT_EQ(ours, &record_violation);
+  // nullptr restores the default abort handler; reinstall ours so the
+  // remaining teardown stays non-fatal.
+  lock_order::FailureHandler prev = lock_order::set_failure_handler(nullptr);
+  EXPECT_EQ(prev, &record_violation);
+  lock_order::set_failure_handler(&record_violation);
+}
+
+}  // namespace

@@ -40,6 +40,24 @@ unchecked-syscall A pipe/process syscall (read, write, close, kill,
                   there must be checked or explicitly discarded with a
                   (void) cast: a swallowed EPIPE/EINTR is exactly the kind
                   of half-dead worker the coordinator has to detect.
+blocking-under-lock
+                  A blocking operation — simulator invocation, checkpoint
+                  parse/serialize/replay, file or subprocess I/O, thread
+                  join — inside the scope of a util::LockGuard/UniqueLock.
+                  Work that can take milliseconds to seconds must not run
+                  under a library mutex: every other client of that lock
+                  stalls for the duration (the serve manager's old
+                  replay-under-lock was exactly this). Tracks unlock()/
+                  lock() gaps on UniqueLock, so the two-phase "snapshot
+                  under lock, render outside" idiom is clean. Sites where
+                  holding the lock is the documented design (the policy
+                  mutex across phase-2 simulation, the serializing backend
+                  wrapper) carry a justified suppression.
+cv-wait-foreign-lock
+                  A condition-variable wait while more than one guard is
+                  active: the wait releases only its own mutex, so every
+                  other held lock stays held for the entire sleep — a
+                  deadlock if the waking thread needs one of them.
 
 Suppression
 -----------
@@ -155,6 +173,55 @@ RULES = [
 ALLOW_RE = re.compile(r"ace-lint:\s*allow\(([^)]*)\)")
 EXPECT_RE = re.compile(r"expect\(([^)]*)\)")
 
+# --------------------------------------------------------------------------
+# Scope-aware rules. Unlike RULES these are stateful: a brace-depth tracker
+# follows every util::LockGuard / util::UniqueLock declaration through its
+# scope (including UniqueLock unlock()/lock() gaps), and the rules below
+# fire only while at least one guard is active.
+
+GUARD_DECL_RE = re.compile(
+    r"\b(?:util::)?(?:LockGuard|UniqueLock)\s+(\w+)\s*[({]")
+GUARD_UNLOCK_RE = re.compile(r"\b(\w+)\.unlock\s*\(")
+GUARD_RELOCK_RE = re.compile(r"\b(\w+)\.lock\s*\(")
+CV_WAIT_RE = re.compile(r"\b\w+\.wait(?:_for)?\s*\(")
+
+BLOCKING_PATTERNS = [
+    (re.compile(r"\bsimulate_many\s*\("), "batch simulation"),
+    (re.compile(r"\bsimulate\s*\("), "simulator invocation"),
+    (re.compile(r"\brun_simulation\s*\("), "simulator invocation"),
+    (re.compile(r"\bcall_with_retry\s*\("), "retried simulator call"),
+    (re.compile(r"\bparse_checkpoint\s*\("), "checkpoint parse"),
+    (re.compile(r"\bserialize_checkpoint\s*\("), "checkpoint render"),
+    (re.compile(r"\b(?:save|load)_checkpoint\s*\("), "checkpoint file I/O"),
+    (re.compile(r"(?:\.|->)restore\s*\("), "checkpoint replay"),
+    (re.compile(r"std::[io]fstream\b"), "file stream I/O"),
+    (re.compile(r"\bfopen\s*\("), "file I/O"),
+    (re.compile(r"\bwaitpid\s*\("), "subprocess wait"),
+    (re.compile(r"(?:\.|->)join\s*\("), "thread join"),
+]
+
+BLOCKING_MESSAGE = (
+    "{what} inside a lock scope; every other client of that mutex stalls "
+    "for the duration — snapshot under the lock, do the slow work outside, "
+    "commit under the lock (or suppress where holding the lock is the "
+    "documented design)"
+)
+
+CV_WAIT_MESSAGE = (
+    "condition-variable wait while holding another lock; the wait releases "
+    "only its own mutex, so the outer lock is held for the whole sleep"
+)
+
+
+class _Guard:
+    """One LockGuard/UniqueLock declaration being tracked through its
+    scope."""
+
+    def __init__(self, name: str, depth: int):
+        self.name = name
+        self.depth = depth  # Brace depth of the enclosing scope.
+        self.active = True  # False inside an unlock()/lock() gap.
+
 # src/util/ is the one place the raw lock types may appear: the annotated
 # wrappers are implemented there.
 RAW_MUTEX_EXEMPT = re.compile(r"(?:^|/)src/util/[^/]+$")
@@ -228,6 +295,55 @@ def allowed_rules(line: str) -> set[str]:
     return {r.strip() for r in m.group(1).split(",") if r.strip()}
 
 
+def scan_guard_scopes(code: str, depth: int, guards: list[_Guard],
+                      allows: set[str]) -> tuple[int, list[tuple[str, str]]]:
+    """Walk one comment/string-stripped line positionally: guard
+    declarations, unlock()/lock() gaps, blocking calls and CV waits, each
+    judged against the guard state at its own column (so `lock.unlock();
+    slow(); lock.lock();` on one line is clean). Mutates `guards`;
+    returns (depth after the line, [(rule, message), ...])."""
+    events: list[tuple[int, str, str]] = []
+    for m in GUARD_DECL_RE.finditer(code):
+        events.append((m.start(), "decl", m.group(1)))
+    for m in GUARD_UNLOCK_RE.finditer(code):
+        events.append((m.start(), "unlock", m.group(1)))
+    for m in GUARD_RELOCK_RE.finditer(code):
+        events.append((m.start(), "relock", m.group(1)))
+    if "cv-wait-foreign-lock" not in allows:
+        for m in CV_WAIT_RE.finditer(code):
+            events.append((m.start(), "wait", ""))
+    if "blocking-under-lock" not in allows:
+        for pattern, what in BLOCKING_PATTERNS:
+            for m in pattern.finditer(code):
+                events.append((m.start(), "blocking", what))
+
+    found: list[tuple[str, str]] = []
+    for pos, kind, payload in sorted(events):
+        if kind == "decl":
+            at = depth + code[:pos].count("{") - code[:pos].count("}")
+            guards.append(_Guard(payload, at))
+        elif kind == "unlock":
+            for g in reversed(guards):
+                if g.name == payload and g.active:
+                    g.active = False
+                    break
+        elif kind == "relock":
+            for g in reversed(guards):
+                if g.name == payload and not g.active:
+                    g.active = True
+                    break
+        elif kind == "wait":
+            if sum(1 for g in guards if g.active) >= 2:
+                found.append(("cv-wait-foreign-lock", CV_WAIT_MESSAGE))
+        elif any(g.active for g in guards):
+            found.append(("blocking-under-lock",
+                          BLOCKING_MESSAGE.format(what=payload)))
+
+    depth += code.count("{") - code.count("}")
+    guards[:] = [g for g in guards if g.depth <= depth]
+    return depth, found
+
+
 def lint_file(path: Path) -> list[Finding]:
     try:
         text = path.read_text(encoding="utf-8", errors="replace")
@@ -237,6 +353,8 @@ def lint_file(path: Path) -> list[Finding]:
     findings: list[Finding] = []
     lines = text.splitlines()
     in_block_comment = False
+    depth = 0
+    guards: list[_Guard] = []
     for idx, raw in enumerate(lines, start=1):
         line = raw
         if in_block_comment:
@@ -273,6 +391,10 @@ def lint_file(path: Path) -> list[Finding]:
                 continue
             if pattern.search(code):
                 findings.append(Finding(path, idx, rule, message))
+
+        depth, scoped = scan_guard_scopes(code, depth, guards, allows)
+        for rule, message in scoped:
+            findings.append(Finding(path, idx, rule, message))
     return findings
 
 

@@ -1,0 +1,83 @@
+// Planted blocking-under-lock / cv-wait-foreign-lock violations for
+// `ace_lint.py --self-test`. Exercises the guard-scope tracker: nested
+// scopes, UniqueLock unlock()/lock() gaps, suppressed sites and the
+// two-phase snapshot/render/commit idiom must all classify correctly.
+// This file is a fixture — it is never compiled.
+#include <condition_variable>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Checkpoint {};
+Checkpoint parse_checkpoint(const std::string&);
+std::string serialize_checkpoint(const Checkpoint&);
+std::vector<double> simulate_many(const std::vector<int>&);
+double run_simulation(int);
+
+struct Policy {
+  void restore(const Checkpoint&);
+};
+
+util::Mutex g_mutex;
+std::condition_variable g_cv;
+
+void blocking_inside_guard(Policy& policy, const std::string& text) {
+  const util::LockGuard lock(g_mutex);
+  const Checkpoint c = parse_checkpoint(text);  // expect(blocking-under-lock)
+  policy.restore(c);                            // expect(blocking-under-lock)
+  (void)simulate_many({1, 2, 3});               // expect(blocking-under-lock)
+  (void)run_simulation(7);                      // expect(blocking-under-lock)
+}
+
+void blocking_in_nested_scope(const Checkpoint& c) {
+  std::string text;
+  {
+    const util::LockGuard lock(g_mutex);
+    if (!text.empty()) {
+      text = serialize_checkpoint(c);  // expect(blocking-under-lock)
+    }
+  }
+  // The guard's scope closed above: clean.
+  text = serialize_checkpoint(c);
+}
+
+void two_phase_gap_is_clean(Policy& policy, const std::string& text) {
+  util::UniqueLock lock(g_mutex);
+  lock.unlock();
+  // Inside the unlock()/lock() gap: the slow work runs without the lock.
+  const Checkpoint c = parse_checkpoint(text);
+  policy.restore(c);
+  lock.lock();
+  policy.restore(c);  // expect(blocking-under-lock)
+}
+
+void suppressed_by_design(const std::vector<int>& configs) {
+  const util::LockGuard lock(g_mutex);
+  // ace-lint: allow(blocking-under-lock)
+  (void)simulate_many(configs);
+}
+
+util::Mutex g_outer;
+
+void wait_under_two_locks() {
+  util::UniqueLock outer(g_outer);
+  util::UniqueLock lock(g_mutex);
+  lock.wait(g_cv);  // expect(cv-wait-foreign-lock)
+}
+
+void wait_under_one_lock_is_clean() {
+  util::UniqueLock lock(g_mutex);
+  lock.wait(g_cv);
+  lock.wait_for(g_cv, {});
+}
+
+void wait_after_outer_released() {
+  util::UniqueLock outer(g_outer);
+  util::UniqueLock lock(g_mutex);
+  lock.wait_for(g_cv, {});  // expect(cv-wait-foreign-lock)
+  outer.unlock();
+  lock.wait(g_cv);
+}
+
+}  // namespace fixture

@@ -11,10 +11,17 @@
 # Runs when a Clang toolchain is installed (skipped with a note otherwise,
 # so the gate still passes on gcc-only machines):
 #   3. tidy-preset build         — compiles everything with clang++
-#                                  -Wthread-safety -Werror, proving the
-#                                  ACE_GUARDED_BY/ACE_REQUIRES lock
-#                                  discipline at compile time;
-#   4. clang-tidy                — .clang-tidy checks over src/.
+#                                  -Wthread-safety -Wthread-safety-beta
+#                                  -Werror, proving the ACE_GUARDED_BY/
+#                                  ACE_REQUIRES lock discipline and the
+#                                  ACE_ACQUIRED_BEFORE/AFTER ordering
+#                                  edges at compile time;
+#   4. lock-order fixtures       — tests/static/lock_order_ordered.cpp
+#                                  must be accepted and
+#                                  lock_order_inversion.cpp rejected, so
+#                                  the ordering enforcement itself is
+#                                  regression-tested;
+#   5. clang-tidy                — .clang-tidy checks over src/.
 #
 # Exit status is non-zero iff any step that actually ran failed.
 set -euo pipefail
@@ -52,9 +59,32 @@ if command -v clang++ >/dev/null 2>&1; then
     echo "FAIL: tidy-preset build" >&2
     failures=$((failures + 1))
   fi
+
+  step "lock-order fixtures (acquired_before/after must reject inversion)"
+  ts_flags=(-std=c++20 -fsyntax-only -Isrc
+            -Wthread-safety -Wthread-safety-beta -Werror)
+  fixtures_ok=1
+  if clang++ "${ts_flags[@]}" tests/static/lock_order_ordered.cpp; then
+    echo "ok: ordered fixture accepted"
+  else
+    echo "FAIL: correctly-ordered fixture rejected" >&2
+    fixtures_ok=0
+  fi
+  if clang++ "${ts_flags[@]}" tests/static/lock_order_inversion.cpp \
+      2>/dev/null; then
+    echo "FAIL: inversion fixture accepted — ordering annotations are" \
+         "not being enforced" >&2
+    fixtures_ok=0
+  else
+    echo "ok: inversion fixture rejected"
+  fi
+  if [ "$fixtures_ok" -ne 1 ]; then
+    failures=$((failures + 1))
+  fi
 else
   step "thread-safety analysis"
-  echo "skip: clang++ not installed — -Wthread-safety needs Clang." \
+  echo "skip: clang++ not installed — -Wthread-safety (and the" \
+       "tests/static lock-order fixtures) need Clang." \
        "The annotations still compile away under gcc."
 fi
 
