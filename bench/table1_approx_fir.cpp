@@ -7,7 +7,7 @@
 
 #include "core/benchmarks.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return ace::benchdriver::run_table1_bench(
-      ace::core::make_approx_fir_benchmark());
+      ace::core::make_approx_fir_benchmark(), argc, argv);
 }

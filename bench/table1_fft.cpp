@@ -3,6 +3,7 @@
 
 #include "core/benchmarks.hpp"
 
-int main() {
-  return ace::benchdriver::run_table1_bench(ace::core::make_fft_benchmark());
+int main(int argc, char** argv) {
+  return ace::benchdriver::run_table1_bench(
+      ace::core::make_fft_benchmark(), argc, argv);
 }

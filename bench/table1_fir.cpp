@@ -3,11 +3,11 @@
 
 #include "core/benchmarks.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   // Nmax = 20 reproduces the paper's trajectory density best (the paper
   // does not state its Nmax; see EXPERIMENTS.md).
   ace::core::SignalBenchOptions opt;
   opt.w_max = 20;
   return ace::benchdriver::run_table1_bench(
-      ace::core::make_fir_benchmark(opt));
+      ace::core::make_fir_benchmark(opt), argc, argv);
 }

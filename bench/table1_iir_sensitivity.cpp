@@ -6,7 +6,7 @@
 
 #include "core/benchmarks.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return ace::benchdriver::run_table1_bench(
-      ace::core::make_iir_sensitivity_benchmark());
+      ace::core::make_iir_sensitivity_benchmark(), argc, argv);
 }

@@ -4,7 +4,7 @@
 
 #include "core/benchmarks.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return ace::benchdriver::run_table1_bench(
-      ace::core::make_squeezenet_benchmark());
+      ace::core::make_squeezenet_benchmark(), argc, argv);
 }

@@ -18,9 +18,13 @@ namespace {
 constexpr const char* kMagic = "ACE-CHECKPOINT";
 /// Version 2 added the conditioning / factorization counters to the stats
 /// record (ridge_fallbacks, full_factorizations, factor_cache_hits,
-/// factor_extends, rcond_per_solve). Version-1 files still load: the new
-/// fields default to zero.
-constexpr int kVersion = 2;
+/// factor_extends, rcond_per_solve). Version 3 added the acquisition-gate
+/// counters (loo_rejections, sequential_rejections, loo_passes,
+/// loo_abs_error). Older files still load: each version's tail is gated on
+/// the header version, so missing fields default to zero — a v1/v2 file
+/// restores under the gate-aware policy with its variance_rejections
+/// intact and the v3 counters at their fresh-policy values.
+constexpr int kVersion = 3;
 
 /// Staging-file name for the atomic tmp+rename write. The name is unique
 /// per process *and* per write (pid + a process-local counter), so two
@@ -122,6 +126,11 @@ void put_stats(std::string& out, const PolicyStats& s) {
   put(out, s.factor_cache_hits);
   put(out, s.factor_extends);
   put_running_stats(out, s.rcond_per_solve);
+  // Version-3 tail: acquisition-gate counters.
+  put(out, s.loo_rejections);
+  put(out, s.sequential_rejections);
+  put(out, s.loo_passes);
+  put_running_stats(out, s.loo_abs_error);
   out += '\n';
 }
 
@@ -305,6 +314,12 @@ PolicyStats read_stats(Reader& r, int version) {
     s.factor_cache_hits = r.size();
     s.factor_extends = r.size();
     s.rcond_per_solve = read_running_stats(r);
+  }
+  if (version >= 3) {
+    s.loo_rejections = r.size();
+    s.sequential_rejections = r.size();
+    s.loo_passes = r.size();
+    s.loo_abs_error = read_running_stats(r);
   }
   return s;
 }

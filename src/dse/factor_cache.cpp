@@ -18,8 +18,8 @@ std::vector<std::size_t> sorted_copy(const std::vector<std::size_t>& xs) {
 }  // namespace
 
 FactorCache::Entry* FactorCache::best_overlap(
-    const std::vector<std::size_t>& sorted_query, std::uint64_t generation,
-    std::size_t& cost_out) {
+    const std::vector<std::size_t>& sorted_query, double noise_nugget,
+    std::uint64_t generation, std::size_t& cost_out) {
   // Editing an entry into the query costs one downdate per index only in
   // the entry and one append per index only in the query. Past roughly
   // half the support size a fresh incremental build is no more expensive,
@@ -32,8 +32,13 @@ FactorCache::Entry* FactorCache::best_overlap(
     Entry& e = *entry;
     // A pinned entry has a live handle expecting its support to stay as
     // acquired — editing it would corrupt that caller's solve. A stale
-    // generation's factors interpolate a superseded model.
-    if (e.pins > 0 || e.generation != generation) continue;
+    // generation's factors interpolate a superseded model, and a nugget
+    // mismatch means every diagonal (hence every factor) differs. The
+    // nugget is recomputed identically while the model stands still, so
+    // exact comparison is the correct key.
+    if (e.pins > 0 || e.generation != generation ||
+        e.noise_nugget != noise_nugget)  // ace-lint: allow(float-equality)
+      continue;
     std::vector<std::size_t> removals;
     std::size_t additions = 0;
     std::size_t i = 0, j = 0;
@@ -100,15 +105,17 @@ FactorCache::Pin FactorCache::acquire(
     const std::vector<std::size_t>& indices,
     const std::vector<std::vector<double>>& points,
     const std::vector<double>& values, const kriging::VariogramModel& model,
-    const kriging::DistanceFn& distance, std::uint64_t generation,
-    FactorAcquire& outcome) {
+    const kriging::DistanceFn& distance, double noise_nugget,
+    std::uint64_t generation, FactorAcquire& outcome) {
   ++clock_;
   const std::vector<std::size_t> sorted_query = sorted_copy(indices);
 
-  // Exact index-set match under the same model generation: the whole
-  // factorization is reusable.
+  // Exact index-set match under the same model generation and nugget: the
+  // whole factorization is reusable.
   for (const auto& entry : entries_)
-    if (entry->generation == generation && entry->sorted == sorted_query) {
+    if (entry->generation == generation && entry->sorted == sorted_query &&
+        entry->noise_nugget ==  // ace-lint: allow(float-equality)
+            noise_nugget) {
       entry->last_used = clock_;
       outcome = FactorAcquire::kHit;
       return Pin(entry);
@@ -118,7 +125,7 @@ FactorCache::Pin FactorCache::acquire(
   // gained, and the factorization follows by Schur pivots. Pinned and
   // stale entries are skipped inside best_overlap.
   std::size_t cost = 0;
-  if (Entry* e = best_overlap(sorted_query, generation, cost)) {
+  if (Entry* e = best_overlap(sorted_query, noise_nugget, generation, cost)) {
     std::unordered_map<std::size_t, std::size_t> query_pos;
     for (std::size_t p = 0; p < indices.size(); ++p)
       query_pos.emplace(indices[p], p);
@@ -148,10 +155,13 @@ FactorCache::Pin FactorCache::acquire(
   auto entry = std::make_shared<Entry>();
   entry->slots = indices;
   entry->sorted = sorted_query;
+  kriging::SystemSpec spec{kriging::SystemKind::kOrdinary};
+  spec.noise_nugget = noise_nugget;
   entry->system = std::make_unique<kriging::KrigingSystem>(
-      kriging::SystemSpec{kriging::SystemKind::kOrdinary}, points, values,
-      model, distance, kriging::KrigingSystem::Layout::kIncremental);
+      spec, points, values, model, distance,
+      kriging::KrigingSystem::Layout::kIncremental);
   entry->generation = generation;
+  entry->noise_nugget = noise_nugget;
   entry->last_used = clock_;
   outcome = FactorAcquire::kFresh;
   Pin pin(entry);

@@ -66,6 +66,7 @@ class FactorCache {
     std::vector<std::size_t> sorted;
     std::unique_ptr<kriging::KrigingSystem> system;
     std::uint64_t generation = 0;  ///< Variogram model the factors assume.
+    double noise_nugget = 0.0;     ///< τ² baked into the entry's diagonal.
     std::size_t last_used = 0;
     int pins = 0;  ///< Live Pin handles; > 0 defers eviction and edits.
   };
@@ -123,15 +124,19 @@ class FactorCache {
   /// trend-reduced by the caller where applicable). `generation` is the
   /// caller's variogram-model generation: only entries factored under the
   /// same generation can hit or be edited, so an exact index-set match
-  /// can never resurrect factors of a superseded model. The returned Pin
-  /// keeps the system valid until it is released — later acquire() and
-  /// clear() calls cannot invalidate it.
+  /// can never resurrect factors of a superseded model. `noise_nugget` is
+  /// the stochastic-kriging τ² assembled into the system diagonal — part
+  /// of the key for the same reason as the generation (a nugget change
+  /// changes every factor), and matched exactly even though the
+  /// generation stamp already covers the policy's refit-driven nugget
+  /// updates. The returned Pin keeps the system valid until it is
+  /// released — later acquire() and clear() calls cannot invalidate it.
   Pin acquire(const std::vector<std::size_t>& indices,
               const std::vector<std::vector<double>>& points,
               const std::vector<double>& values,
               const kriging::VariogramModel& model,
-              const kriging::DistanceFn& distance, std::uint64_t generation,
-              FactorAcquire& outcome);
+              const kriging::DistanceFn& distance, double noise_nugget,
+              std::uint64_t generation, FactorAcquire& outcome);
 
   /// Drop every entry (variogram/trend refit: all factorizations stale).
   /// Outstanding pins keep their own entries alive; they are simply no
@@ -143,7 +148,8 @@ class FactorCache {
 
  private:
   Entry* best_overlap(const std::vector<std::size_t>& sorted_query,
-                      std::uint64_t generation, std::size_t& cost_out);
+                      double noise_nugget, std::uint64_t generation,
+                      std::size_t& cost_out);
 
   /// Evict unpinned entries — stale generations first, then LRU — until
   /// the cache fits its capacity. Pinned entries are never evicted; the

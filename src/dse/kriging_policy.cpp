@@ -66,6 +66,16 @@ KrigingPolicy::KrigingPolicy(PolicyOptions options)
     throw std::invalid_argument("KrigingPolicy: distance must be >= 0");
   if (options_.variance_gate < 0.0)
     throw std::invalid_argument("KrigingPolicy: variance_gate must be >= 0");
+  if (options_.loo_gate <= 0.0 || !std::isfinite(options_.loo_gate))
+    throw std::invalid_argument("KrigingPolicy: loo_gate must be > 0");
+  if (options_.seq_confidence <= 0.0 ||
+      !std::isfinite(options_.seq_confidence))
+    throw std::invalid_argument("KrigingPolicy: seq_confidence must be > 0");
+  if (options_.noise_nugget < 0.0 || !std::isfinite(options_.noise_nugget))
+    throw std::invalid_argument(
+        "KrigingPolicy: noise_nugget must be finite and >= 0");
+  gate_ = make_gate(options_);
+  effective_nugget_ = options_.noise_nugget;
 }
 
 double KrigingPolicy::trend_value(const std::vector<double>& x) const {
@@ -142,7 +152,62 @@ bool KrigingPolicy::refit_model_locked() {
   // without the clear — the cache's own staleness defence.
   ++model_generation_;
   factor_cache_.clear();
+  // Stochastic-kriging nugget from the fit: the fitted variogram's γ(0)
+  // read as measurement noise τ². Updated before the LOO pass so the
+  // calibration sees the systems future queries will actually assemble.
+  if (options_.nugget_from_fit) effective_nugget_ = model_->nugget();
+  run_loo_calibration_locked();
   return true;
+}
+
+void KrigingPolicy::run_loo_calibration_locked() {
+  if (!gate_->wants_loo() || !model_) return;
+  const std::size_t n = store_.size();
+  if (n < 2) return;
+  // Window the pass: each residual is O(window²) against the shared
+  // factorization, so the full store would make refits O(N³)-ish again.
+  const std::size_t window = std::max<std::size_t>(2, options_.loo_window);
+  const std::size_t first = n > window ? n - window : 0;
+  std::vector<std::vector<double>> points;
+  std::vector<double> values;
+  points.reserve(n - first);
+  values.reserve(n - first);
+  for (std::size_t i = first; i < n; ++i) {
+    points.push_back(to_real(store_.config(i)));
+    values.push_back(store_.value(i));
+  }
+  if (!trend_.empty())
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] -= trend_value(points[i]);
+  const auto distance = options_.use_l2_distance ? kriging::l2_distance
+                                                 : kriging::l1_distance;
+  kriging::SystemSpec spec{kriging::SystemKind::kOrdinary};
+  spec.noise_nugget = effective_nugget_;
+  kriging::KrigingSystem system(spec, std::move(points), std::move(values),
+                                *model_, distance);
+  const auto report = system.loo_residuals();
+  if (!report || report->residuals.empty()) return;
+
+  LooSummary summary;
+  summary.count = report->residuals.size();
+  double abs_sum = 0.0;
+  double std_sum = 0.0;
+  std::size_t std_count = 0;
+  for (std::size_t i = 0; i < report->residuals.size(); ++i) {
+    const double abs_e = std::abs(report->residuals[i]);
+    abs_sum += abs_e;
+    stats_.loo_abs_error.add(abs_e);
+    const double var = report->variances[i];
+    if (var > 0.0) {
+      std_sum += report->residuals[i] * report->residuals[i] / var;
+      ++std_count;
+    }
+  }
+  summary.mean_abs_residual = abs_sum / static_cast<double>(summary.count);
+  summary.mean_sq_standardized =
+      std_count == 0 ? 0.0 : std_sum / static_cast<double>(std_count);
+  ++stats_.loo_passes;
+  gate_->calibrate(summary);
 }
 
 Neighborhood KrigingPolicy::neighborhood_of(const Config& config) const {
@@ -205,7 +270,7 @@ std::optional<double> KrigingPolicy::try_interpolate(
     FactorAcquire how = FactorAcquire::kFresh;
     const FactorCache::Pin system = factor_cache_.acquire(
         neighborhood.indices, points, values, *model_, distance,
-        model_generation_, how);
+        effective_nugget_, model_generation_, how);
     if (how == FactorAcquire::kHit) ++stats_.factor_cache_hits;
     if (how == FactorAcquire::kExtend) ++stats_.factor_extends;
     const std::size_t before = system->stats().full_factorizations;
@@ -213,9 +278,9 @@ std::optional<double> KrigingPolicy::try_interpolate(
     stats_.full_factorizations +=
         system->stats().full_factorizations - before;
   } else {
-    kriging::KrigingSystem system(
-        kriging::SystemSpec{kriging::SystemKind::kOrdinary}, points, values,
-        *model_, distance);
+    kriging::SystemSpec spec{kriging::SystemKind::kOrdinary};
+    spec.noise_nugget = effective_nugget_;
+    kriging::KrigingSystem system(spec, points, values, *model_, distance);
     result = system.query(query);
     stats_.full_factorizations += system.stats().full_factorizations;
   }
@@ -240,17 +305,18 @@ std::optional<double> KrigingPolicy::try_interpolate(
       return std::nullopt;
   }
 
-  // Variance gate (extension): refuse interpolations whose predicted
-  // kriging variance exceeds the configured fraction of the field's
-  // sample variance — those are extrapolations the support cannot back.
-  if (options_.variance_gate > 0.0 && sill_estimate_ > 0.0 &&
-      result->variance > options_.variance_gate * sill_estimate_) {
-    ++stats_.variance_rejections;
+  // Post-solve acquisition decision: the configured gate weighs the
+  // solved interpolation's evidence (estimate, kriging variance, field
+  // sill) and either stands by it or routes the configuration to
+  // simulation — the variance ceiling, LOO-calibrated ceiling and
+  // sequential-design criteria all live behind this one seam
+  // (dse/acquisition.hpp). Vetoes bump the gate's own counter.
+  const double estimate = result->estimate + trend_value(query);
+  if (!gate_->accept(GateSolution{estimate, result->variance, sill_estimate_},
+                     stats_))
     return std::nullopt;
-  }
 
   outcome.regularized = result->regularized;
-  const double estimate = result->estimate + trend_value(query);
   ACE_ENSURE(std::isfinite(estimate),
              "kriging interpolation must yield a finite estimate");
   return estimate;
@@ -306,7 +372,7 @@ EvalOutcome KrigingPolicy::evaluate(const Config& config,
   outcome.neighbors = neighborhood.count();
 
   bool interpolation_failed = false;
-  if (neighborhood.count() > options_.nn_min) {
+  if (gate_->attempt(GateQuery{neighborhood.count()})) {
     if (auto estimate = try_interpolate(config, neighborhood, outcome)) {
       outcome.value = *estimate;
       outcome.interpolated = true;
@@ -442,7 +508,7 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
     for (std::size_t i = 0; i < n; ++i) {
       if (store_.find(batch[i])) continue;
       const auto neighborhood = neighborhood_of(batch[i]);
-      if (neighborhood.count() <= options_.nn_min) continue;
+      if (!gate_->attempt(GateQuery{neighborhood.count()})) continue;
       if (!gate_checked) {
         // Run the refit gate exactly where the per-candidate path would
         // have: at the batch's first interpolation candidate.
@@ -466,7 +532,8 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
           values[k] -= trend_value(points[k]);
       FactorAcquire how = FactorAcquire::kFresh;
       const FactorCache::Pin system = factor_cache_.acquire(
-          indices, points, values, *model_, distance, model_generation_, how);
+          indices, points, values, *model_, distance, effective_nugget_,
+          model_generation_, how);
       if (how == FactorAcquire::kHit) ++stats_.factor_cache_hits;
       if (how == FactorAcquire::kExtend) ++stats_.factor_extends;
       // Members past the first would have been exact cache hits on the
@@ -503,7 +570,7 @@ std::vector<EvalOutcome> KrigingPolicy::evaluate_batch(
     }
     const auto neighborhood = neighborhood_of(batch[i]);
     out.neighbors = neighborhood.count();
-    if (neighborhood.count() > options_.nn_min) {
+    if (gate_->attempt(GateQuery{neighborhood.count()})) {
       const auto pre = group_solutions.find(i);
       if (auto estimate = try_interpolate(
               batch[i], neighborhood, out,

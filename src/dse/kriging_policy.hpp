@@ -34,8 +34,10 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "dse/acquisition.hpp"
 #include "dse/config.hpp"
 #include "dse/factor_cache.hpp"
 #include "dse/fault.hpp"
@@ -81,8 +83,50 @@ struct PolicyOptions {
 
   /// Variance gate (extension): when > 0, an interpolation whose kriging
   /// variance exceeds gate · (sample variance of stored λ) falls back to
-  /// simulation. 0 disables the gate (the paper's behaviour).
+  /// simulation. 0 disables the gate (the paper's behaviour). Retained for
+  /// compatibility — with the default `gate`, a positive value selects the
+  /// VarianceGate exactly as it always did (see dse/acquisition.hpp).
   double variance_gate = 0.0;
+
+  /// Which simulate-vs-interpolate acquisition gate this policy runs. The
+  /// default reproduces the paper's neighbour-count rule bit-for-bit; the
+  /// adaptive gates trade the nn_min floor for kriging-variance evidence.
+  GateKind gate = GateKind::kNeighbourCount;
+
+  /// Adaptive gates' neighbourhood floor: they attempt kriging from this
+  /// many neighbours (≥ 1) and let variance evidence carry the veto,
+  /// instead of the paper's hard `nn_min` count.
+  std::size_t gate_nn_floor = 1;
+
+  /// LooCalibratedGate ceiling: accept while calibration · variance
+  /// <= loo_gate · sill (calibration = rolling mean(e²/σ²) from the
+  /// refit-time LOO pass).
+  double loo_gate = 1.0;
+
+  /// SequentialDesignGate confidence multiple z: interpolate only when
+  /// |estimate − λ_min| >= z · calibrated LOO std-deviation.
+  double seq_confidence = 2.0;
+
+  /// The decision threshold the SequentialDesignGate protects (the
+  /// optimizer's λ_min / quality floor). Required for that gate; ignored
+  /// by every other.
+  std::optional<double> gate_lambda_min;
+
+  /// Refit-time LOO-CV window: the pass runs over the most recent
+  /// `loo_window` stored points (each residual costs O(window²) against
+  /// the shared factorization). Only paid by gates that want_loo().
+  std::size_t loo_window = 96;
+
+  /// Stochastic-kriging measurement-noise variance τ² applied to the
+  /// system diagonal (see kriging::SystemSpec::noise_nugget). 0 — the
+  /// default — assembles bit-identically to the pre-nugget system.
+  double noise_nugget = 0.0;
+
+  /// When set, τ² follows the *fitted* variogram nugget after every refit
+  /// (the classical geostatistical reading of the nugget as measurement
+  /// noise) instead of the fixed `noise_nugget` — for intrinsically noisy
+  /// metrics like a classification rate over a finite image set.
+  bool nugget_from_fit = false;
 
   /// Use Euclidean instead of Manhattan distance for both the neighbour
   /// search and the variogram (extension ablation). The radius `distance`
@@ -160,8 +204,16 @@ struct PolicyStats {
   std::size_t full_factorizations = 0;
   std::size_t factor_cache_hits = 0;
   std::size_t factor_extends = 0;
+  /// Per-gate acquisition counters (checkpoint v3): vetoes by the
+  /// LOO-calibrated and sequential-design gates (the variance gate's
+  /// vetoes stay in variance_rejections), and the refit-time LOO-CV
+  /// passes with the |residual| they observed.
+  std::size_t loo_rejections = 0;
+  std::size_t sequential_rejections = 0;
+  std::size_t loo_passes = 0;
   util::RunningStats neighbors_per_interpolation;
   util::RunningStats rcond_per_solve;
+  util::RunningStats loo_abs_error;
 
   friend bool operator==(const PolicyStats&, const PolicyStats&) = default;
 
@@ -286,9 +338,29 @@ class KrigingPolicy {
     ++stats_.checkpoints_written;
   }
 
+  /// The acquisition gate this policy runs (resolved from the options —
+  /// the legacy variance_gate combination maps to kVariance).
+  GateKind gate_kind() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return gate_->kind();
+  }
+
+  /// The gate's current LOO variance-calibration factor (1 for stateless
+  /// gates or before the first LOO pass). Snapshot, for tests/benches.
+  double gate_calibration() const ACE_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return gate_->calibration();
+  }
+
  private:
   /// Lock-held body of refit_model() (also the restore replay step).
   bool refit_model_locked() ACE_REQUIRES(mutex_);
+
+  /// Refit-time LOO-CV pass over the windowed store (gates that
+  /// want_loo() only): computes every leave-one-out residual from one
+  /// factorization (kriging::KrigingSystem::loo_residuals) and feeds the
+  /// digest to the gate's calibrate() hook and the loo_* statistics.
+  void run_loo_calibration_locked() ACE_REQUIRES(mutex_);
 
   /// The refit gate at the head of every interpolation attempt: fit (or
   /// periodically refit) the variogram when due, and report whether a
@@ -326,6 +398,14 @@ class KrigingPolicy {
   PolicyOptions options_;  ///< Immutable after construction.
   SimulationStore store_;  ///< Internally synchronized.
   PolicyStats stats_ ACE_GUARDED_BY(mutex_);
+  /// The simulate-vs-interpolate decision policy (dse/acquisition.hpp).
+  /// Constructed from the immutable options; its online calibration state
+  /// mutates only under the policy mutex.
+  std::unique_ptr<AcquisitionGate> gate_ ACE_GUARDED_BY(mutex_);
+  /// Measurement-noise variance τ² currently applied to assembled kriging
+  /// systems: options_.noise_nugget, or the fitted variogram nugget after
+  /// each refit when options_.nugget_from_fit is set.
+  double effective_nugget_ ACE_GUARDED_BY(mutex_) = 0.0;
   /// Shared so model() can hand out a lifetime-safe snapshot; the policy
   /// itself treats it as the unique owner (replaced only on refit).
   std::shared_ptr<const kriging::VariogramModel> model_

@@ -49,6 +49,9 @@ KrigingSystem::KrigingSystem(SystemSpec spec,
   if (spec_.kind == SystemKind::kSimple &&
       (spec_.sill <= 0.0 || !std::isfinite(spec_.sill)))
     throw std::invalid_argument("KrigingSystem: sill must be positive");
+  if (spec_.noise_nugget < 0.0 || !std::isfinite(spec_.noise_nugget))
+    throw std::invalid_argument(
+        "KrigingSystem: noise nugget must be finite and non-negative");
 
   // Dedupe coincident support points: duplicates make the variogram block
   // rank deficient (two identical rows), which used to push every solve
@@ -141,6 +144,16 @@ double KrigingSystem::entry_of(double d) const {
   return model_->gamma(d);
 }
 
+double KrigingSystem::diagonal_entry() const {
+  // Guard the zero case exactly: τ² = 0 must assemble bit-identically to
+  // the pre-nugget system (the policy's default-gate identity contract).
+  if (spec_.noise_nugget == 0.0)  // ace-lint: allow(float-equality)
+    return entry_of(0.0);
+  return spec_.kind == SystemKind::kSimple
+             ? entry_of(0.0) + spec_.noise_nugget
+             : entry_of(0.0) - spec_.noise_nugget;
+}
+
 double KrigingSystem::pair_entry(std::size_t i, std::size_t j) const {
   return entry_of(distance_(points_[i], points_[j]));
 }
@@ -185,7 +198,7 @@ linalg::Matrix KrigingSystem::assemble(double shift) const {
     distances_to(points_[j], j, dists.data());
     for (std::size_t k = j; k < n; ++k) {
       const std::size_t mk = matrix_index(k);
-      const double g = entry_of(dists[k - j]);
+      const double g = k == j ? diagonal_entry() : entry_of(dists[k - j]);
       a(mj, mk) = g;
       a(mk, mj) = g;
     }
@@ -273,7 +286,7 @@ linalg::BorderedLdlt* KrigingSystem::factor_at(double shift) {
     ldlt = std::make_unique<linalg::BorderedLdlt>(std::move(base), shift);
     bool incremental_ok = ldlt->ok();
     for (std::size_t u = base_points_; incremental_ok && u < n; ++u) {
-      if (ldlt->append_point(coupling_of(u), pair_entry(u, u)))
+      if (ldlt->append_point(coupling_of(u), diagonal_entry()))
         ++stats_.appends;
       else
         incremental_ok = false;
@@ -395,6 +408,65 @@ std::vector<std::optional<KrigingResult>> KrigingSystem::query_batch(
   return results;
 }
 
+std::optional<KrigingSystem::LooReport> KrigingSystem::loo_residuals() {
+  const std::size_t n = points_.size();
+  // One point leaves nothing to predict from; universal kriging further
+  // needs the LOO subsets to keep the same effective drift as the full
+  // system for Dubrule's identity to describe a real scratch refit.
+  if (n < 2) return std::nullopt;
+  if (spec_.kind == SystemKind::kUniversal &&
+      effective_drift_ == DriftKind::kLinear && n < dim_ + 3)
+    return std::nullopt;
+  const std::size_t m = system_size();
+
+  // z̃ in layout order: (centred) values on data rows, zeros on the border.
+  linalg::Vector z(m);
+  for (std::size_t k = 0; k < n; ++k)
+    z[matrix_index(k)] = spec_.kind == SystemKind::kSimple
+                             ? values_[k] - spec_.mean
+                             : values_[k];
+
+  // Dubrule's identity on whichever shifted matrix actually factors: with
+  // B = A⁻¹, u = B·z̃, e_i = u_i / B_ii and σ²₍ᵢ₎ = 1/B_ii (covariance
+  // form). The γ-form bordered matrix is A_γ = −S·A_cov·S for the sign
+  // flip S = diag(I, −I_border), so its data-block inverse diagonal is the
+  // negated covariance one: the residual ratio is unchanged and the LOO
+  // variance becomes −1/B_ii.
+  const auto attempt = [&](double shift) -> std::optional<LooReport> {
+    linalg::BorderedLdlt* f = factor_at(shift);
+    if (!f) return std::nullopt;
+    const linalg::Vector u = f->solve(z);
+    const linalg::Vector diag = f->inverse_diagonal();
+    LooReport report;
+    report.shift = shift;
+    report.regularized = shift > 0.0;
+    report.residuals.resize(n);
+    report.variances.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t mk = matrix_index(k);
+      const double d = diag[mk];
+      if (!std::isfinite(d) || d == 0.0 ||  // ace-lint: allow(float-equality)
+          !std::isfinite(u[mk]))
+        return std::nullopt;
+      const double e = u[mk] / d;
+      if (!std::isfinite(e) || std::abs(e) > kMaxSolutionNorm)
+        return std::nullopt;
+      report.residuals[k] = e;
+      const double var =
+          spec_.kind == SystemKind::kSimple ? 1.0 / d : -1.0 / d;
+      report.variances[k] = std::max(var, 0.0);
+    }
+    return report;
+  };
+
+  // The same ladder as query(): plain solve first, then growing ridge.
+  if (auto report = attempt(0.0)) return report;
+  const double scale = ladder_scale();
+  for (double ridge = kInitialRidge; ridge <= kMaxRidge; ridge *= 100.0)
+    if (auto report = attempt(ridge * scale)) return report;
+  return std::nullopt;
+}
+
 std::optional<KrigingResult> KrigingSystem::finalize(
     const std::vector<double>& q, const linalg::Vector& rhs,
     const linalg::Vector& x, double shift,
@@ -498,7 +570,7 @@ void KrigingSystem::append_point(std::vector<double> point, double value) {
   factors_.clear();
   singular_shifts_.clear();
   if (primary && primary->size() == system_size() - 1 &&
-      primary->append_point(coupling_of(u), pair_entry(u, u))) {
+      primary->append_point(coupling_of(u), diagonal_entry())) {
     ++stats_.appends;
     factors_.push_back(Factor{0.0, std::move(primary)});
   }

@@ -60,6 +60,15 @@ struct SystemSpec {
   DriftKind drift = DriftKind::kConstant;  ///< Universal kriging only.
   double sill = 0.0;                       ///< Simple kriging only.
   double mean = 0.0;                       ///< Simple kriging only.
+  /// Stochastic-kriging measurement-noise variance τ² (Wang & Haaland,
+  /// PAPERS.md) for intrinsically noisy metrics. Applied to the system
+  /// diagonal only: covariance form gains C_ii + τ², and by the constant-
+  /// shift invariance of the constrained γ-form (Γ + c·J leaves the
+  /// weights unchanged under Σw = 1) the equivalent variogram-form move is
+  /// γ_ii − τ². Off-diagonals and query right-hand sides are untouched, so
+  /// τ² = 0 assembles bit-identically to the pre-nugget system. The
+  /// predictor then smooths instead of honouring noisy support exactly.
+  double noise_nugget = 0.0;
 };
 
 /// Factorization-work counters, harvested by KrigingPolicy into
@@ -127,6 +136,28 @@ class KrigingSystem {
   /// downdate) return false and leave the system unchanged.
   bool remove_point(std::size_t slot);
 
+  /// Leave-one-out cross-validation over the unique support, from one
+  /// factorization. Entry i describes the system with unique point i
+  /// deleted, predicting at that point's location.
+  struct LooReport {
+    std::vector<double> residuals;  ///< z_i − ẑ₍ᵢ₎ per unique point.
+    std::vector<double> variances;  ///< LOO kriging variance σ²₍ᵢ₎.
+    double shift = 0.0;             ///< Ladder rung the factor used.
+    bool regularized = false;       ///< shift > 0.
+  };
+
+  /// All unique-support LOO residuals via Dubrule's identity: with
+  /// B = A⁻¹ of the assembled system and z̃ the (centred) values padded
+  /// with border zeros, e_i = [B·z̃]_i / B_ii and σ²₍ᵢ₎ = ±1/B_ii — each
+  /// residual costs one O(n²) solve against the already-built factor
+  /// instead of the O(n³) scratch refit it is provably equal to
+  /// (tests/test_kriging_loo.cpp pins the match at 1e-10). Climbs the same
+  /// ridge ladder as query(); the identity is exact for whichever shifted
+  /// matrix actually factored, and the report records that shift. Returns
+  /// nullopt below 2 unique points or when no rung yields finite,
+  /// non-degenerate diagonals.
+  std::optional<LooReport> loo_residuals();
+
   std::size_t support_size() const { return slots_.size(); }
   /// Unique support points actually in the system (dedupe applied).
   std::size_t unique_size() const { return points_.size(); }
@@ -158,6 +189,9 @@ class KrigingSystem {
   double query_entry(const std::vector<double>& q, std::size_t k) const;
   /// Entry as a function of an already-computed distance.
   double entry_of(double d) const;
+  /// Diagonal entry of a support point: entry_of(0) with the noise nugget
+  /// folded in (+τ² covariance form, −τ² variogram form; exact no-op at 0).
+  double diagonal_entry() const;
   /// Distances from x to unique points [first, n), written to out —
   /// batched over cols_ for the built-in distances.
   void distances_to(const std::vector<double>& x, std::size_t first,

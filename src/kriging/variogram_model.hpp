@@ -30,6 +30,13 @@ class VariogramModel {
 
   virtual std::unique_ptr<VariogramModel> clone() const = 0;
 
+  /// Fitted nugget — the discontinuity γ(0) at the origin. Every model in
+  /// the catalogue satisfies γ(0) = nugget, so the default forwards there;
+  /// concrete models return the parameter directly. The stochastic-kriging
+  /// policy reads this as its measurement-noise estimate τ² when
+  /// `PolicyOptions::nugget_from_fit` is set (see SystemSpec::noise_nugget).
+  virtual double nugget() const { return gamma(0.0); }
+
  protected:
   static void check_distance(double d);
 };
@@ -43,7 +50,7 @@ class LinearVariogram final : public VariogramModel {
   std::string name() const override { return "linear"; }
   std::string describe() const override;
   std::unique_ptr<VariogramModel> clone() const override;
-  double nugget() const { return nugget_; }
+  double nugget() const override { return nugget_; }
   double slope() const { return slope_; }
 
  private:
@@ -61,7 +68,7 @@ class SphericalVariogram final : public VariogramModel {
   std::string name() const override { return "spherical"; }
   std::string describe() const override;
   std::unique_ptr<VariogramModel> clone() const override;
-  double nugget() const { return nugget_; }
+  double nugget() const override { return nugget_; }
   double sill() const { return sill_; }
   double range() const { return range_; }
 
@@ -79,7 +86,7 @@ class ExponentialVariogram final : public VariogramModel {
   std::string name() const override { return "exponential"; }
   std::string describe() const override;
   std::unique_ptr<VariogramModel> clone() const override;
-  double nugget() const { return nugget_; }
+  double nugget() const override { return nugget_; }
   double sill() const { return sill_; }
   double range() const { return range_; }
 
@@ -97,7 +104,7 @@ class GaussianVariogram final : public VariogramModel {
   std::string name() const override { return "gaussian"; }
   std::string describe() const override;
   std::unique_ptr<VariogramModel> clone() const override;
-  double nugget() const { return nugget_; }
+  double nugget() const override { return nugget_; }
   double sill() const { return sill_; }
   double range() const { return range_; }
 
@@ -115,7 +122,7 @@ class PowerVariogram final : public VariogramModel {
   std::string name() const override { return "power"; }
   std::string describe() const override;
   std::unique_ptr<VariogramModel> clone() const override;
-  double nugget() const { return nugget_; }
+  double nugget() const override { return nugget_; }
   double scale() const { return scale_; }
   double exponent() const { return exponent_; }
 

@@ -200,6 +200,19 @@ Matrix BorderedLdlt::solve(const Matrix& b) const {
   return x;
 }
 
+Vector BorderedLdlt::inverse_diagonal() const {
+  if (!ok_)
+    throw std::runtime_error("BorderedLdlt::inverse_diagonal: singular base");
+  const std::size_t n = size();
+  Vector diag(n);
+  Vector e(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) e[j] = (j == i) ? 1.0 : 0.0;
+    diag[i] = solve(e)[i];
+  }
+  return diag;
+}
+
 double BorderedLdlt::rcond_estimate() const {
   if (!ok_) return 0.0;
   double lo = lu_->min_abs_pivot();

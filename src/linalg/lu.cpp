@@ -99,6 +99,17 @@ Matrix LuDecomposition::inverse() const {
   return solve(Matrix::identity(size()));
 }
 
+Vector LuDecomposition::inverse_diagonal() const {
+  const std::size_t n = size();
+  Vector diag(n);
+  Vector e(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) e[j] = (j == i) ? 1.0 : 0.0;
+    diag[i] = solve(e)[i];
+  }
+  return diag;
+}
+
 double LuDecomposition::min_abs_pivot() const {
   if (singular_ || size() == 0) return 0.0;
   double lo = std::abs(lu_(0, 0));

@@ -38,6 +38,13 @@ class LuDecomposition {
   /// Explicit inverse — prefer solve(); used by tests for validation.
   Matrix inverse() const;
 
+  /// Diagonal of A⁻¹, one unit-vector solve per entry against the existing
+  /// factorization — O(n²) per entry, no refactorization. Together with a
+  /// single solve of A·u = z this yields every leave-one-out residual of a
+  /// kriging system via Dubrule's identity (kriging::KrigingSystem::
+  /// loo_residuals), where each scratch refit would cost O(n³).
+  Vector inverse_diagonal() const;
+
   /// Crude reciprocal condition estimate: min|pivot| / max|pivot|.
   double rcond_estimate() const;
 

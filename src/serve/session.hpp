@@ -61,6 +61,13 @@ enum class OptimizerKind { kMinPlusOne, kSteepestDescent };
 /// Everything needed to (re)build a session's resident state from
 /// scratch. The simulator is part of the spec — it is the one piece the
 /// checkpoint format cannot carry.
+///
+/// The acquisition gate is part of `policy` (PolicyOptions::gate and its
+/// thresholds), so each session picks its own simulate-vs-interpolate
+/// rule. Gate calibration state is NOT serialized when a session parks:
+/// restore replays the recorded refits, which re-run the LOO calibration
+/// pass, so a resumed session's gate is bit-identical to one that never
+/// parked.
 struct SessionSpec {
   std::string name;
   dse::PolicyOptions policy;

@@ -124,6 +124,131 @@ TEST(CheckpointFile, RejectsGarbageAndUnsupportedVersion) {
   std::remove(truncated.c_str());
 }
 
+// Hand-written fixtures in the historical formats: a version-N writer
+// produced exactly these bytes, and the version-gated reader must keep
+// loading them forever. The token streams below mirror put_stats() as it
+// stood at each version — v1 ends after neighbors_per_interpolation, v2
+// after rcond_per_solve.
+constexpr const char* kCursorTail =
+    "cursor_min_plus 0 0 0 0 0 0x0p+0 0x0p+0\n"
+    "w_min 2 8 8\n"
+    "w 2 8 8\n"
+    "decisions 0\n"
+    "cursor_sensitivity 0 0 0 0 0x0p+0\n"
+    "levels 0\n"
+    "decisions 0\n"
+    "end\n";
+
+std::string write_fixture(const std::string& name, const std::string& body) {
+  const std::string path = temp_path(name);
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+TEST(CheckpointFile, LoadsVersion1FixtureUnderTheGateAwarePolicy) {
+  const std::string path = write_fixture(
+      "ace_ckpt_v1_fixture.txt",
+      std::string("ACE-CHECKPOINT 1\n"
+                  "optimizer min_plus_one\n"
+                  "store 2 2\n"
+                  "4 4 0x1.8p+2\n"
+                  "2 2 0x1p+1\n"
+                  "quarantine 0 0\n"
+                  "fit_events 1 2\n"
+                  "stats 10 4 5 1 0 2 3 0 0 0 0 0 1 "
+                  "2 0x1p+2 0x0p+0 0x1p+2 0x1p+2\n") +
+      kCursorTail);
+  const auto loaded = d::load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  const d::PolicyStats& s = loaded->policy.stats;
+  // v1 fields arrive intact...
+  EXPECT_EQ(s.total, 10u);
+  EXPECT_EQ(s.variance_rejections, 2u);
+  EXPECT_EQ(s.refits, 3u);
+  EXPECT_EQ(s.neighbors_per_interpolation.count(), 2u);
+  // ...and every post-v1 field holds its fresh-policy default.
+  EXPECT_EQ(s.ridge_fallbacks, 0u);
+  EXPECT_EQ(s.full_factorizations, 0u);
+  EXPECT_EQ(s.rcond_per_solve.count(), 0u);
+  EXPECT_EQ(s.loo_rejections, 0u);
+  EXPECT_EQ(s.sequential_rejections, 0u);
+  EXPECT_EQ(s.loo_passes, 0u);
+  EXPECT_EQ(s.loo_abs_error.count(), 0u);
+
+  // A v1 snapshot restores into today's gate-aware policy — including one
+  // running an adaptive gate the v1 writer had never heard of.
+  d::PolicyOptions gated = kriging_options();
+  gated.gate = d::GateKind::kLooCalibrated;
+  d::KrigingPolicy policy(gated);
+  policy.restore(loaded->policy);
+  EXPECT_EQ(policy.store().size(), 2u);
+  EXPECT_EQ(policy.stats().variance_rejections, 2u);
+
+  // Re-saving upgrades the file to the current version with the counters
+  // it carried, bit-for-bit.
+  d::save_checkpoint(path, *loaded);
+  const auto upgraded = d::load_checkpoint(path);
+  ASSERT_TRUE(upgraded.has_value());
+  expect_snapshots_equal(upgraded->policy, loaded->policy);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, LoadsVersion2FixtureWithZeroGateCounters) {
+  const std::string path = write_fixture(
+      "ace_ckpt_v2_fixture.txt",
+      std::string("ACE-CHECKPOINT 2\n"
+                  "optimizer steepest_descent\n"
+                  "store 0 0\n"
+                  "quarantine 0 0\n"
+                  "fit_events 0\n"
+                  "stats 6 6 0 0 0 0 1 0 0 0 0 0 0 "
+                  "0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 "
+                  "1 5 2 3 4 0x1p-1 0x0p+0 0x1p-1 0x1p-1\n") +
+      kCursorTail);
+  const auto loaded = d::load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  const d::PolicyStats& s = loaded->policy.stats;
+  // The v2 tail arrives intact...
+  EXPECT_EQ(s.ridge_fallbacks, 1u);
+  EXPECT_EQ(s.full_factorizations, 5u);
+  EXPECT_EQ(s.factor_cache_hits, 2u);
+  EXPECT_EQ(s.factor_extends, 3u);
+  EXPECT_EQ(s.rcond_per_solve.count(), 4u);
+  // ...and the v3 gate counters default to a fresh policy's.
+  EXPECT_EQ(s.loo_rejections, 0u);
+  EXPECT_EQ(s.sequential_rejections, 0u);
+  EXPECT_EQ(s.loo_passes, 0u);
+  EXPECT_EQ(s.loo_abs_error.count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFile, Version3RoundTripsGateCountersExactly) {
+  d::Checkpoint ck;
+  ck.optimizer = "min_plus_one";
+  ck.policy.stats.variance_rejections = 4;
+  ck.policy.stats.loo_rejections = 7;
+  ck.policy.stats.sequential_rejections = 3;
+  ck.policy.stats.loo_passes = 9;
+  ck.policy.stats.loo_abs_error.add(0.1);
+  ck.policy.stats.loo_abs_error.add(1.0 / 3.0);
+
+  const std::string path = temp_path("ace_ckpt_v3_gates.txt");
+  d::save_checkpoint(path, ck);
+  {
+    std::ifstream in(path);
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    EXPECT_EQ(magic, "ACE-CHECKPOINT");
+    EXPECT_EQ(version, 3);
+  }
+  const auto loaded = d::load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->policy.stats == ck.policy.stats);
+  std::remove(path.c_str());
+}
+
 TEST(PolicySnapshot, RestoreContinuesBitIdentically) {
   // Drive a policy through a workload rich enough to fit and refit the
   // variogram, snapshot halfway, restore into a fresh policy, and continue

@@ -50,9 +50,10 @@ d::FactorCache::Pin acquire(d::FactorCache& cache, const Universe& u,
                             const std::vector<std::size_t>& idx,
                             const k::VariogramModel& model,
                             d::FactorAcquire& how,
-                            std::uint64_t generation = 0) {
+                            std::uint64_t generation = 0,
+                            double noise_nugget = 0.0) {
   return cache.acquire(idx, u.gather_points(idx), u.gather_values(idx),
-                       model, k::l1_distance, generation, how);
+                       model, k::l1_distance, noise_nugget, generation, how);
 }
 
 TEST(FactorCache, HitExtendFreshLifecycle) {
@@ -240,6 +241,42 @@ TEST(FactorCache, GenerationStampPreventsCrossModelHits) {
 
   // The stale-generation entry was dropped during trim, not kept around.
   EXPECT_EQ(cache.size(), 1u);
+}
+
+// The nugget is part of the cache key: a factorization assembled with a
+// different noise_nugget has a different (shifted) diagonal, so reusing
+// it across nugget settings would answer from the wrong system.
+TEST(FactorCache, NuggetIsPartOfTheCacheKey) {
+  const k::SphericalVariogram model(0.1, 2.0, 8.0);
+  const Universe u(16);
+  d::FactorCache cache(4);
+  d::FactorAcquire how = d::FactorAcquire::kHit;
+
+  const std::vector<std::size_t> idx = {0, 1, 2, 3};
+  (void)acquire(cache, u, idx, model, how, /*generation=*/0,
+                /*noise_nugget=*/0.0);
+  ASSERT_EQ(how, d::FactorAcquire::kFresh);
+
+  const d::FactorCache::Pin nuggeted = acquire(
+      cache, u, idx, model, how, /*generation=*/0, /*noise_nugget=*/0.25);
+  EXPECT_EQ(how, d::FactorAcquire::kFresh);
+
+  // Same nugget again: now it hits.
+  (void)acquire(cache, u, idx, model, how, /*generation=*/0,
+                /*noise_nugget=*/0.25);
+  EXPECT_EQ(how, d::FactorAcquire::kHit);
+
+  // And the nuggeted entry answers like a scratch nuggeted system.
+  k::SystemSpec spec;
+  spec.noise_nugget = 0.25;
+  k::KrigingSystem scratch(spec, u.gather_points(idx), u.gather_values(idx),
+                           model);
+  const std::vector<double> q = {1.5, 2.0};
+  const auto got = nuggeted->query(q);
+  const auto want = scratch.query(q);
+  ASSERT_TRUE(got && want);
+  EXPECT_NEAR(got->estimate, want->estimate, 1e-10);
+  EXPECT_NEAR(got->variance, want->variance, 1e-10);
 }
 
 // A pinned entry must not be edited by an overlapping acquire(): the

@@ -175,6 +175,47 @@ TEST(BorderedLdlt, DegenerateAppendIsRejectedAndFactorSurvives) {
   expect_matches_scratch(f, random_rhs(3, rng), 1e-12);
 }
 
+TEST(BorderedLdlt, InverseDiagonalMatchesLuAcrossEdits) {
+  // At zero appends the diagonal-of-inverse walks the same refined solve
+  // path as the LU version, entry for entry; after appends/removals it
+  // must still match a from-scratch LU inverse of the assembled matrix.
+  ace::util::Rng rng(61);
+  const std::size_t base = 4;
+  const std::size_t extra = 3;
+  const la::Matrix full = random_spd(base + extra, rng);
+  la::BorderedLdlt f(leading_block(full, base));
+  ASSERT_TRUE(f.ok());
+  {
+    const la::Vector got = f.inverse_diagonal();
+    const la::Vector expect =
+        la::LuDecomposition(leading_block(full, base)).inverse_diagonal();
+    for (std::size_t i = 0; i < base; ++i) EXPECT_EQ(got[i], expect[i]);
+  }
+  for (std::size_t k = 0; k < extra; ++k) {
+    std::vector<double> coupling(base + k);
+    for (std::size_t i = 0; i < base + k; ++i)
+      coupling[i] = full(base + k, i);
+    ASSERT_TRUE(f.append_point(coupling, full(base + k, base + k)));
+  }
+  ASSERT_TRUE(f.remove_point(1));  // Down-date the middle appended row.
+  const la::Vector got = f.inverse_diagonal();
+  const la::Matrix inv = la::LuDecomposition(f.assembled()).inverse();
+  ASSERT_EQ(got.size(), f.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got[i], inv(i, i), 1e-10) << "entry " << i;
+}
+
+TEST(BorderedLdlt, InverseDiagonalThrowsOnSingularBase) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;
+  const la::BorderedLdlt f(a);
+  ASSERT_FALSE(f.ok());
+  EXPECT_THROW((void)f.inverse_diagonal(), std::runtime_error);
+}
+
 TEST(BorderedLdlt, SingularBaseReportsNotOk) {
   la::Matrix a(2, 2);
   a(0, 0) = 1.0;

@@ -85,6 +85,47 @@ TEST(Lu, MultipleRightHandSides) {
   EXPECT_NEAR(x(1, 1), 2.0, 1e-12);
 }
 
+TEST(Lu, InverseDiagonalMatchesFullInverse) {
+  ace::util::Rng rng(29);
+  const Matrix a = random_matrix(rng, 6);
+  const LuDecomposition lu(a);
+  const Matrix inv = lu.inverse();
+  const Vector diag = lu.inverse_diagonal();
+  ASSERT_EQ(diag.size(), 6u);
+  // Both walk the same unit-vector solves, so the match is exact.
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(diag[i], inv(i, i));
+}
+
+TEST(Lu, InverseDiagonalMatchesSchurComplementOfDeletedSystems) {
+  // The identity behind the kriging LOO-CV fast path: 1/[A⁻¹]_ii equals
+  // the Schur complement A_ii − A_i,−i · A₋ᵢ⁻¹ · A₋ᵢ,i of the system
+  // with row/column i deleted — n scratch refits in one factorization.
+  ace::util::Rng rng(33);
+  const std::size_t n = 7;
+  const Matrix a = random_matrix(rng, n);
+  const Vector diag = LuDecomposition(a).inverse_diagonal();
+  for (std::size_t i = 0; i < n; ++i) {
+    Matrix deleted(n - 1, n - 1);
+    Vector col(n - 1);
+    Vector row(n - 1);
+    for (std::size_t r = 0, dr = 0; r < n; ++r) {
+      if (r == i) continue;
+      col[dr] = a(r, i);
+      row[dr] = a(i, r);
+      for (std::size_t c = 0, dc = 0; c < n; ++c) {
+        if (c == i) continue;
+        deleted(dr, dc) = a(r, c);
+        ++dc;
+      }
+      ++dr;
+    }
+    const Vector x = LuDecomposition(deleted).solve(col);
+    double schur = a(i, i);
+    for (std::size_t k = 0; k < n - 1; ++k) schur -= row[k] * x[k];
+    EXPECT_NEAR(diag[i], 1.0 / schur, 1e-10) << "entry " << i;
+  }
+}
+
 TEST(Lu, RcondEstimatePositiveForWellConditioned) {
   EXPECT_GT(LuDecomposition(Matrix::identity(4)).rcond_estimate(), 0.5);
 }

@@ -138,6 +138,45 @@ TEST(SessionManager, ParkResumeRoundTripIsBitIdentical) {
   EXPECT_EQ(serve_stats.resumes, 1u);
 }
 
+TEST(SessionManager, GateBearingSessionParksAndResumesWithEqualStats) {
+  // A session running an adaptive acquisition gate carries online LOO
+  // calibration state that the checkpoint format deliberately does not
+  // persist — restore replays the recorded refits, which re-run the LOO
+  // passes. Parking mid-run must therefore be invisible: the resumed
+  // session's *entire* PolicyStats (gate counters and the loo_abs_error
+  // moments included) equals the never-parked run's. The factor cache
+  // stays off — stats equality is exactly the contract that relies on the
+  // cache-off default (a resumed run's cold cache would skew counters).
+  s::SessionSpec spec = min_plus_spec(9);
+  spec.name = "gated min+1";
+  spec.policy.factor_cache_capacity = 0;
+  spec.policy.gate = d::GateKind::kLooCalibrated;
+  spec.policy.gate_nn_floor = 2;
+  spec.policy.loo_gate = 2.0;
+
+  s::SessionManager plain;
+  const s::SessionId p = plain.create(spec);
+  plain.wait(plain.submit(p, 1000));
+  ASSERT_TRUE(plain.progress(p).finished);
+  const d::PolicyStats unparked = plain.progress(p).stats;
+
+  s::SessionManager manager;
+  const s::SessionId id = manager.create(spec);
+  manager.wait(manager.submit(id, 3));
+  manager.park(id);
+  EXPECT_FALSE(manager.progress(id).resident);
+  manager.wait(manager.submit(id, 2));  // Resume, then park again.
+  manager.park(id);
+  manager.wait(manager.submit(id, 1000));
+  ASSERT_TRUE(manager.progress(id).finished);
+
+  expect_identical(manager.min_plus_one_result(id),
+                   plain.min_plus_one_result(p));
+  EXPECT_TRUE(manager.progress(id).stats == unparked);
+  EXPECT_EQ(manager.stats().parks, 2u);
+  EXPECT_EQ(manager.stats().resumes, 2u);
+}
+
 TEST(SessionManager, LruResidencyCapParksColdSessions) {
   s::SessionManagerOptions options;
   options.service_threads = 1;

@@ -158,6 +158,16 @@ RULES = [
         "bit-identical",
     ),
     (
+        "gate-bypass",
+        re.compile(
+            r"\b(?:nn_min|gate_nn_floor)\b\s*(?:[<>]=?|[!=]=)"
+            r"|(?:[<>]=?|[!=]=)\s*(?:\w+(?:\.|->))*(?:nn_min|gate_nn_floor)\b"
+        ),
+        "direct neighbour-count threshold comparison outside the "
+        "acquisition seam; route simulate-vs-interpolate decisions through "
+        "dse::AcquisitionGate (make_gate / attempt / accept)",
+    ),
+    (
         "unchecked-syscall",
         re.compile(
             r"^\s*(?:::)?"
@@ -237,6 +247,13 @@ KRIGING_WRAPPER_SCOPE = re.compile(
 # The SIMD kernel layer is where the raw distance loops *live*; the
 # scalar reference twins are the canonical loop by definition.
 RAW_DISTANCE_EXEMPT = re.compile(r"(?:^|/)src/util/simd[^/]*$")
+
+# gate-bypass is scoped to the decision layer: src/dse/ outside the
+# acquisition seam itself (acquisition.hpp/.cpp implement the gates, so
+# the nn_min/gate_nn_floor comparisons legitimately live there). The
+# selftest fixture violations_dse_gate.cpp matches by basename.
+GATE_SCOPE = re.compile(r"(?:^|/)src/dse/[^/]+$|(?:^|/)[^/]*dse_gate[^/]*$")
+GATE_EXEMPT = re.compile(r"(?:^|/)acquisition\.(?:cpp|hpp|cc|hh|cxx|h)$")
 
 # unchecked-syscall is scoped to where the raw syscalls live: the
 # coordinator/worker layer and the subprocess utility (the selftest
@@ -385,6 +402,10 @@ def lint_file(path: Path) -> list[Finding]:
                 continue
             if rule == "raw-distance-loop" and RAW_DISTANCE_EXEMPT.search(
                     path.as_posix()):
+                continue
+            if rule == "gate-bypass" and (
+                    not GATE_SCOPE.search(path.as_posix())
+                    or GATE_EXEMPT.search(path.as_posix())):
                 continue
             if rule == "unchecked-syscall" and not SYSCALL_SCOPE.search(
                     path.as_posix()):

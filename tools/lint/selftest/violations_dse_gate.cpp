@@ -1,0 +1,33 @@
+// Planted gate-bypass violations. The basename matches the dse_gate
+// scope, so the rule is active here — unlike in violations.cpp, whose
+// nn_min mentions must stay silent (that file is outside the decision
+// layer). This file is a fixture — it is never compiled.
+#include <cstddef>
+
+namespace fixture_dse_gate {
+
+bool hardwired_decisions(std::size_t count, const Options& options) {
+  if (count > options.nn_min) return true;           // expect(gate-bypass)
+  if (options.nn_min <= count) return true;          // expect(gate-bypass)
+  if (count >= options.gate_nn_floor) return true;   // expect(gate-bypass)
+  const bool exact = count == options.nn_min;        // expect(gate-bypass)
+  return exact;
+}
+
+void declarations_are_fine() {
+  std::size_t nn_min = 1;     // assignment, not a comparison: silent
+  std::size_t gate_nn_floor;  // declaration: silent
+  gate_nn_floor = nn_min;     // plain assignment: silent
+  (void)gate_nn_floor;
+}
+
+bool suppressed(std::size_t count, const Options& options) {
+  // The gate implementations themselves live in acquisition.cpp (exempt
+  // by path); anywhere else an intentional direct test must say so:
+  return count > options.nn_min;  // ace-lint: allow(gate-bypass)
+}
+
+// Comments mentioning count > nn_min are fine; so are strings:
+inline const char* kDoc = "interpolate only when count > nn_min";
+
+}  // namespace fixture_dse_gate
